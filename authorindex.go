@@ -1,0 +1,524 @@
+// Package authorindex is a bibliographic author-index engine: it stores
+// works (title, authors, citation), maintains an alphabetized author
+// index with publication-grade collation, answers author/title/citation
+// queries, and renders the index in the classic printed formats.
+//
+// It is the system behind proceedings front matter such as a conference
+// "Author Index": the machinery that a publisher runs to produce and
+// serve that artifact. The engine is crash-safe (write-ahead log +
+// snapshots), stdlib-only and safe for concurrent use.
+//
+// Quick start:
+//
+//	ix, err := authorindex.Open("", nil) // in-memory; pass a dir for durability
+//	if err != nil { ... }
+//	defer ix.Close()
+//
+//	id, err := ix.Add(authorindex.Work{
+//		Title:    "Unlocking the Fire",
+//		Authors:  []authorindex.Author{{Family: "Lewin", Given: "Jeff L."}},
+//		Citation: authorindex.Citation{Volume: 94, Page: 563, Year: 1992},
+//	})
+//
+//	entry, ok := ix.Author("Lewin, Jeff L.")
+//	results := ix.Search("coalbed methane", 10)
+//	err = ix.Render(os.Stdout, authorindex.RenderOptions{Format: authorindex.Text})
+package authorindex
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/citeparse"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/dedupe"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/model"
+	"repro/internal/names"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Re-exported record types. These aliases are the public data model; see
+// the internal/model package for field documentation.
+type (
+	// Work is one indexed publication.
+	Work = model.Work
+	// Author is a structured author name.
+	Author = model.Author
+	// Citation is a volume:page (year) locator.
+	Citation = model.Citation
+	// WorkID identifies a stored work.
+	WorkID = model.WorkID
+	// Kind classifies a work (article, student note, ...).
+	Kind = model.Kind
+	// Volume labels a bound volume for rendering.
+	Volume = model.Volume
+	// Entry is one author heading with its works and cross-references.
+	Entry = core.Entry
+	// Section is one letter group of the printed index.
+	Section = core.Section
+	// RenderOptions configures Render; see the render package fields.
+	RenderOptions = render.Options
+	// Format selects a render encoding.
+	Format = render.Format
+	// CollationOptions tunes alphabetization; see DefaultCollation.
+	CollationOptions = collate.Options
+	// CorpusConfig parameterizes GenerateCorpus.
+	CorpusConfig = gen.Config
+	// IngestResult reports what an import recovered.
+	IngestResult = ingest.Result
+	// SubjectCount pairs a subject heading with its work count.
+	SubjectCount = query.SubjectCount
+	// Suggestion is one candidate duplicate-heading pair.
+	Suggestion = dedupe.Suggestion
+)
+
+// Duplicate-suggestion reasons, strongest first.
+const (
+	SpellingVariant = dedupe.SpellingVariant
+	StudentVariant  = dedupe.StudentVariant
+	InitialsVariant = dedupe.InitialsVariant
+)
+
+// Work kinds.
+const (
+	KindArticle     = model.KindArticle
+	KindStudentNote = model.KindStudentNote
+	KindEssay       = model.KindEssay
+	KindBookReview  = model.KindBookReview
+	KindComment     = model.KindComment
+	KindCaseNote    = model.KindCaseNote
+	KindTribute     = model.KindTribute
+)
+
+// Render formats.
+const (
+	Text     = render.Text
+	TSV      = render.TSV
+	Markdown = render.Markdown
+	CSV      = render.CSV
+	JSON     = render.JSON
+	HTMLPage = render.HTMLPage
+)
+
+// Errors re-exported from the storage layer.
+var (
+	// ErrNotFound reports a missing work or cross-reference.
+	ErrNotFound = storage.ErrNotFound
+	// ErrClosed reports use after Close.
+	ErrClosed = storage.ErrClosed
+)
+
+// DefaultCollation is the conventional index setup: word-by-word
+// alphabetization with nobiliary particles grouped (Van Tol files under V).
+func DefaultCollation() CollationOptions { return collate.Default() }
+
+// ParseAuthor converts an index-order heading string ("Fisher, John W.,
+// II" or "Abdalla, Tarek F.*") into a structured Author.
+func ParseAuthor(s string) (Author, error) { return names.Parse(s) }
+
+// FormatAuthor renders an author in canonical index order.
+func FormatAuthor(a Author) string { return a.Display() }
+
+// ParseCitation reads "95:1365 (1993)" into a Citation.
+func ParseCitation(s string) (Citation, error) { return citeparse.Parse(s) }
+
+// ParseFormat converts a format name ("text", "tsv", "markdown", "csv",
+// "json") into a Format.
+func ParseFormat(s string) (Format, error) { return render.ParseFormat(s) }
+
+// GenerateCorpus produces a deterministic synthetic corpus; see
+// CorpusConfig for the knobs. Useful for examples, benchmarks and tests.
+func GenerateCorpus(cfg CorpusConfig) []*Work { return gen.Generate(cfg) }
+
+// Options configures Open.
+type Options struct {
+	// Collation tunes alphabetization. The zero value means
+	// DefaultCollation(). Collation is fixed for the life of the on-disk
+	// index; reopen with the same options.
+	Collation *CollationOptions
+	// NoSync skips fsync on each logged operation (faster, loses the
+	// most recent writes on power failure, never corrupts).
+	NoSync bool
+	// CompactEvery auto-compacts after this many logged operations;
+	// zero disables automatic compaction.
+	CompactEvery int
+}
+
+// Stats summarizes index contents and storage footprint.
+type Stats struct {
+	Works         int    // distinct works
+	Authors       int    // distinct headings
+	Postings      int    // author–work pairs
+	StudentNotes  int    // postings under student headings
+	CrossRefs     int    // see-also references
+	Terms         int    // distinct title-search terms
+	WALBytes      int64  // current write-ahead-log size
+	SnapshotBytes int64  // last snapshot size
+	InMemory      bool   // true when opened without a directory
+	Collation     string // collation scheme name
+}
+
+// Index is an open author-index engine. All methods are safe for
+// concurrent use: writes are serialized, reads run in parallel.
+type Index struct {
+	mu    sync.RWMutex
+	store *storage.Store
+	eng   *query.Engine
+	coll  CollationOptions
+}
+
+// Open opens (creating if necessary) an index rooted at dir. An empty
+// dir gives a volatile in-memory index. opts may be nil for defaults.
+func Open(dir string, opts *Options) (*Index, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	coll := collate.Default()
+	if o.Collation != nil {
+		coll = *o.Collation
+	}
+	st, err := storage.Open(dir, storage.Options{
+		WAL:          wal.Options{NoSync: o.NoSync},
+		CompactEvery: o.CompactEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{store: st, eng: query.New(coll), coll: coll}
+	if err := st.ForEach(func(w *model.Work) error { return ix.eng.Add(w) }); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
+	}
+	for _, ref := range st.CrossRefs() {
+		if err := ix.eng.Index().AddSeeAlso(ref.From, ref.To); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
+		}
+	}
+	return ix, nil
+}
+
+// Add validates and stores a work, files it in every index, and returns
+// its assigned ID. A zero w.ID gets the next free ID; a non-zero ID
+// inserts or replaces.
+func (ix *Index) Add(w Work) (WorkID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, err := ix.store.Put(&w)
+	if err != nil {
+		return 0, err
+	}
+	w.ID = id
+	if err := ix.eng.Add(&w); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Delete removes a work everywhere. ErrNotFound if the ID is unknown.
+func (ix *Index) Delete(id WorkID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.store.Delete(id); err != nil {
+		return err
+	}
+	ix.eng.Remove(id)
+	return nil
+}
+
+// Get returns a copy of the stored work.
+func (ix *Index) Get(id WorkID) (*Work, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Work(id)
+}
+
+// Len returns the number of stored works.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Len()
+}
+
+// Author looks up one heading by its index-order string.
+func (ix *Index) Author(heading string) (*Entry, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.AuthorExact(heading)
+}
+
+// Authors returns up to limit headings starting with prefix, in print
+// order (limit <= 0: all).
+func (ix *Index) Authors(prefix string, limit int) []*Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.AuthorPrefix(prefix, limit)
+}
+
+// AuthorsPage returns up to limit headings strictly after `after` in
+// print order (empty after: from the start). Feed the last entry's
+// heading back in as the next cursor to page through the whole index.
+func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.AuthorPage(after, limit)
+}
+
+// Search evaluates a boolean title query: space-separated terms AND,
+// "a or b" OR, "-term" NOT, "term*" prefix. Results are in citation
+// order, capped at limit (<=0: no cap).
+func (ix *Index) Search(q string, limit int) []*Work {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.TitleSearch(q, limit)
+}
+
+// YearRange returns works published in [from, to], citation order.
+func (ix *Index) YearRange(from, to, limit int) []*Work {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.YearRange(from, to, limit)
+}
+
+// VolumeWorks returns every work in the given volume, citation order.
+func (ix *Index) VolumeWorks(v, limit int) []*Work {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Volume(v, limit)
+}
+
+// Subjects returns every subject heading in collation order with its
+// work count.
+func (ix *Index) Subjects() []SubjectCount {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Subjects()
+}
+
+// BySubject returns the works filed under a subject heading, matched
+// case- and diacritic-insensitively, in citation order.
+func (ix *Index) BySubject(subject string, limit int) []*Work {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.BySubject(subject, limit)
+}
+
+// RenderSubjectIndex writes the subject-index artifact: works grouped
+// under their subject headings. Text, TSV and Markdown formats are
+// supported.
+func (ix *Index) RenderSubjectIndex(w io.Writer, opts RenderOptions) error {
+	ix.mu.RLock()
+	works := ix.eng.AllWorks()
+	coll := ix.coll
+	ix.mu.RUnlock()
+	return render.SubjectIndex(w, works, coll, opts)
+}
+
+// AddSeeAlso durably records a cross-reference between two headings
+// given in index-order form, e.g. ("Mountney, Marion", "Crain-Mountney,
+// Marion").
+func (ix *Index) AddSeeAlso(from, to string) error {
+	fa, err := names.Parse(from)
+	if err != nil {
+		return fmt.Errorf("authorindex: from heading: %w", err)
+	}
+	ta, err := names.Parse(to)
+	if err != nil {
+		return fmt.Errorf("authorindex: to heading: %w", err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.eng.Index().AddSeeAlso(fa, ta); err != nil {
+		return err
+	}
+	return ix.store.AddCrossRef(storage.CrossRef{From: fa, To: ta})
+}
+
+// Sections returns the index grouped by letter, in print order; entries
+// are deep copies.
+func (ix *Index) Sections() []Section {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Index().Sections()
+}
+
+// Render writes the index to w in the format selected by opts.
+func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return render.Render(w, ix.eng.Index(), opts)
+}
+
+// RenderTitleIndex writes the companion title-index artifact: works
+// alphabetized by title (leading articles ignored) with authors and
+// citations. Text, TSV and Markdown formats are supported.
+func (ix *Index) RenderTitleIndex(w io.Writer, opts RenderOptions) error {
+	ix.mu.RLock()
+	works := ix.eng.AllWorks()
+	coll := ix.coll
+	ix.mu.RUnlock()
+	return render.TitleIndex(w, works, coll, opts)
+}
+
+// RemoveSeeAlso deletes a durable cross-reference previously recorded
+// with AddSeeAlso. ErrNotFound if it does not exist.
+func (ix *Index) RemoveSeeAlso(from, to string) error {
+	fa, err := names.Parse(from)
+	if err != nil {
+		return fmt.Errorf("authorindex: from heading: %w", err)
+	}
+	ta, err := names.Parse(to)
+	if err != nil {
+		return fmt.Errorf("authorindex: to heading: %w", err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.eng.Index().RemoveSeeAlso(fa, ta) {
+		return fmt.Errorf("%w: cross-reference %s → %s", ErrNotFound, fa.Display(), ta.Display())
+	}
+	return ix.store.DeleteCrossRef(storage.CrossRef{From: fa, To: ta})
+}
+
+// ImportTSV loads postings in the TSV machine format (as produced by
+// Render with the TSV format), adding every recovered work and
+// cross-reference. It returns the ingest report.
+func (ix *Index) ImportTSV(r io.Reader, lenient bool) (*IngestResult, error) {
+	res, err := ingest.TSV(r, ingest.Options{Lenient: lenient})
+	if err != nil {
+		return nil, err
+	}
+	return res, ix.importResult(res)
+}
+
+// ImportCSV loads postings in the CSV format (as produced by Render with
+// the CSV format).
+func (ix *Index) ImportCSV(r io.Reader, lenient bool) (*IngestResult, error) {
+	res, err := ingest.CSV(r, ingest.Options{Lenient: lenient})
+	if err != nil {
+		return nil, err
+	}
+	return res, ix.importResult(res)
+}
+
+func (ix *Index) importResult(res *ingest.Result) error {
+	for _, w := range res.Works {
+		cp := *w
+		cp.ID = 0 // allocate fresh IDs in this store
+		if _, err := ix.Add(cp); err != nil {
+			return err
+		}
+	}
+	for _, ref := range res.CrossRefs {
+		if err := ix.AddSeeAlso(ref.From.Display(), ref.To.Display()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact writes a snapshot and truncates the write-ahead log.
+func (ix *Index) Compact() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.store.Compact()
+}
+
+// DuplicateSuggestions scans all headings for pairs that may refer to
+// the same person (spelling variants, student/professional pairs,
+// initialism variants), ordered by confidence. Editors review the list
+// and record see-also references for the real ones.
+func (ix *Index) DuplicateSuggestions() []Suggestion {
+	ix.mu.RLock()
+	var authors []Author
+	ix.eng.Index().Ascend(func(e *Entry) bool {
+		authors = append(authors, e.Author)
+		return true
+	})
+	ix.mu.RUnlock()
+	return dedupe.Suggest(authors)
+}
+
+// Verify cross-checks every invariant between the durable store and the
+// in-memory indexes: each stored work must be retrievable, filed under
+// every one of its authors, findable by title search, and counted once;
+// no index may reference a work the store does not hold. It returns nil
+// when the index is internally consistent.
+func (ix *Index) Verify() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	storeCount := 0
+	err := ix.store.ForEach(func(w *model.Work) error {
+		storeCount++
+		got, ok := ix.eng.Work(w.ID)
+		if !ok {
+			return fmt.Errorf("authorindex: verify: stored work %d missing from engine", w.ID)
+		}
+		if !got.Equal(w) {
+			return fmt.Errorf("authorindex: verify: work %d differs between store and engine", w.ID)
+		}
+		for _, a := range w.Authors {
+			entry, ok := ix.eng.Index().Lookup(a)
+			if !ok {
+				return fmt.Errorf("authorindex: verify: work %d not filed under %q", w.ID, a.Display())
+			}
+			found := false
+			for _, filed := range entry.Works {
+				if filed.ID == w.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("authorindex: verify: heading %q lacks work %d", a.Display(), w.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if engCount := ix.eng.Len(); engCount != storeCount {
+		return fmt.Errorf("authorindex: verify: store holds %d works, engine %d", storeCount, engCount)
+	}
+	st := ix.eng.Stats()
+	if st.Works != storeCount {
+		return fmt.Errorf("authorindex: verify: author index counts %d works, store %d", st.Works, storeCount)
+	}
+	return nil
+}
+
+// Stats returns current counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	es := ix.eng.Stats()
+	ss := ix.store.Stats()
+	return Stats{
+		Works:         es.Works,
+		Authors:       es.Authors,
+		Postings:      es.Postings,
+		StudentNotes:  es.StudentNotes,
+		CrossRefs:     es.CrossRefs,
+		Terms:         es.Terms,
+		WALBytes:      ss.WALBytes,
+		SnapshotBytes: ss.SnapshotBytes,
+		InMemory:      ss.InMemory,
+		Collation:     ix.coll.Scheme.String(),
+	}
+}
+
+// Close flushes and closes the index. Further mutations fail with
+// ErrClosed.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.store.Close()
+}

@@ -1,0 +1,316 @@
+// Benchmarks mirroring the evaluation suite (EXPERIMENTS.md). Each
+// Benchmark family corresponds to one experiment; cmd/authdex-bench
+// prints the same measurements as tables.
+//
+//	go test -bench=. -benchmem
+package authorindex
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/inverted"
+	"repro/internal/model"
+	"repro/internal/render"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func corpus(b *testing.B, n int) []*model.Work {
+	b.Helper()
+	return gen.Generate(gen.Config{Seed: 1, Works: n, ZipfS: 1.1})
+}
+
+func builtIndex(b *testing.B, n int) *core.Index {
+	b.Helper()
+	ix, err := core.Rebuild(collate.Default(), corpus(b, n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+// E1 — index build throughput vs corpus size.
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		works := corpus(b, n)
+		b.Run(fmt.Sprintf("works=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Rebuild(collate.Default(), works); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "works/s")
+		})
+	}
+}
+
+// E2 — ordered lookup across container implementations.
+func BenchmarkLookup(b *testing.B) {
+	const n = 10_000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%09d", i*7919%n*1000+i))
+	}
+	r := rand.New(rand.NewSource(2))
+	probes := make([][]byte, 1024)
+	for i := range probes {
+		probes[i] = keys[r.Intn(n)]
+	}
+	impls := []struct {
+		name string
+		mk   func() btree.OrderedMap[int]
+	}{
+		{"btree", func() btree.OrderedMap[int] { return btree.New[int]() }},
+		{"sorted-slice", func() btree.OrderedMap[int] { return btree.NewSortedSlice[int]() }},
+		{"linear-scan", func() btree.OrderedMap[int] { return btree.NewLinearScan[int]() }},
+	}
+	for _, impl := range impls {
+		m := impl.mk()
+		for i, k := range keys {
+			m.Set(k, i)
+		}
+		b.Run(impl.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Get(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// E3 — incremental maintenance vs full rebuild at two batch sizes.
+func BenchmarkIncremental(b *testing.B) {
+	base := 50_000
+	all := corpus(b, base+10_000)
+	baseWorks, extra := all[:base], all[base:]
+	for _, batch := range []int{1, 100, 10_000} {
+		b.Run(fmt.Sprintf("incremental/batch=%d", batch), func(b *testing.B) {
+			ix, err := core.Rebuild(collate.Default(), baseWorks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, w := range extra[:batch] {
+					if err := ix.Add(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for _, w := range extra[:batch] {
+					ix.Remove(w)
+				}
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/batch=%d", batch), func(b *testing.B) {
+			works := append(baseWorks[:base:base], extra[:batch]...)
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Rebuild(collate.Default(), works); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4 — render throughput per format.
+func BenchmarkRender(b *testing.B) {
+	ix := builtIndex(b, 10_000)
+	for _, f := range []render.Format{render.Text, render.TSV, render.Markdown, render.CSV, render.JSON} {
+		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := render.Render(&buf, ix, render.Options{Format: f}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(buf.Len()))
+		})
+	}
+}
+
+// E5 — collation key construction per scheme.
+func BenchmarkCollate(b *testing.B) {
+	pool := gen.AuthorPool(gen.Config{Seed: 1, Authors: 10_000, Works: 1})
+	schemes := []struct {
+		name string
+		key  func(model.Author) []byte
+	}{
+		{"naive-bytes", func(a model.Author) []byte { return []byte(a.Display()) }},
+		{"letter-by-letter", func(a model.Author) []byte {
+			return collate.KeyAuthor(a, collate.Options{Scheme: collate.LetterByLetter, GroupParticle: true})
+		}},
+		{"word-by-word", func(a model.Author) []byte {
+			return collate.KeyAuthor(a, collate.Default())
+		}},
+	}
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.key(pool[i%len(pool)])
+			}
+		})
+	}
+}
+
+// E6 — recovery: pure WAL replay vs snapshot load.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 10_000
+	works := corpus(b, n)
+	prepare := func(b *testing.B, compact bool) string {
+		b.Helper()
+		dir, err := os.MkdirTemp("", "bench-recovery-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { os.RemoveAll(dir) })
+		st, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range works {
+			if _, err := st.Put(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if compact {
+			if err := st.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"wal-replay", false}, {"snapshot", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := prepare(b, mode.compact)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != n {
+					b.Fatalf("recovered %d works", st.Len())
+				}
+				st.Close()
+			}
+		})
+	}
+}
+
+// E7 — title search: inverted index vs corpus scan.
+func BenchmarkSearch(b *testing.B) {
+	const n = 50_000
+	works := corpus(b, n)
+	inv := inverted.New()
+	titles := make([]string, 0, n)
+	for _, w := range works {
+		inv.Add(w.ID, w.Title)
+		titles = append(titles, w.Title)
+	}
+	q := inverted.ParseQuery("surface mining")
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(inv.Eval(q)) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for _, title := range titles {
+				toks := inverted.Tokenize(title)
+				found := 0
+				for _, tok := range toks {
+					if tok == "surface" || tok == "mining" {
+						found++
+					}
+				}
+				if found >= 2 {
+					hits++
+				}
+			}
+			if hits == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+}
+
+// E8 — TSV ingest throughput.
+func BenchmarkIngest(b *testing.B) {
+	ix := builtIndex(b, 10_000)
+	var tsv bytes.Buffer
+	if err := render.Render(&tsv, ix, render.Options{Format: render.TSV}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tsv.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ingest.TSV(bytes.NewReader(tsv.Bytes()), ingest.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 / end-to-end facade benchmark: the cost one Add pays through the
+// full stack (validation, WAL append, every index) under each
+// durability policy.
+func BenchmarkFacadeAdd(b *testing.B) {
+	modes := []struct {
+		name    string
+		durable bool
+		noSync  bool
+	}{
+		{"memory", false, true},
+		{"durable-nosync", true, true},
+		{"durable-fsync", true, false},
+	}
+	for _, mode := range modes {
+		dir := ""
+		if mode.durable {
+			dir = b.TempDir()
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			ix, err := Open(dir, &Options{NoSync: mode.noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := ix.Add(Work{
+					Title:    fmt.Sprintf("Benchmark Work %d", i),
+					Citation: Citation{Volume: 90, Page: i + 1, Year: 1988},
+					Authors:  []Author{{Family: fmt.Sprintf("Family%d", i%977), Given: "A."}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

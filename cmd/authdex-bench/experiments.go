@@ -1,0 +1,487 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/inverted"
+	"repro/internal/model"
+	"repro/internal/render"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func corpusSizes(c config) []int {
+	if c.quick {
+		return []int{1_000, 10_000, 50_000}
+	}
+	return []int{1_000, 10_000, 100_000, 500_000}
+}
+
+// E1: build throughput vs corpus size.
+func runE1(c config) {
+	t := &table{header: []string{"works", "headings", "postings", "build", "works/s"}}
+	for _, n := range corpusSizes(c) {
+		works := gen.Generate(gen.Config{Seed: c.seed, Works: n, ZipfS: 1.1})
+		start := time.Now()
+		ix, err := core.Rebuild(collate.Default(), works)
+		if err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		st := ix.Stats()
+		t.add(fmt.Sprint(n), fmt.Sprint(st.Authors), fmt.Sprint(st.Postings),
+			d.Round(time.Millisecond).String(), persec(d, n))
+	}
+	t.print()
+}
+
+// E2: point lookups across the three ordered containers.
+func runE2(c config) {
+	sizes := []int{1_000, 10_000, 100_000}
+	if c.quick {
+		sizes = []int{1_000, 10_000}
+	}
+	const lookups = 20_000
+	t := &table{header: []string{"keys", "container", "build", "ns/lookup", "speedup vs scan"}}
+	for _, n := range sizes {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%09d", i*7919%n*1000+i))
+		}
+		probe := make([][]byte, lookups)
+		r := rand.New(rand.NewSource(c.seed))
+		for i := range probe {
+			probe[i] = keys[r.Intn(n)]
+		}
+		type result struct {
+			name   string
+			build  time.Duration
+			lookup time.Duration
+			nOps   int
+		}
+		var results []result
+		measure := func(name string, m btree.OrderedMap[int], nOps int) {
+			start := time.Now()
+			for i, k := range keys {
+				m.Set(k, i)
+			}
+			build := time.Since(start)
+			start = time.Now()
+			for i := 0; i < nOps; i++ {
+				m.Get(probe[i%len(probe)])
+			}
+			results = append(results, result{name, build, time.Since(start), nOps})
+		}
+		measure("btree", btree.New[int](), lookups)
+		measure("sorted-slice", btree.NewSortedSlice[int](), lookups)
+		// Linear scan is O(n); cap its probes so the run stays bounded.
+		scanOps := lookups
+		if n >= 100_000 {
+			scanOps = 200
+		} else if n >= 10_000 {
+			scanOps = 2_000
+		}
+		measure("linear-scan", btree.NewLinearScan[int](), scanOps)
+
+		scanNs := float64(results[2].lookup.Nanoseconds()) / float64(results[2].nOps)
+		for _, res := range results {
+			perOp := float64(res.lookup.Nanoseconds()) / float64(res.nOps)
+			t.add(fmt.Sprint(n), res.name, res.build.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", perOp), fmt.Sprintf("%.1fx", scanNs/perOp))
+		}
+	}
+	t.print()
+}
+
+// E3: incremental maintenance vs full rebuild at varying batch sizes.
+func runE3(c config) {
+	base := 100_000
+	if c.quick {
+		base = 20_000
+	}
+	works := gen.Generate(gen.Config{Seed: c.seed, Works: base + 10_000, ZipfS: 1.1})
+	baseWorks, extra := works[:base], works[base:]
+	ix, err := core.Rebuild(collate.Default(), baseWorks)
+	if err != nil {
+		panic(err)
+	}
+	t := &table{header: []string{"batch", "incremental", "full rebuild", "winner"}}
+	for _, b := range []int{1, 10, 100, 1_000, 10_000} {
+		batch := extra[:b]
+		start := time.Now()
+		for _, w := range batch {
+			if err := ix.Add(w); err != nil {
+				panic(err)
+			}
+		}
+		inc := time.Since(start)
+		// Undo so the next batch starts from the same base.
+		for _, w := range batch {
+			ix.Remove(w)
+		}
+		start = time.Now()
+		if _, err := core.Rebuild(collate.Default(), append(baseWorks[:base:base], batch...)); err != nil {
+			panic(err)
+		}
+		full := time.Since(start)
+		winner := "incremental"
+		if full < inc {
+			winner = "rebuild"
+		}
+		t.add(fmt.Sprint(b), inc.Round(time.Microsecond).String(),
+			full.Round(time.Millisecond).String(), winner)
+	}
+	t.print()
+}
+
+// E4: render throughput and bytes by format.
+func runE4(c config) {
+	n := 10_000
+	if c.quick {
+		n = 3_000
+	}
+	ix, err := core.Rebuild(collate.Default(), gen.Generate(gen.Config{Seed: c.seed, Works: n}))
+	if err != nil {
+		panic(err)
+	}
+	t := &table{header: []string{"format", "time", "bytes", "MiB/s"}}
+	for _, f := range []render.Format{render.Text, render.TSV, render.Markdown, render.CSV, render.JSON} {
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := render.Render(&buf, ix, render.Options{Format: f}); err != nil {
+			panic(err)
+		}
+		d := time.Since(start)
+		rate := float64(buf.Len()) / (1 << 20) / d.Seconds()
+		t.add(f.String(), d.Round(time.Millisecond).String(),
+			fmt.Sprint(buf.Len()), fmt.Sprintf("%.1f", rate))
+	}
+	t.print()
+}
+
+// E5: collation key cost per scheme, and how many headings naive byte
+// ordering misplaces relative to proper collation.
+func runE5(c config) {
+	n := 100_000
+	if c.quick {
+		n = 20_000
+	}
+	pool := gen.AuthorPool(gen.Config{Seed: c.seed, Authors: n, Works: 1})
+
+	type scheme struct {
+		name string
+		key  func(model.Author) []byte
+	}
+	schemes := []scheme{
+		{"naive-bytes", func(a model.Author) []byte { return []byte(a.Display()) }},
+		{"letter-by-letter", func(a model.Author) []byte {
+			return collate.KeyAuthor(a, collate.Options{Scheme: collate.LetterByLetter, GroupParticle: true})
+		}},
+		{"word-by-word", func(a model.Author) []byte {
+			return collate.KeyAuthor(a, collate.Default())
+		}},
+		{"word+mc-as-mac", func(a model.Author) []byte {
+			o := collate.Default()
+			o.McAsMac = true
+			return collate.KeyAuthor(a, o)
+		}},
+	}
+	order := func(key func(model.Author) []byte) []string {
+		keys := make([][]byte, len(pool))
+		for i, a := range pool {
+			keys[i] = key(a)
+		}
+		idx := make([]int, len(pool))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return bytes.Compare(keys[idx[x]], keys[idx[y]]) < 0 })
+		out := make([]string, len(pool))
+		for i, j := range idx {
+			out[i] = pool[j].Display()
+		}
+		return out
+	}
+	// standardKey is the publication-standard ordering (word-by-word);
+	// for each scheme we count adjacent pairs in its sorted output that
+	// the standard would order the other way — local ordering errors a
+	// reader would notice.
+	standardKey := schemes[2].key
+	byDisplay := make(map[string]model.Author, len(pool))
+	for _, a := range pool {
+		byDisplay[a.Display()] = a
+	}
+	reference := order(standardKey)
+	t := &table{header: []string{"scheme", "key ns/name", "keys/s", "adjacent inversions", "displaced headings"}}
+	for _, s := range schemes {
+		start := time.Now()
+		for _, a := range pool {
+			s.key(a)
+		}
+		d := time.Since(start)
+		got := order(s.key)
+		inversions, displaced := 0, 0
+		for i := range got {
+			if got[i] != reference[i] {
+				displaced++
+			}
+			if i == 0 {
+				continue
+			}
+			a, b := byDisplay[got[i-1]], byDisplay[got[i]]
+			if bytes.Compare(standardKey(a), standardKey(b)) > 0 {
+				inversions++
+			}
+		}
+		pct := func(n int) string {
+			return fmt.Sprintf("%d (%.2f%%)", n, 100*float64(n)/float64(len(pool)))
+		}
+		t.add(s.name, ns(d, len(pool)), persec(d, len(pool)), pct(inversions), pct(displaced))
+	}
+	t.print()
+}
+
+// E6: recovery time as a function of WAL size, with the snapshot
+// ablation: the same state recovered from a pure WAL vs from a snapshot.
+func runE6(c config) {
+	sizes := []int{5_000, 20_000, 80_000} // operations ≈ WAL MiBs below
+	if c.quick {
+		sizes = []int{2_000, 10_000}
+	}
+	t := &table{header: []string{"ops", "WAL MiB", "replay-open", "snapshot-open", "speedup"}}
+	for _, n := range sizes {
+		works := gen.Generate(gen.Config{Seed: c.seed, Works: n})
+		mk := func(compact bool) (string, time.Duration, int64) {
+			dir, err := os.MkdirTemp("", "authdex-e6-*")
+			if err != nil {
+				panic(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+			if err != nil {
+				panic(err)
+			}
+			for _, w := range works {
+				if _, err := st.Put(w); err != nil {
+					panic(err)
+				}
+			}
+			walBytes := st.Stats().WALBytes
+			if compact {
+				if err := st.Compact(); err != nil {
+					panic(err)
+				}
+			}
+			st.Close()
+			start := time.Now()
+			st2, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+			if err != nil {
+				panic(err)
+			}
+			d := time.Since(start)
+			if st2.Len() != n {
+				panic(fmt.Sprintf("recovered %d of %d works", st2.Len(), n))
+			}
+			st2.Close()
+			return dir, d, walBytes
+		}
+		_, replay, walBytes := mk(false)
+		_, snap, _ := mk(true)
+		t.add(fmt.Sprint(n), mib(walBytes), replay.Round(time.Millisecond).String(),
+			snap.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", float64(replay)/float64(snap)))
+	}
+	t.print()
+}
+
+// E7: title search, inverted index vs brute-force scan.
+func runE7(c config) {
+	n := 100_000
+	if c.quick {
+		n = 20_000
+	}
+	works := gen.Generate(gen.Config{Seed: c.seed, Works: n})
+	inv := inverted.New()
+	titles := make(map[model.WorkID]string, n)
+	for _, w := range works {
+		inv.Add(w.ID, w.Title)
+		titles[w.ID] = w.Title
+	}
+	queries := []string{
+		"reclamation",
+		"surface mining",
+		"surface mining reclamation",
+		"coal or methane",
+		"mining -surface",
+		"reclam*",
+	}
+	// The no-index baseline: tokenize every title at query time and
+	// apply the boolean atoms directly.
+	matchDoc := func(title string, q inverted.Query) bool {
+		toks := map[string]bool{}
+		for _, tok := range inverted.Tokenize(title) {
+			toks[tok] = true
+		}
+		match := func(a inverted.Atom) bool {
+			if !a.Prefix {
+				return toks[a.Term]
+			}
+			for tok := range toks {
+				if strings.HasPrefix(tok, a.Term) {
+					return true
+				}
+			}
+			return false
+		}
+		if len(q.All) == 0 && len(q.Any) == 0 {
+			return false
+		}
+		for _, a := range q.All {
+			if !match(a) {
+				return false
+			}
+		}
+		if len(q.Any) > 0 {
+			ok := false
+			for _, a := range q.Any {
+				if match(a) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		for _, a := range q.None {
+			if match(a) {
+				return false
+			}
+		}
+		return true
+	}
+	scan := func(q inverted.Query) int {
+		hits := 0
+		for _, title := range titles {
+			if matchDoc(title, q) {
+				hits++
+			}
+		}
+		return hits
+	}
+	t := &table{header: []string{"query", "hits", "indexed ns/q", "scan ns/q", "speedup"}}
+	for _, qs := range queries {
+		q := inverted.ParseQuery(qs)
+		// Indexed timing.
+		const reps = 2_000
+		start := time.Now()
+		var hits int
+		for i := 0; i < reps; i++ {
+			hits = len(inv.Eval(q))
+		}
+		indexed := time.Since(start)
+		// Scan timing (single rep; it is O(corpus)).
+		start = time.Now()
+		scanHits := scan(q)
+		scanD := time.Since(start)
+		if hits != scanHits {
+			panic(fmt.Sprintf("query %q: indexed %d != scan %d", qs, hits, scanHits))
+		}
+		perIndexed := float64(indexed.Nanoseconds()) / reps
+		t.add(qs, fmt.Sprint(hits), fmt.Sprintf("%.0f", perIndexed),
+			fmt.Sprintf("%d", scanD.Nanoseconds()),
+			fmt.Sprintf("%.0fx", float64(scanD.Nanoseconds())/perIndexed))
+	}
+	t.print()
+}
+
+// E9: the price of durability — end-to-end Put throughput through the
+// storage layer under three policies.
+func runE9(c config) {
+	ops := 2_000
+	syncOps := 150 // each op fsyncs; keep the run bounded
+	if c.quick {
+		ops, syncOps = 500, 50
+	}
+	works := gen.Generate(gen.Config{Seed: c.seed, Works: ops})
+	t := &table{header: []string{"policy", "ops", "total", "ops/s", "durability"}}
+	run := func(name string, dir string, walOpts wal.Options, n int, note string) {
+		st, err := storage.Open(dir, storage.Options{WAL: walOpts})
+		if err != nil {
+			panic(err)
+		}
+		defer st.Close()
+		start := time.Now()
+		for _, w := range works[:n] {
+			if _, err := st.Put(w); err != nil {
+				panic(err)
+			}
+		}
+		d := time.Since(start)
+		t.add(name, fmt.Sprint(n), d.Round(time.Millisecond).String(), persec(d, n), note)
+	}
+	run("in-memory", "", wal.Options{}, ops, "none (volatile)")
+	dir1, err := os.MkdirTemp("", "authdex-e9-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir1)
+	run("wal-nosync", dir1, wal.Options{NoSync: true}, ops, "crash-safe, may lose tail on power cut")
+	dir2, err := os.MkdirTemp("", "authdex-e9-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir2)
+	run("wal-fsync", dir2, wal.Options{}, syncOps, "full (fsync per op)")
+	t.print()
+}
+
+// E8: render→ingest round trip: throughput and fidelity.
+func runE8(c config) {
+	n := 10_000
+	if c.quick {
+		n = 3_000
+	}
+	ix, err := core.Rebuild(collate.Default(), gen.Generate(gen.Config{Seed: c.seed, Works: n}))
+	if err != nil {
+		panic(err)
+	}
+	var tsv bytes.Buffer
+	if err := render.Render(&tsv, ix, render.Options{Format: render.TSV}); err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	res, err := ingest.TSV(bytes.NewReader(tsv.Bytes()), ingest.Options{})
+	if err != nil {
+		panic(err)
+	}
+	d := time.Since(start)
+	ix2, err := core.Rebuild(collate.Default(), res.Works)
+	if err != nil {
+		panic(err)
+	}
+	var second bytes.Buffer
+	if err := render.Render(&second, ix2, render.Options{Format: render.TSV}); err != nil {
+		panic(err)
+	}
+	fidelity := "EXACT (byte-identical)"
+	if !bytes.Equal(tsv.Bytes(), second.Bytes()) {
+		fidelity = "DIVERGED"
+	}
+	postings := ix.Stats().Postings
+	t := &table{header: []string{"postings", "TSV bytes", "ingest", "postings/s", "round-trip"}}
+	t.add(fmt.Sprint(postings), fmt.Sprint(tsv.Len()),
+		d.Round(time.Millisecond).String(), persec(d, postings), fidelity)
+	t.print()
+}

@@ -1,0 +1,126 @@
+// Command authdex-bench runs the evaluation suite (experiments E1–E8
+// from EXPERIMENTS.md) and prints one result table per experiment.
+//
+// The source paper ("Author Index", VLDB 2000) is front matter with no
+// evaluation section, so these experiments are defined by this
+// reproduction: they measure every performance claim the engine itself
+// makes, each against a baseline. See DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	authdex-bench [-quick] [-run E1,E3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id, title string
+	run       func(c config)
+}
+
+type config struct {
+	quick bool
+	seed  int64
+}
+
+var experiments = []experiment{
+	{"E1", "index build throughput vs corpus size", runE1},
+	{"E2", "ordered lookup: B+tree vs binary search vs linear scan", runE2},
+	{"E3", "incremental update vs full rebuild", runE3},
+	{"E4", "render throughput and output size by format", runE4},
+	{"E5", "collation: scheme cost and naive-byte-order errors", runE5},
+	{"E6", "recovery time vs WAL size; snapshot ablation", runE6},
+	{"E7", "title search: inverted index vs full scan", runE7},
+	{"E8", "ingest round-trip throughput and fidelity", runE8},
+	{"E9", "durability ablation: fsync vs no-sync vs in-memory", runE9},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller corpora, faster run")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	c := config{quick: *quick, seed: *seed}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		start := time.Now()
+		e.run(c)
+		fmt.Printf("   (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%s\n", *run)
+		os.Exit(2)
+	}
+}
+
+// table is a tiny aligned-column printer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) print() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("   " + strings.Join(parts, "  "))
+	}
+	line(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func ns(d time.Duration, ops int) string {
+	if ops == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(ops))
+}
+
+func persec(d time.Duration, ops int) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(ops)/d.Seconds())
+}
+
+func mib(n int64) string { return fmt.Sprintf("%.1f", float64(n)/(1<<20)) }

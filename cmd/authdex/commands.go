@@ -1,0 +1,533 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	authorindex "repro"
+)
+
+// openFlags declares the flags every index-touching command shares and
+// returns an opener bound to them.
+func openFlags(fs *flag.FlagSet) func() (*authorindex.Index, error) {
+	dir := fs.String("dir", "", "index directory (required)")
+	nosync := fs.Bool("nosync", false, "skip fsync on writes (faster, less durable)")
+	compactEvery := fs.Int("compact-every", 0, "auto-compact after N logged operations")
+	return func() (*authorindex.Index, error) {
+		if *dir == "" {
+			return nil, errors.New("-dir is required")
+		}
+		return authorindex.Open(*dir, &authorindex.Options{
+			NoSync:       *nosync,
+			CompactEvery: *compactEvery,
+		})
+	}
+}
+
+func outWriter(path string) (io.WriteCloser, error) {
+	if path == "" || path == "-" {
+		return nopCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	works := fs.Int("works", 1000, "number of works")
+	seed := fs.Int64("seed", 1, "generator seed")
+	zipf := fs.Float64("zipf", 0, "author-productivity skew (>1 enables; try 1.2)")
+	volumes := fs.Int("volumes", 0, "volume count (0 = default 27)")
+	plain := fs.Bool("plain", false, "suppress diacritics/particles/suffixes")
+	format := fs.String("format", "tsv", "output format: tsv or csv")
+	out := fs.String("out", "-", "output file (- for stdout)")
+	fs.Parse(args)
+
+	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{
+		Seed: *seed, Works: *works, ZipfS: *zipf, Volumes: *volumes, Plain: *plain,
+	})
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	for _, w := range corpus {
+		if _, err := ix.Add(*w); err != nil {
+			return err
+		}
+	}
+	f, err := authorindex.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if f != authorindex.TSV && f != authorindex.CSV {
+		return fmt.Errorf("gen writes tsv or csv, not %s", f)
+	}
+	w, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return ix.Render(w, authorindex.RenderOptions{Format: f})
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	open := openFlags(fs)
+	in := fs.String("in", "", "input corpus file (required; - for stdin)")
+	format := fs.String("format", "tsv", "input format: tsv or csv")
+	lenient := fs.Bool("lenient", false, "skip malformed lines instead of failing")
+	fs.Parse(args)
+
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	var res *authorindex.IngestResult
+	switch strings.ToLower(*format) {
+	case "tsv":
+		res, err = ix.ImportTSV(r, *lenient)
+	case "csv":
+		res, err = ix.ImportCSV(r, *lenient)
+	default:
+		return fmt.Errorf("build reads tsv or csv, not %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d works, %d cross-refs (%d lines skipped)\n",
+		len(res.Works), len(res.CrossRefs), res.Skipped)
+	return nil
+}
+
+type authorList []string
+
+func (a *authorList) String() string     { return strings.Join(*a, "; ") }
+func (a *authorList) Set(s string) error { *a = append(*a, s); return nil }
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	open := openFlags(fs)
+	title := fs.String("title", "", "work title (required)")
+	cite := fs.String("cite", "", `citation, e.g. "95:1365 (1993)" (required)`)
+	kind := fs.String("kind", "article", "work kind")
+	var authors authorList
+	fs.Var(&authors, "author", `author heading, repeatable, e.g. "Lewin, Jeff L."`)
+	fs.Parse(args)
+
+	if *title == "" || *cite == "" || len(authors) == 0 {
+		return errors.New("-title, -cite and at least one -author are required")
+	}
+	w := authorindex.Work{Title: *title}
+	var err error
+	if w.Citation, err = authorindex.ParseCitation(*cite); err != nil {
+		return err
+	}
+	if w.Kind, err = parseKind(*kind); err != nil {
+		return err
+	}
+	for _, s := range authors {
+		a, err := authorindex.ParseAuthor(s)
+		if err != nil {
+			return err
+		}
+		w.Authors = append(w.Authors, a)
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	id, err := ix.Add(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("added work #%d\n", id)
+	return nil
+}
+
+func parseKind(s string) (authorindex.Kind, error) {
+	for _, k := range []authorindex.Kind{
+		authorindex.KindArticle, authorindex.KindStudentNote,
+		authorindex.KindEssay, authorindex.KindBookReview,
+		authorindex.KindComment, authorindex.KindCaseNote,
+		authorindex.KindTribute,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+func printWorks(works []*authorindex.Work) {
+	for _, w := range works {
+		names := make([]string, len(w.Authors))
+		for i, a := range w.Authors {
+			names[i] = authorindex.FormatAuthor(a)
+		}
+		fmt.Printf("#%-6d %-14s %s — %s [%s]\n",
+			w.ID, w.Citation, strings.Join(names, "; "), w.Title, w.Kind)
+	}
+}
+
+func cmdLookup(args []string) error {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	open := openFlags(fs)
+	author := fs.String("author", "", `heading, e.g. "Lewin, Jeff L." (required)`)
+	fs.Parse(args)
+	if *author == "" {
+		return errors.New("-author is required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	entry, ok := ix.Author(*author)
+	if !ok {
+		return fmt.Errorf("no heading %q", *author)
+	}
+	fmt.Println(authorindex.FormatAuthor(entry.Author))
+	for _, ref := range entry.SeeAlso {
+		fmt.Printf("  see also: %s\n", authorindex.FormatAuthor(ref))
+	}
+	for _, w := range entry.Works {
+		fmt.Printf("  %-14s %s\n", w.Citation, w.Title)
+	}
+	return nil
+}
+
+func cmdPrefix(args []string) error {
+	fs := flag.NewFlagSet("prefix", flag.ExitOnError)
+	open := openFlags(fs)
+	p := fs.String("p", "", "heading prefix (empty = all)")
+	n := fs.Int("n", 20, "max headings (0 = all)")
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	for _, e := range ix.Authors(*p, *n) {
+		fmt.Printf("%-40s %d works\n", authorindex.FormatAuthor(e.Author), len(e.Works))
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	open := openFlags(fs)
+	q := fs.String("q", "", `query, e.g. "surface mining -tax" or "coal*" (required)`)
+	n := fs.Int("n", 20, "max results (0 = all)")
+	fs.Parse(args)
+	if *q == "" {
+		return errors.New("-q is required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	printWorks(ix.Search(*q, *n))
+	return nil
+}
+
+func cmdYears(args []string) error {
+	fs := flag.NewFlagSet("years", flag.ExitOnError)
+	open := openFlags(fs)
+	from := fs.Int("from", 0, "first year (required)")
+	to := fs.Int("to", 0, "last year (required)")
+	n := fs.Int("n", 20, "max results (0 = all)")
+	fs.Parse(args)
+	if *from == 0 || *to == 0 {
+		return errors.New("-from and -to are required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	printWorks(ix.YearRange(*from, *to, *n))
+	return nil
+}
+
+func cmdVolume(args []string) error {
+	fs := flag.NewFlagSet("volume", flag.ExitOnError)
+	open := openFlags(fs)
+	v := fs.Int("v", 0, "volume number (required)")
+	n := fs.Int("n", 0, "max results (0 = all)")
+	fs.Parse(args)
+	if *v == 0 {
+		return errors.New("-v is required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	printWorks(ix.VolumeWorks(*v, *n))
+	return nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	open := openFlags(fs)
+	format := fs.String("format", "text", "text, tsv, markdown, csv or json")
+	out := fs.String("out", "-", "output file (- for stdout)")
+	pagelen := fs.Int("pagelen", 0, "lines per page (0 = no pagination)")
+	width := fs.Int("width", 78, "page width")
+	pub := fs.String("publication", "", "running-head publication name")
+	volnum := fs.Int("volnum", 0, "running-head volume number")
+	year := fs.Int("year", 0, "running-head year")
+	fs.Parse(args)
+
+	f, err := authorindex.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	w, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return ix.Render(w, authorindex.RenderOptions{
+		Format:     f,
+		PageLength: *pagelen,
+		PageWidth:  *width,
+		Volume:     authorindex.Volume{Publication: *pub, Number: *volnum, Year: *year},
+	})
+}
+
+func cmdTitles(args []string) error {
+	fs := flag.NewFlagSet("titles", flag.ExitOnError)
+	open := openFlags(fs)
+	format := fs.String("format", "text", "text, tsv or markdown")
+	out := fs.String("out", "-", "output file (- for stdout)")
+	pagelen := fs.Int("pagelen", 0, "lines per page (0 = no pagination)")
+	width := fs.Int("width", 78, "page width")
+	fs.Parse(args)
+
+	f, err := authorindex.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	w, err := outWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return ix.RenderTitleIndex(w, authorindex.RenderOptions{
+		Format:     f,
+		PageLength: *pagelen,
+		PageWidth:  *width,
+	})
+}
+
+func cmdSubjects(args []string) error {
+	fs := flag.NewFlagSet("subjects", flag.ExitOnError)
+	open := openFlags(fs)
+	s := fs.String("s", "", "show works under this subject (default: list all headings)")
+	renderIt := fs.Bool("render", false, "render the full subject index instead")
+	format := fs.String("format", "text", "render format: text, tsv or markdown")
+	n := fs.Int("n", 0, "max results (0 = all)")
+	fs.Parse(args)
+
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	switch {
+	case *renderIt:
+		f, err := authorindex.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+		return ix.RenderSubjectIndex(os.Stdout, authorindex.RenderOptions{Format: f})
+	case *s != "":
+		printWorks(ix.BySubject(*s, *n))
+	default:
+		for _, sc := range ix.Subjects() {
+			fmt.Printf("%-50s %d works\n", sc.Subject, sc.Works)
+		}
+	}
+	return nil
+}
+
+func cmdXref(args []string) error {
+	fs := flag.NewFlagSet("xref", flag.ExitOnError)
+	open := openFlags(fs)
+	from := fs.String("from", "", "source heading (required)")
+	to := fs.String("to", "", "target heading (required)")
+	fs.Parse(args)
+	if *from == "" || *to == "" {
+		return errors.New("-from and -to are required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	return ix.AddSeeAlso(*from, *to)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	open := openFlags(fs)
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	st := ix.Stats()
+	fmt.Printf("works:          %d\n", st.Works)
+	fmt.Printf("headings:       %d\n", st.Authors)
+	fmt.Printf("postings:       %d\n", st.Postings)
+	fmt.Printf("student notes:  %d\n", st.StudentNotes)
+	fmt.Printf("cross-refs:     %d\n", st.CrossRefs)
+	fmt.Printf("search terms:   %d\n", st.Terms)
+	fmt.Printf("collation:      %s\n", st.Collation)
+	fmt.Printf("WAL bytes:      %d\n", st.WALBytes)
+	fmt.Printf("snapshot bytes: %d\n", st.SnapshotBytes)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	open := openFlags(fs)
+	top := fs.Int("top", 5, "how many most-prolific authors to list")
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	st := ix.Stats()
+	fmt.Printf("corpus: %d works, %d headings, %d postings (%d student), %d subjects\n\n",
+		st.Works, st.Authors, st.Postings, st.StudentNotes, len(ix.Subjects()))
+
+	fmt.Println("headings per letter:")
+	maxEntries := 1
+	sections := ix.Sections()
+	for _, sec := range sections {
+		if n := len(sec.Entries); n > maxEntries {
+			maxEntries = n
+		}
+	}
+	for _, sec := range sections {
+		n := len(sec.Entries)
+		bar := strings.Repeat("█", max(1, n*40/maxEntries))
+		fmt.Printf("  %c %4d %s\n", sec.Letter, n, bar)
+	}
+
+	type prolific struct {
+		heading string
+		works   int
+	}
+	var authors []prolific
+	for _, sec := range sections {
+		for _, e := range sec.Entries {
+			if len(e.Works) > 0 {
+				authors = append(authors, prolific{authorindex.FormatAuthor(e.Author), len(e.Works)})
+			}
+		}
+	}
+	sort.SliceStable(authors, func(i, j int) bool { return authors[i].works > authors[j].works })
+	fmt.Printf("\nmost prolific (top %d):\n", *top)
+	for i, a := range authors {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-40s %d works\n", a.heading, a.works)
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	open := openFlags(fs)
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	if err := ix.Verify(); err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("ok: %d works, %d headings, %d postings all consistent\n",
+		st.Works, st.Authors, st.Postings)
+	return nil
+}
+
+func cmdDupes(args []string) error {
+	fs := flag.NewFlagSet("dupes", flag.ExitOnError)
+	open := openFlags(fs)
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	suggestions := ix.DuplicateSuggestions()
+	if len(suggestions) == 0 {
+		fmt.Println("no duplicate-heading candidates found")
+		return nil
+	}
+	for _, s := range suggestions {
+		fmt.Printf("%-18s %s  ↔  %s\n", s.Reason, authorindex.FormatAuthor(s.A), authorindex.FormatAuthor(s.B))
+	}
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	open := openFlags(fs)
+	fs.Parse(args)
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	if err := ix.Compact(); err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("compacted: snapshot %d bytes, WAL %d bytes\n", st.SnapshotBytes, st.WALBytes)
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command authdex is the command-line front end of the author-index
+// engine: generate corpora, build durable indexes, query them, render
+// the printed artifact and serve it over HTTP.
+//
+// Usage:
+//
+//	authdex gen     -works 1000 -seed 1 -format tsv -out corpus.tsv
+//	authdex build   -dir ./idx -in corpus.tsv [-format tsv] [-lenient]
+//	authdex add     -dir ./idx -title T -cite "95:1365 (1993)" -author "Lewin, Jeff L." [-author ...]
+//	authdex lookup  -dir ./idx -author "Lewin, Jeff L."
+//	authdex prefix  -dir ./idx -p abr [-n 10]
+//	authdex search  -dir ./idx -q "surface mining -tax" [-n 10]
+//	authdex years   -dir ./idx -from 1980 -to 1989 [-n 10]
+//	authdex volume  -dir ./idx -v 95 [-n 10]
+//	authdex render  -dir ./idx [-format text] [-out -] [-pagelen 58] [-width 78]
+//	authdex xref    -dir ./idx -from "Old, Name" -to "New, Name"
+//	authdex stats   -dir ./idx
+//	authdex compact -dir ./idx
+//	authdex serve   -dir ./idx -addr :8377
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+type command struct {
+	name, summary string
+	run           func(args []string) error
+}
+
+var commands = []command{
+	{"gen", "generate a synthetic corpus file", cmdGen},
+	{"build", "ingest a corpus file into an index directory", cmdBuild},
+	{"add", "add one work", cmdAdd},
+	{"lookup", "look up an exact author heading", cmdLookup},
+	{"prefix", "list headings by prefix", cmdPrefix},
+	{"search", "boolean title search", cmdSearch},
+	{"years", "list works in a year range", cmdYears},
+	{"volume", "list works in a volume", cmdVolume},
+	{"render", "render the author index (text/tsv/markdown/csv/json)", cmdRender},
+	{"titles", "render the companion title index (text/tsv/markdown)", cmdTitles},
+	{"subjects", "list subject headings or render/query the subject index", cmdSubjects},
+	{"xref", "add a see-also cross-reference", cmdXref},
+	{"stats", "print index statistics", cmdStats},
+	{"report", "editorial summary: per-letter histogram, top authors, volumes", cmdReport},
+	{"verify", "cross-check store and index invariants", cmdVerify},
+	{"dupes", "suggest headings that may be the same person", cmdDupes},
+	{"compact", "snapshot and truncate the WAL", cmdCompact},
+	{"serve", "serve the index over HTTP", cmdServe},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "authdex %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "authdex: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: authdex <command> [flags]")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(os.Stderr, "\nrun 'authdex <command> -h' for flags")
+}

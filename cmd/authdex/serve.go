@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	authorindex "repro"
+)
+
+// cmdServe exposes a read-mostly HTTP API over an index directory:
+//
+//	GET /stats                         counters as JSON
+//	GET /authors?prefix=ab&n=20        headings by prefix
+//	GET /authors/{heading}             one heading with works
+//	GET /works/{id}                    one work
+//	GET /search?q=surface+mining&n=20  boolean title search
+//	GET /years?from=1980&to=1989&n=20  year-range scan
+//	GET /volume?v=95                   volume scan
+//	GET /index?format=text|tsv|md|csv|json   the rendered artifact
+//	POST /works                        add a work (JSON body)
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	open := openFlags(fs)
+	addr := fs.String("addr", ":8377", "listen address")
+	fs.Parse(args)
+
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	mux := http.NewServeMux()
+	srv := &server{ix: ix}
+	mux.HandleFunc("GET /stats", srv.stats)
+	mux.HandleFunc("GET /authors", srv.authors)
+	mux.HandleFunc("GET /authors/{heading}", srv.author)
+	mux.HandleFunc("GET /works/{id}", srv.work)
+	mux.HandleFunc("GET /search", srv.search)
+	mux.HandleFunc("GET /years", srv.years)
+	mux.HandleFunc("GET /volume", srv.volume)
+	mux.HandleFunc("GET /index", srv.index)
+	mux.HandleFunc("GET /titles", srv.titles)
+	mux.HandleFunc("GET /subjects", srv.subjects)
+	mux.HandleFunc("GET /subjects/{subject}", srv.bySubject)
+	mux.HandleFunc("POST /works", srv.addWork)
+
+	log.Printf("authdex: serving on %s", *addr)
+	return http.ListenAndServe(*addr, mux)
+}
+
+type server struct{ ix *authorindex.Index }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func limitParam(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		return 20
+	}
+	return n
+}
+
+// wire representations -------------------------------------------------
+
+type wireWork struct {
+	ID       authorindex.WorkID `json:"id,omitempty"`
+	Title    string             `json:"title"`
+	Kind     string             `json:"kind"`
+	Authors  []string           `json:"authors"`
+	Citation string             `json:"citation"`
+}
+
+func toWireWork(w *authorindex.Work) wireWork {
+	out := wireWork{
+		ID:       w.ID,
+		Title:    w.Title,
+		Kind:     w.Kind.String(),
+		Citation: w.Citation.String(),
+	}
+	for _, a := range w.Authors {
+		out.Authors = append(out.Authors, authorindex.FormatAuthor(a))
+	}
+	return out
+}
+
+func toWireWorks(ws []*authorindex.Work) []wireWork {
+	out := make([]wireWork, len(ws))
+	for i, w := range ws {
+		out[i] = toWireWork(w)
+	}
+	return out
+}
+
+type wireEntry struct {
+	Heading string     `json:"heading"`
+	SeeAlso []string   `json:"seeAlso,omitempty"`
+	Works   []wireWork `json:"works"`
+}
+
+func toWireEntry(e *authorindex.Entry) wireEntry {
+	out := wireEntry{Heading: authorindex.FormatAuthor(e.Author)}
+	for _, ref := range e.SeeAlso {
+		out.SeeAlso = append(out.SeeAlso, authorindex.FormatAuthor(ref))
+	}
+	for i := range e.Works {
+		out.Works = append(out.Works, toWireWork(&e.Works[i]))
+	}
+	return out
+}
+
+// handlers --------------------------------------------------------------
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Stats())
+}
+
+func (s *server) authors(w http.ResponseWriter, r *http.Request) {
+	var entries []*authorindex.Entry
+	if after := r.URL.Query().Get("after"); after != "" {
+		entries = s.ix.AuthorsPage(after, limitParam(r))
+	} else {
+		entries = s.ix.Authors(r.URL.Query().Get("prefix"), limitParam(r))
+	}
+	out := make([]wireEntry, len(entries))
+	for i, e := range entries {
+		out[i] = toWireEntry(e)
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) author(w http.ResponseWriter, r *http.Request) {
+	heading := r.PathValue("heading")
+	entry, ok := s.ix.Author(heading)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no heading %q", heading)
+		return
+	}
+	writeJSON(w, toWireEntry(entry))
+}
+
+func (s *server) work(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "bad id: %v", err)
+		return
+	}
+	work, ok := s.ix.Get(authorindex.WorkID(id))
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no work %d", id)
+		return
+	}
+	writeJSON(w, toWireWork(work))
+}
+
+func (s *server) search(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.Search(q, limitParam(r))))
+}
+
+func (s *server) years(w http.ResponseWriter, r *http.Request) {
+	from, err1 := strconv.Atoi(r.URL.Query().Get("from"))
+	to, err2 := strconv.Atoi(r.URL.Query().Get("to"))
+	if err1 != nil || err2 != nil {
+		httpErr(w, http.StatusBadRequest, "from and to must be years")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.YearRange(from, to, limitParam(r))))
+}
+
+func (s *server) volume(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.URL.Query().Get("v"))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "v must be a volume number")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.VolumeWorks(v, limitParam(r))))
+}
+
+func (s *server) index(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		name = "text"
+	}
+	f, err := authorindex.ParseFormat(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch f {
+	case authorindex.JSON:
+		w.Header().Set("Content-Type", "application/json")
+	case authorindex.CSV:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	case authorindex.HTMLPage:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := s.ix.Render(w, authorindex.RenderOptions{Format: f}); err != nil {
+		httpErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *server) titles(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		name = "text"
+	}
+	f, err := authorindex.ParseFormat(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.ix.RenderTitleIndex(w, authorindex.RenderOptions{Format: f}); err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *server) subjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Subjects())
+}
+
+func (s *server) bySubject(w http.ResponseWriter, r *http.Request) {
+	subject := r.PathValue("subject")
+	works := s.ix.BySubject(subject, limitParam(r))
+	if len(works) == 0 {
+		httpErr(w, http.StatusNotFound, "no works under subject %q", subject)
+		return
+	}
+	writeJSON(w, toWireWorks(works))
+}
+
+func (s *server) addWork(w http.ResponseWriter, r *http.Request) {
+	var in wireWork
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	work, err := fromWireWork(in)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.ix.Add(work)
+	if err != nil {
+		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]authorindex.WorkID{"id": id})
+}
+
+func fromWireWork(in wireWork) (authorindex.Work, error) {
+	work := authorindex.Work{ID: in.ID, Title: in.Title}
+	var err error
+	if work.Citation, err = authorindex.ParseCitation(in.Citation); err != nil {
+		return work, err
+	}
+	kindName := in.Kind
+	if kindName == "" {
+		kindName = "article"
+	}
+	if work.Kind, err = parseKind(strings.ToLower(kindName)); err != nil {
+		return work, err
+	}
+	if len(in.Authors) == 0 {
+		return work, errors.New("at least one author is required")
+	}
+	for _, h := range in.Authors {
+		a, err := authorindex.ParseAuthor(h)
+		if err != nil {
+			return work, err
+		}
+		work.Authors = append(work.Authors, a)
+	}
+	return work, nil
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	authorindex "repro"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *authorindex.Index) {
+	t.Helper()
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	add := func(title, cite string, headings ...string) {
+		w := authorindex.Work{Title: title}
+		if w.Citation, err = authorindex.ParseCitation(cite); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range headings {
+			a, err := authorindex.ParseAuthor(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Authors = append(w.Authors, a)
+		}
+		if _, err := ix.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Strip Mining and Reclamation", "75:319 (1973)", "Cardi, Vincent P.")
+	add("Coalbed Methane Ownership", "94:563 (1992)", "Lewin, Jeff L.", "Peng, Syd S.")
+	ws := authorindex.Work{
+		Title:    "Classified Work",
+		Citation: authorindex.Citation{Volume: 80, Page: 1, Year: 1977},
+		Authors:  []authorindex.Author{{Family: "Filed", Given: "Under S."}},
+		Subjects: []string{"Mining Law"},
+	}
+	if _, err := ix.Add(ws); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	srv := &server{ix: ix}
+	mux.HandleFunc("GET /stats", srv.stats)
+	mux.HandleFunc("GET /authors", srv.authors)
+	mux.HandleFunc("GET /authors/{heading}", srv.author)
+	mux.HandleFunc("GET /works/{id}", srv.work)
+	mux.HandleFunc("GET /search", srv.search)
+	mux.HandleFunc("GET /years", srv.years)
+	mux.HandleFunc("GET /volume", srv.volume)
+	mux.HandleFunc("GET /index", srv.index)
+	mux.HandleFunc("GET /titles", srv.titles)
+	mux.HandleFunc("GET /subjects", srv.subjects)
+	mux.HandleFunc("GET /subjects/{subject}", srv.bySubject)
+	mux.HandleFunc("POST /works", srv.addWork)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeStats(t *testing.T) {
+	ts, _ := testServer(t)
+	var st authorindex.Stats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.Works != 3 || st.Authors != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestServeAuthors(t *testing.T) {
+	ts, _ := testServer(t)
+	var entries []struct {
+		Heading string `json:"heading"`
+		Works   []struct {
+			Title string `json:"title"`
+		} `json:"works"`
+	}
+	if code := getJSON(t, ts.URL+"/authors?prefix=le", &entries); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(entries) != 1 || entries[0].Heading != "Lewin, Jeff L." {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if len(entries[0].Works) != 1 {
+		t.Errorf("works = %+v", entries[0].Works)
+	}
+}
+
+func TestServeAuthorByHeading(t *testing.T) {
+	ts, _ := testServer(t)
+	var entry struct {
+		Heading string `json:"heading"`
+	}
+	url := ts.URL + "/authors/" + strings.ReplaceAll("Cardi, Vincent P.", " ", "%20")
+	if code := getJSON(t, url, &entry); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if entry.Heading != "Cardi, Vincent P." {
+		t.Errorf("heading = %q", entry.Heading)
+	}
+	if code := getJSON(t, ts.URL+"/authors/Nobody,%20Known", nil); code != 404 {
+		t.Errorf("missing author status = %d", code)
+	}
+}
+
+func TestServeWork(t *testing.T) {
+	ts, _ := testServer(t)
+	var w struct {
+		Title   string   `json:"title"`
+		Authors []string `json:"authors"`
+	}
+	if code := getJSON(t, ts.URL+"/works/2", &w); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if w.Title != "Coalbed Methane Ownership" || len(w.Authors) != 2 {
+		t.Errorf("work = %+v", w)
+	}
+	if code := getJSON(t, ts.URL+"/works/999", nil); code != 404 {
+		t.Errorf("missing work status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/works/abc", nil); code != 400 {
+		t.Errorf("bad id status = %d", code)
+	}
+}
+
+func TestServeSearchYearsVolume(t *testing.T) {
+	ts, _ := testServer(t)
+	var works []struct {
+		Title string `json:"title"`
+	}
+	if code := getJSON(t, ts.URL+"/search?q=reclamation", &works); code != 200 || len(works) != 1 {
+		t.Errorf("search: code=%d works=%+v", code, works)
+	}
+	if code := getJSON(t, ts.URL+"/search", nil); code != 400 {
+		t.Errorf("empty search status = %d", code)
+	}
+	works = nil
+	if code := getJSON(t, ts.URL+"/years?from=1990&to=1995", &works); code != 200 || len(works) != 1 {
+		t.Errorf("years: code=%d works=%+v", code, works)
+	}
+	if code := getJSON(t, ts.URL+"/years?from=x&to=y", nil); code != 400 {
+		t.Errorf("bad years status = %d", code)
+	}
+	works = nil
+	if code := getJSON(t, ts.URL+"/volume?v=75", &works); code != 200 || len(works) != 1 {
+		t.Errorf("volume: code=%d works=%+v", code, works)
+	}
+}
+
+func TestServeIndexAndTitles(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/index?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "AUTHOR INDEX") {
+		t.Error("index endpoint missing running head")
+	}
+	resp, err = http.Get(ts.URL + "/titles?format=tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "Coalbed Methane Ownership\t") {
+		t.Errorf("titles endpoint output: %q", body[:n])
+	}
+	if code := getJSON(t, ts.URL+"/index?format=yaml", nil); code != 400 {
+		t.Errorf("bad format status = %d", code)
+	}
+	// HTML format sets the right content type.
+	resp, err = http.Get(ts.URL + "/index?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("html content type = %q", ct)
+	}
+	// Title index rejects CSV.
+	if code := getJSON(t, ts.URL+"/titles?format=csv", nil); code != 400 {
+		t.Errorf("titles csv status = %d", code)
+	}
+}
+
+func TestServeSubjects(t *testing.T) {
+	ts, _ := testServer(t)
+	var subs []authorindex.SubjectCount
+	if code := getJSON(t, ts.URL+"/subjects", &subs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(subs) != 1 || subs[0].Subject != "Mining Law" || subs[0].Works != 1 {
+		t.Fatalf("subjects = %+v", subs)
+	}
+	var works []struct {
+		Title string `json:"title"`
+	}
+	if code := getJSON(t, ts.URL+"/subjects/Mining%20Law", &works); code != 200 || len(works) != 1 {
+		t.Errorf("by subject: code=%d works=%+v", code, works)
+	}
+	if code := getJSON(t, ts.URL+"/subjects/Nothing%20Here", nil); code != 404 {
+		t.Errorf("missing subject status = %d", code)
+	}
+}
+
+func TestServeAddWork(t *testing.T) {
+	ts, ix := testServer(t)
+	body := `{"title":"Posted Work","citation":"90:1 (1988)","authors":["Poster, Hyper T."]}`
+	resp, err := http.Post(ts.URL+"/works", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]authorindex.WorkID
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := ix.Get(out["id"]); !ok || w.Title != "Posted Work" {
+		t.Errorf("posted work = %v,%v", w, ok)
+	}
+	// Invalid bodies.
+	for _, bad := range []string{
+		`not json`,
+		`{"title":"x","citation":"nope","authors":["A, B."]}`,
+		`{"title":"x","citation":"90:1 (1988)","authors":[]}`,
+		`{"title":"","citation":"90:1 (1988)","authors":["A, B."]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/works", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			t.Errorf("bad body accepted: %s", bad)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package authorindex_test
+
+import (
+	"fmt"
+	"strings"
+
+	authorindex "repro"
+)
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Example shows the minimal life cycle: open, add, look up, render.
+func Example() {
+	ix := must(authorindex.Open("", nil)) // in-memory
+	defer ix.Close()
+
+	must(ix.Add(authorindex.Work{
+		Title:    "Unlocking the Fire",
+		Citation: authorindex.Citation{Volume: 94, Page: 563, Year: 1992},
+		Authors: []authorindex.Author{
+			{Family: "Lewin", Given: "Jeff L."},
+			{Family: "Peng", Given: "Syd S."},
+		},
+	}))
+
+	entry, _ := ix.Author("Lewin, Jeff L.")
+	fmt.Printf("%s: %d work(s), first cited %s\n",
+		authorindex.FormatAuthor(entry.Author), len(entry.Works), entry.Works[0].Citation)
+	// Output: Lewin, Jeff L.: 1 work(s), first cited 94:563 (1992)
+}
+
+// ExampleIndex_Search demonstrates the boolean title-query language.
+func ExampleIndex_Search() {
+	ix := must(authorindex.Open("", nil))
+	defer ix.Close()
+	add := func(title string, page int) {
+		must(ix.Add(authorindex.Work{
+			Title:    title,
+			Citation: authorindex.Citation{Volume: 90, Page: page, Year: 1988},
+			Authors:  []authorindex.Author{{Family: "Writer"}},
+		}))
+	}
+	add("Surface Mining Control", 1)
+	add("Deep Mining Safety", 50)
+	add("Surface Water Rights", 100)
+
+	for _, w := range ix.Search("mining -deep", 0) {
+		fmt.Println(w.Title)
+	}
+	// Output: Surface Mining Control
+}
+
+// ExampleIndex_Render prints the classic three-column artifact.
+func ExampleIndex_Render() {
+	ix := must(authorindex.Open("", nil))
+	defer ix.Close()
+	must(ix.Add(authorindex.Work{
+		Title:    "Ideas of Relevance to Law",
+		Citation: authorindex.Citation{Volume: 84, Page: 1, Year: 1981},
+		Authors:  []authorindex.Author{{Family: "Adler", Given: "Mortimer J."}},
+	}))
+	var page strings.Builder
+	_ = ix.Render(&page, authorindex.RenderOptions{
+		Format:     authorindex.Text,
+		NoSections: true,
+	})
+	for _, line := range strings.Split(page.String(), "\n") {
+		if strings.Contains(line, "Adler") {
+			fmt.Println(strings.TrimRight(line, " "))
+		}
+	}
+	// Output: Adler, Mortimer J.       Ideas of Relevance to Law                 84:1 (1981)
+}
+
+// ExampleParseAuthor shows heading-string parsing.
+func ExampleParseAuthor() {
+	a := must(authorindex.ParseAuthor("Van Tol, Joan E."))
+	fmt.Printf("particle=%q family=%q given=%q\n", a.Particle, a.Family, a.Given)
+	b := must(authorindex.ParseAuthor("Abdalla, Tarek F.*"))
+	fmt.Printf("student=%v\n", b.Student)
+	// Output:
+	// particle="Van" family="Tol" given="Joan E."
+	// student=true
+}

@@ -1,0 +1,144 @@
+// Lawreview: maintain a durable cumulative author index across many
+// volumes of a publication run — the workload behind a law review's
+// cumulative index issue. The example ingests volume after volume into a
+// store on disk, adds cross-references, compacts, and renders both the
+// printed pages and the machine-readable TSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	authorindex "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir := flag.String("dir", "", "index directory (default: temp dir)")
+	volumes := flag.Int("volumes", 27, "volumes to accumulate (vol. 69 onward)")
+	perVolume := flag.Int("per-volume", 60, "works per volume")
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "lawreview-index-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+	}
+
+	ix, err := authorindex.Open(root, &authorindex.Options{
+		NoSync:       true, // demo speed; drop for real durability
+		CompactEvery: 500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The whole run, generated once so author careers span volumes, then
+	// ingested volume by volume the way a publisher accumulates issues.
+	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{
+		Seed:        95,
+		Works:       *volumes * *perVolume,
+		Volumes:     *volumes,
+		FirstVolume: 69,
+		FirstYear:   1966,
+		ZipfS:       1.2, // a few prolific authors dominate, as in real runs
+	})
+	byVolume := map[int][]*authorindex.Work{}
+	for _, w := range corpus {
+		byVolume[w.Citation.Volume] = append(byVolume[w.Citation.Volume], w)
+	}
+	for v := 69; v < 69+*volumes; v++ {
+		for _, w := range byVolume[v] {
+			if _, err := ix.Add(*w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if v%10 == 0 {
+			st := ix.Stats()
+			fmt.Printf("after vol. %d: %d works, %d headings, WAL %d bytes\n",
+				v, st.Works, st.Authors, st.WALBytes)
+		}
+	}
+
+	// Editorial cross-references for name changes.
+	for _, ref := range [][2]string{
+		{"Crain, Marion", "Crain-Mountney, Marion"},
+		{"Smith, Pamela A.", "Bates-Smith, Pamela A."},
+	} {
+		if err := ix.AddSeeAlso(ref[0], ref[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := ix.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("\ncumulative index: %d works, %d headings (%d student postings), %d cross-refs\n",
+		st.Works, st.Authors, st.StudentNotes, st.CrossRefs)
+	fmt.Printf("on disk: snapshot %d bytes, WAL %d bytes at %s\n", st.SnapshotBytes, st.WALBytes, root)
+
+	// Render all three front-matter artifacts next to the store, the way
+	// a cumulative index issue prints them back to back.
+	vol := authorindex.Volume{Publication: "W. VA. L. REV.", Number: 69 + *volumes - 1, Year: 1966 + *volumes - 1}
+	artifacts := []struct {
+		path   string
+		render func(f *os.File) error
+	}{
+		{"author-index.txt", func(f *os.File) error {
+			return ix.Render(f, authorindex.RenderOptions{Format: authorindex.Text, PageLength: 58, Volume: vol})
+		}},
+		{"author-index.tsv", func(f *os.File) error {
+			return ix.Render(f, authorindex.RenderOptions{Format: authorindex.TSV})
+		}},
+		{"title-index.txt", func(f *os.File) error {
+			return ix.RenderTitleIndex(f, authorindex.RenderOptions{Format: authorindex.Text, PageLength: 58, Volume: vol})
+		}},
+		{"subject-index.txt", func(f *os.File) error {
+			return ix.RenderSubjectIndex(f, authorindex.RenderOptions{Format: authorindex.Text, PageLength: 58, Volume: vol})
+		}},
+	}
+	for _, art := range artifacts {
+		path := filepath.Join(root, art.path)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = art.render(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fi, _ := os.Stat(path)
+		fmt.Printf("wrote %s (%d bytes)\n", path, fi.Size())
+	}
+
+	// Integrity check before shipping the issue to the printer.
+	if err := ix.Verify(); err != nil {
+		log.Fatalf("index failed verification: %v", err)
+	}
+	fmt.Println("verify: store and indexes consistent")
+
+	// A few cumulative-index queries an editor would run.
+	fmt.Println("\nsample queries:")
+	if hits := ix.Search("reclam* surface", 3); len(hits) > 0 {
+		for _, w := range hits {
+			fmt.Printf("  surface+reclam*: %s %s\n", w.Title, w.Citation)
+		}
+	}
+	midStart := 1966 + *volumes/3
+	midEnd := midStart + *volumes/3
+	decade := ix.YearRange(midStart, midEnd, 0)
+	fmt.Printf("  works published %d–%d: %d\n", midStart, midEnd, len(decade))
+	if err := ix.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

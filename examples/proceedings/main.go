@@ -1,0 +1,105 @@
+// Proceedings: build a single-volume conference author index — the
+// VLDB-2000-style front-matter artifact — from a generated corpus of 226
+// papers, then print summary statistics and the first page of the index.
+//
+// Flags:
+//
+//	-papers N   corpus size (default 226)
+//	-seed S     generator seed (default 2000)
+//	-full       print the whole index instead of the first page
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	authorindex "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	papers := flag.Int("papers", 226, "number of papers in the proceedings")
+	seed := flag.Int64("seed", 2000, "corpus generator seed")
+	full := flag.Bool("full", false, "print the full index")
+	flag.Parse()
+
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// One volume, one year: a conference proceedings. Citation pages
+	// stand in for the paper's first page in the volume.
+	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{
+		Seed:        *seed,
+		Works:       *papers,
+		Volumes:     1,
+		FirstVolume: 26,   // 26th VLDB
+		FirstYear:   2000, // Cairo, 2000
+		StudentProb: 0.05, // conferences have few student-only bylines
+	})
+	for _, w := range corpus {
+		if _, err := ix.Add(*w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := ix.Stats()
+	fmt.Printf("proceedings: %d papers, %d distinct authors, %d author–paper postings\n",
+		st.Works, st.Authors, st.Postings)
+
+	// Who wrote the most papers this year?
+	type prolific struct {
+		name string
+		n    int
+	}
+	var top prolific
+	for _, e := range ix.Authors("", 0) {
+		if len(e.Works) > top.n {
+			top = prolific{name: authorindex.FormatAuthor(e.Author), n: len(e.Works)}
+		}
+	}
+	fmt.Printf("most prolific author: %s with %d papers\n\n", top.name, top.n)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var sb strings.Builder
+	err = ix.Render(&sb, authorindex.RenderOptions{
+		Format:     authorindex.Text,
+		PageLength: 48,
+		Volume:     authorindex.Volume{Publication: "Proc. VLDB", Number: 26, Year: 2000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *full {
+		fmt.Fprint(out, sb.String())
+		return
+	}
+	// Show only the first rendered page (the second running head starts
+	// page two).
+	text := sb.String()
+	lines := strings.SplitAfter(text, "\n")
+	heads := 0
+	cut := len(text)
+	pos := 0
+	for _, line := range lines {
+		if strings.Contains(line, "AUTHOR INDEX") {
+			heads++
+			if heads == 2 {
+				cut = pos
+				break
+			}
+		}
+		pos += len(line)
+	}
+	fmt.Fprint(out, text[:cut])
+	if cut < len(text) {
+		fmt.Fprintf(out, "[... %d more bytes of index; rerun with -full ...]\n", len(text)-cut)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: open an in-memory index, add a handful of works, query it
+// and print the rendered author index.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	authorindex "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An empty directory path gives a volatile in-memory index; pass a
+	// real path to make it durable.
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Add three works. Citations use the traditional vol:page (year) form.
+	add := func(title, cite string, headings ...string) authorindex.WorkID {
+		w := authorindex.Work{Title: title}
+		if w.Citation, err = authorindex.ParseCitation(cite); err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range headings {
+			a, err := authorindex.ParseAuthor(h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.Authors = append(w.Authors, a)
+		}
+		id, err := ix.Add(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	add("Unlocking the Fire: Ownership of Coalbed Methane",
+		"94:563 (1992)", "Lewin, Jeff L.", "Peng, Syd S.")
+	add("The Silent Revolution in West Virginia's Law of Nuisance",
+		"92:235 (1989)", "Lewin, Jeff L.")
+	add("Constitutional Law — Stop and Frisk",
+		"71:394 (1969)", "Anderson, John M.*") // trailing * = student note
+
+	// Exact author lookup.
+	if entry, ok := ix.Author("Lewin, Jeff L."); ok {
+		fmt.Printf("%s wrote %d works; earliest: %s %s\n",
+			authorindex.FormatAuthor(entry.Author), len(entry.Works),
+			entry.Works[0].Title, entry.Works[0].Citation)
+	}
+
+	// Boolean title search.
+	for _, w := range ix.Search("coalbed or nuisance", 10) {
+		fmt.Printf("search hit: %s — %s\n", w.Title, w.Citation)
+	}
+
+	// The printed artifact.
+	fmt.Println()
+	err = ix.Render(os.Stdout, authorindex.RenderOptions{
+		Format: authorindex.Text,
+		Volume: authorindex.Volume{Publication: "QUICKSTART REV.", Number: 1, Year: 2024},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,444 @@
+// Package btree provides an in-memory B+tree keyed by byte strings, with
+// ordered and prefix iteration. Interior nodes hold only separator keys;
+// all entries live in linked leaves, so range scans are sequential. The
+// package also ships two reference containers (SortedSlice, LinearScan)
+// used as experiment baselines and as property-test models.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+const (
+	// maxKeys is the maximum number of keys per node; nodes split above
+	// it. minKeys is the underflow threshold for rebalancing on delete.
+	maxKeys = 64
+	minKeys = maxKeys / 2
+)
+
+// Tree is a B+tree mapping []byte keys to values of type V. Keys are
+// compared with bytes.Compare and copied on insert, so callers may reuse
+// their buffers. The zero Tree is not usable; call New.
+//
+// Tree is not safe for concurrent mutation; readers and writers must be
+// synchronized by the caller.
+type Tree[V any] struct {
+	root node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{root: &leaf[V]{}} }
+
+type node[V any] interface{ isNode() }
+
+type leaf[V any] struct {
+	keys [][]byte
+	vals []V
+	next *leaf[V]
+}
+
+type inner[V any] struct {
+	// keys[i] is <= every key in children[i+1] and > every key in
+	// children[i]; len(children) == len(keys)+1.
+	keys     [][]byte
+	children []node[V]
+}
+
+func (*leaf[V]) isNode()  {}
+func (*inner[V]) isNode() {}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key []byte) (V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.children[x.childIndex(key)]
+		case *leaf[V]:
+			i, ok := x.find(key)
+			if !ok {
+				var zero V
+				return zero, false
+			}
+			return x.vals[i], true
+		}
+	}
+}
+
+// Set stores v under key, returning the previous value if one existed.
+func (t *Tree[V]) Set(key []byte, v V) (prev V, replaced bool) {
+	prev, replaced, split := t.insert(t.root, key, v)
+	if split != nil {
+		t.root = &inner[V]{
+			keys:     [][]byte{split.key},
+			children: []node[V]{t.root, split.right},
+		}
+	}
+	if !replaced {
+		t.size++
+	}
+	return prev, replaced
+}
+
+// Delete removes key, returning the value it held.
+func (t *Tree[V]) Delete(key []byte) (V, bool) {
+	old, found := t.delete(t.root, key)
+	if found {
+		t.size--
+	}
+	if in, ok := t.root.(*inner[V]); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return old, found
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[V]) Min() ([]byte, V, bool) {
+	lf := t.firstLeaf()
+	if len(lf.keys) == 0 {
+		var zero V
+		return nil, zero, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[V]) Max() ([]byte, V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.children[len(x.children)-1]
+		case *leaf[V]:
+			if len(x.keys) == 0 {
+				var zero V
+				return nil, zero, false
+			}
+			i := len(x.keys) - 1
+			return x.keys[i], x.vals[i], true
+		}
+	}
+}
+
+// Ascend visits every entry in key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key []byte, v V) bool) {
+	t.AscendRange(nil, nil, fn)
+}
+
+// AscendRange visits entries with lo <= key < hi in order, until fn
+// returns false. A nil lo starts at the minimum; a nil hi runs to the end.
+func (t *Tree[V]) AscendRange(lo, hi []byte, fn func(key []byte, v V) bool) {
+	var lf *leaf[V]
+	start := 0
+	if lo == nil {
+		lf = t.firstLeaf()
+	} else {
+		lf = t.leafFor(lo)
+		start = sort.Search(len(lf.keys), func(i int) bool {
+			return bytes.Compare(lf.keys[i], lo) >= 0
+		})
+	}
+	for lf != nil {
+		for i := start; i < len(lf.keys); i++ {
+			if hi != nil && bytes.Compare(lf.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+		lf, start = lf.next, 0
+	}
+}
+
+// AscendPrefix visits entries whose key begins with prefix, in order.
+func (t *Tree[V]) AscendPrefix(prefix []byte, fn func(key []byte, v V) bool) {
+	if len(prefix) == 0 {
+		t.Ascend(fn)
+		return
+	}
+	t.AscendRange(prefix, prefixEnd(prefix), fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// given prefix, or nil when the prefix is all 0xff (scan to the end).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// ---- internals ----
+
+type splitResult[V any] struct {
+	key   []byte
+	right node[V]
+}
+
+func (x *inner[V]) childIndex(key []byte) int {
+	return sort.Search(len(x.keys), func(i int) bool {
+		return bytes.Compare(key, x.keys[i]) < 0
+	})
+}
+
+func (x *leaf[V]) find(key []byte) (int, bool) {
+	i := sort.Search(len(x.keys), func(i int) bool {
+		return bytes.Compare(x.keys[i], key) >= 0
+	})
+	return i, i < len(x.keys) && bytes.Equal(x.keys[i], key)
+}
+
+func (t *Tree[V]) insert(n node[V], key []byte, v V) (prev V, replaced bool, split *splitResult[V]) {
+	switch x := n.(type) {
+	case *leaf[V]:
+		i, ok := x.find(key)
+		if ok {
+			prev, x.vals[i] = x.vals[i], v
+			return prev, true, nil
+		}
+		x.keys = append(x.keys, nil)
+		copy(x.keys[i+1:], x.keys[i:])
+		x.keys[i] = append([]byte(nil), key...)
+		var zero V
+		x.vals = append(x.vals, zero)
+		copy(x.vals[i+1:], x.vals[i:])
+		x.vals[i] = v
+		if len(x.keys) > maxKeys {
+			split = x.split()
+		}
+		return prev, false, split
+	case *inner[V]:
+		i := x.childIndex(key)
+		prev, replaced, childSplit := t.insert(x.children[i], key, v)
+		if childSplit != nil {
+			x.keys = append(x.keys, nil)
+			copy(x.keys[i+1:], x.keys[i:])
+			x.keys[i] = childSplit.key
+			x.children = append(x.children, nil)
+			copy(x.children[i+2:], x.children[i+1:])
+			x.children[i+1] = childSplit.right
+			if len(x.keys) > maxKeys {
+				split = x.split()
+			}
+		}
+		return prev, replaced, split
+	}
+	panic("btree: unknown node type")
+}
+
+func (x *leaf[V]) split() *splitResult[V] {
+	mid := len(x.keys) / 2
+	right := &leaf[V]{
+		keys: append([][]byte(nil), x.keys[mid:]...),
+		vals: append([]V(nil), x.vals[mid:]...),
+		next: x.next,
+	}
+	x.keys = x.keys[:mid:mid]
+	x.vals = x.vals[:mid:mid]
+	x.next = right
+	return &splitResult[V]{key: right.keys[0], right: right}
+}
+
+func (x *inner[V]) split() *splitResult[V] {
+	mid := len(x.keys) / 2
+	up := x.keys[mid]
+	right := &inner[V]{
+		keys:     append([][]byte(nil), x.keys[mid+1:]...),
+		children: append([]node[V](nil), x.children[mid+1:]...),
+	}
+	x.keys = x.keys[:mid:mid]
+	x.children = x.children[: mid+1 : mid+1]
+	return &splitResult[V]{key: up, right: right}
+}
+
+func (t *Tree[V]) delete(n node[V], key []byte) (V, bool) {
+	switch x := n.(type) {
+	case *leaf[V]:
+		i, ok := x.find(key)
+		if !ok {
+			var zero V
+			return zero, false
+		}
+		old := x.vals[i]
+		x.keys = append(x.keys[:i], x.keys[i+1:]...)
+		var zero V
+		x.vals = append(x.vals[:i], x.vals[i+1:]...)
+		// Help the GC: clear the duplicated tail slot.
+		if n := len(x.vals); n < cap(x.vals) {
+			x.vals[:cap(x.vals)][n] = zero
+		}
+		return old, true
+	case *inner[V]:
+		i := x.childIndex(key)
+		old, found := t.delete(x.children[i], key)
+		if found && underfull[V](x.children[i]) {
+			x.rebalance(i)
+		}
+		return old, found
+	}
+	panic("btree: unknown node type")
+}
+
+func underfull[V any](n node[V]) bool {
+	switch x := n.(type) {
+	case *leaf[V]:
+		return len(x.keys) < minKeys
+	case *inner[V]:
+		return len(x.children) < minKeys
+	}
+	return false
+}
+
+// rebalance restores the size invariant of children[i] by borrowing from
+// a sibling or merging with one. Parent separator keys are updated in
+// place.
+func (x *inner[V]) rebalance(i int) {
+	switch child := x.children[i].(type) {
+	case *leaf[V]:
+		if i > 0 {
+			left := x.children[i-1].(*leaf[V])
+			if len(left.keys) > minKeys {
+				// borrow tail of left sibling
+				n := len(left.keys) - 1
+				child.keys = append([][]byte{left.keys[n]}, child.keys...)
+				child.vals = append([]V{left.vals[n]}, child.vals...)
+				left.keys, left.vals = left.keys[:n], left.vals[:n]
+				x.keys[i-1] = child.keys[0]
+				return
+			}
+		}
+		if i < len(x.children)-1 {
+			right := x.children[i+1].(*leaf[V])
+			if len(right.keys) > minKeys {
+				// borrow head of right sibling
+				child.keys = append(child.keys, right.keys[0])
+				child.vals = append(child.vals, right.vals[0])
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				x.keys[i] = right.keys[0]
+				return
+			}
+		}
+		// merge with a sibling
+		if i > 0 {
+			left := x.children[i-1].(*leaf[V])
+			left.keys = append(left.keys, child.keys...)
+			left.vals = append(left.vals, child.vals...)
+			left.next = child.next
+			x.removeChild(i)
+		} else {
+			right := x.children[i+1].(*leaf[V])
+			child.keys = append(child.keys, right.keys...)
+			child.vals = append(child.vals, right.vals...)
+			child.next = right.next
+			x.removeChild(i + 1)
+		}
+	case *inner[V]:
+		if i > 0 {
+			left := x.children[i-1].(*inner[V])
+			if len(left.children) > minKeys {
+				// rotate right through the parent separator
+				n := len(left.keys) - 1
+				child.keys = append([][]byte{x.keys[i-1]}, child.keys...)
+				child.children = append([]node[V]{left.children[n+1]}, child.children...)
+				x.keys[i-1] = left.keys[n]
+				left.keys = left.keys[:n]
+				left.children = left.children[:n+1]
+				return
+			}
+		}
+		if i < len(x.children)-1 {
+			right := x.children[i+1].(*inner[V])
+			if len(right.children) > minKeys {
+				// rotate left through the parent separator
+				child.keys = append(child.keys, x.keys[i])
+				child.children = append(child.children, right.children[0])
+				x.keys[i] = right.keys[0]
+				right.keys = right.keys[1:]
+				right.children = right.children[1:]
+				return
+			}
+		}
+		if i > 0 {
+			left := x.children[i-1].(*inner[V])
+			left.keys = append(append(left.keys, x.keys[i-1]), child.keys...)
+			left.children = append(left.children, child.children...)
+			x.removeChild(i)
+		} else {
+			right := x.children[i+1].(*inner[V])
+			child.keys = append(append(child.keys, x.keys[i]), right.keys...)
+			child.children = append(child.children, right.children...)
+			x.removeChild(i + 1)
+		}
+	}
+}
+
+// removeChild drops children[i] and the separator to its left (or, for
+// i==0, the separator to its right — callers only use i>=1 except via the
+// merge paths above, which pass the right-hand index).
+func (x *inner[V]) removeChild(i int) {
+	x.keys = append(x.keys[:i-1], x.keys[i:]...)
+	x.children = append(x.children[:i], x.children[i+1:]...)
+}
+
+func (t *Tree[V]) firstLeaf() *leaf[V] {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.children[0]
+		case *leaf[V]:
+			return x
+		}
+	}
+}
+
+func (t *Tree[V]) leafFor(key []byte) *leaf[V] {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.children[x.childIndex(key)]
+		case *leaf[V]:
+			return x
+		}
+	}
+}
+
+// stats for tests: height and node counts.
+func (t *Tree[V]) stats() (height, leaves, inners int) {
+	n := t.root
+	height = 1
+	for {
+		if in, ok := n.(*inner[V]); ok {
+			height++
+			n = in.children[0]
+			continue
+		}
+		break
+	}
+	var walk func(node[V])
+	walk = func(n node[V]) {
+		switch x := n.(type) {
+		case *leaf[V]:
+			leaves++
+		case *inner[V]:
+			inners++
+			for _, c := range x.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return height, leaves, inners
+}

@@ -1,0 +1,86 @@
+// Package citeparse parses and formats the "volume:page (year)" citation
+// strings that author indexes print, tolerating the spacing variations
+// found in scanned source material.
+package citeparse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ErrSyntax is wrapped by all parse failures.
+var ErrSyntax = errors.New("citeparse: invalid citation")
+
+// Format renders c in canonical form, e.g. "95:1365 (1993)".
+func Format(c model.Citation) string { return c.String() }
+
+// Parse reads a citation of the form "95:1365 (1993)". Whitespace around
+// tokens is tolerated ("95 : 1365(1993)"), as is a missing year
+// ("95:1365"), which yields Year==0 and fails Validate; callers decide
+// whether that is acceptable.
+func Parse(s string) (model.Citation, error) {
+	var c model.Citation
+	rest := strings.TrimSpace(s)
+	if rest == "" {
+		return c, fmt.Errorf("%w: empty string", ErrSyntax)
+	}
+
+	var err error
+	c.Volume, rest, err = leadingInt(rest, "volume")
+	if err != nil {
+		return model.Citation{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, ":") {
+		return model.Citation{}, fmt.Errorf("%w: missing ':' in %q", ErrSyntax, s)
+	}
+	rest = strings.TrimSpace(rest[1:])
+	c.Page, rest, err = leadingInt(rest, "page")
+	if err != nil {
+		return model.Citation{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return c, nil // no year
+	}
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return model.Citation{}, fmt.Errorf("%w: malformed year in %q", ErrSyntax, s)
+	}
+	inner := strings.TrimSpace(rest[1 : len(rest)-1])
+	c.Year, rest, err = leadingInt(inner, "year")
+	if err != nil {
+		return model.Citation{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return model.Citation{}, fmt.Errorf("%w: trailing text %q", ErrSyntax, rest)
+	}
+	return c, nil
+}
+
+// MustParse is Parse for tests and static tables; it panics on error.
+func MustParse(s string) model.Citation {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// leadingInt consumes a decimal integer from the front of s.
+func leadingInt(s, what string) (v int, rest string, err error) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		if v > (1<<31-1)/10 {
+			return 0, "", fmt.Errorf("%w: %s overflows", ErrSyntax, what)
+		}
+		v = v*10 + int(s[i]-'0')
+		i++
+	}
+	if i == 0 {
+		return 0, "", fmt.Errorf("%w: expected %s digits at %q", ErrSyntax, what, s)
+	}
+	return v, s[i:], nil
+}

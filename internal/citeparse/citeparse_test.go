@@ -1,0 +1,76 @@
+package citeparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want model.Citation
+	}{
+		{"95:1365 (1993)", model.Citation{Volume: 95, Page: 1365, Year: 1993}},
+		{"69:1 (1966)", model.Citation{Volume: 69, Page: 1, Year: 1966}},
+		{"  82 : 1241 ( 1980 ) ", model.Citation{Volume: 82, Page: 1241, Year: 1980}},
+		{"95:1365(1993)", model.Citation{Volume: 95, Page: 1365, Year: 1993}},
+		{"95:1365", model.Citation{Volume: 95, Page: 1365, Year: 0}}, // year optional at parse level
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "   ", "abc", "95", "95:", ":1365", "95:1365 1993",
+		"95:1365 (19x3)", "95:1365 (1993", "95:1365 (1993) extra",
+		"95:1365 ()", "999999999999999999999:1 (1993)",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := model.Citation{
+			Volume: 1 + r.Intn(500),
+			Page:   1 + r.Intn(5000),
+			Year:   1800 + r.Intn(300),
+		}
+		got, err := Parse(Format(c))
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParse(t *testing.T) {
+	if MustParse("95:1365 (1993)") != (model.Citation{Volume: 95, Page: 1365, Year: 1993}) {
+		t.Error("MustParse wrong value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("nope")
+}

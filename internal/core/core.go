@@ -1,0 +1,299 @@
+// Package core implements the author index itself: an alphabetized,
+// incrementally maintained mapping from authors to the works they wrote,
+// with per-letter sections and "see also" cross-references — the data
+// structure whose printed form is the front-matter artifact.
+//
+// Entries are keyed by collation key in a B+tree, so iteration order is
+// print order. The index is not safe for concurrent mutation; the public
+// facade serializes access.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/collate"
+	"repro/internal/model"
+)
+
+// Entry is one author heading and the works filed under it. A heading
+// with no works may still exist to carry cross-references.
+type Entry struct {
+	Author model.Author
+	// Works are sorted by citation (volume, page, year), then title.
+	Works []model.Work
+	// SeeAlso lists alternate headings the reader should consult,
+	// maintained in collation order.
+	SeeAlso []model.Author
+}
+
+// clone returns a deep copy so readers can hold results across mutations.
+func (e *Entry) clone() *Entry {
+	c := &Entry{Author: e.Author}
+	c.Works = make([]model.Work, len(e.Works))
+	for i := range e.Works {
+		c.Works[i] = *e.Works[i].Clone()
+	}
+	c.SeeAlso = append([]model.Author(nil), e.SeeAlso...)
+	return c
+}
+
+// Section is one letter group of the printed index.
+type Section struct {
+	Letter  byte // 'A'..'Z', or '#' for headings that file under none
+	Entries []*Entry
+}
+
+// Stats summarizes index contents.
+type Stats struct {
+	Authors      int // distinct headings (entries)
+	Works        int // distinct works
+	Postings     int // author–work pairs
+	StudentNotes int // postings under student headings
+	CrossRefs    int // see-also references
+}
+
+// Index is the author index over a corpus of works.
+type Index struct {
+	opts    collate.Options
+	entries *btree.Tree[*Entry]
+	// workRefs counts how many headings each work appears under, so
+	// Stats can report distinct works.
+	workRefs map[model.WorkID]int
+	postings int
+	students int
+	crossRef int
+}
+
+// New returns an empty index using the given collation options.
+func New(opts collate.Options) *Index {
+	return &Index{
+		opts:     opts,
+		entries:  btree.New[*Entry](),
+		workRefs: make(map[model.WorkID]int),
+	}
+}
+
+// Options returns the collation options the index was built with.
+func (ix *Index) Options() collate.Options { return ix.opts }
+
+// Add files w under each of its authors. Works must carry distinct IDs;
+// re-adding an ID that is already filed under the same author replaces
+// that posting.
+func (ix *Index) Add(w *model.Work) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if w.ID == 0 {
+		return fmt.Errorf("core: work %q has no ID", w.Title)
+	}
+	for _, a := range w.Authors {
+		key := collate.KeyAuthor(a, ix.opts)
+		e, ok := ix.entries.Get(key)
+		if !ok {
+			e = &Entry{Author: a}
+			ix.entries.Set(key, e)
+		}
+		if e.insertWork(w) {
+			ix.workRefs[w.ID]++
+			ix.postings++
+			if a.Student {
+				ix.students++
+			}
+		}
+	}
+	return nil
+}
+
+// Remove unfiles w from each of its authors; headings left with neither
+// works nor cross-references are deleted. Removing a work that is not
+// present is a no-op.
+func (ix *Index) Remove(w *model.Work) {
+	for _, a := range w.Authors {
+		key := collate.KeyAuthor(a, ix.opts)
+		e, ok := ix.entries.Get(key)
+		if !ok {
+			continue
+		}
+		if e.removeWork(w.ID) {
+			ix.postings--
+			if a.Student {
+				ix.students--
+			}
+			if ix.workRefs[w.ID]--; ix.workRefs[w.ID] <= 0 {
+				delete(ix.workRefs, w.ID)
+			}
+		}
+		if len(e.Works) == 0 && len(e.SeeAlso) == 0 {
+			ix.entries.Delete(key)
+		}
+	}
+}
+
+// AddSeeAlso records a cross-reference from one heading to another,
+// creating the source heading if needed. Duplicate references are
+// ignored; a self-reference is an error.
+func (ix *Index) AddSeeAlso(from, to model.Author) error {
+	if err := from.Validate(); err != nil {
+		return err
+	}
+	if err := to.Validate(); err != nil {
+		return err
+	}
+	if from.Display() == to.Display() {
+		return fmt.Errorf("core: see-also from %q to itself", from.Display())
+	}
+	key := collate.KeyAuthor(from, ix.opts)
+	e, ok := ix.entries.Get(key)
+	if !ok {
+		e = &Entry{Author: from}
+		ix.entries.Set(key, e)
+	}
+	for _, existing := range e.SeeAlso {
+		if existing == to {
+			return nil
+		}
+	}
+	e.SeeAlso = append(e.SeeAlso, to)
+	sort.Slice(e.SeeAlso, func(i, j int) bool {
+		return string(collate.KeyAuthor(e.SeeAlso[i], ix.opts)) <
+			string(collate.KeyAuthor(e.SeeAlso[j], ix.opts))
+	})
+	ix.crossRef++
+	return nil
+}
+
+// RemoveSeeAlso deletes a cross-reference; the source heading is removed
+// too if it has no works left. It reports whether the reference existed.
+func (ix *Index) RemoveSeeAlso(from, to model.Author) bool {
+	key := collate.KeyAuthor(from, ix.opts)
+	e, ok := ix.entries.Get(key)
+	if !ok {
+		return false
+	}
+	for i, existing := range e.SeeAlso {
+		if existing == to {
+			e.SeeAlso = append(e.SeeAlso[:i], e.SeeAlso[i+1:]...)
+			ix.crossRef--
+			if len(e.Works) == 0 && len(e.SeeAlso) == 0 {
+				ix.entries.Delete(key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns a copy of the entry for an exact author heading.
+func (ix *Index) Lookup(a model.Author) (*Entry, bool) {
+	e, ok := ix.entries.Get(collate.KeyAuthor(a, ix.opts))
+	if !ok {
+		return nil, false
+	}
+	return e.clone(), true
+}
+
+// Ascend visits every entry in print order until fn returns false.
+// Entries passed to fn are live; fn must not mutate or retain them —
+// use Lookup for a stable copy.
+func (ix *Index) Ascend(fn func(*Entry) bool) {
+	ix.entries.Ascend(func(_ []byte, e *Entry) bool { return fn(e) })
+}
+
+// AscendPrefix visits entries whose primary collation text starts with
+// the folded prefix (e.g. "ab" matches Abdalla and Abrams), in order.
+func (ix *Index) AscendPrefix(prefix string, fn func(*Entry) bool) {
+	p := collate.PrimaryPrefix(prefix, ix.opts)
+	ix.entries.AscendPrefix(p, func(_ []byte, e *Entry) bool { return fn(e) })
+}
+
+// AscendAfter visits entries strictly after the given author heading in
+// print order, until fn returns false. Use the zero Author to start from
+// the beginning. The heading itself need not exist.
+func (ix *Index) AscendAfter(after model.Author, fn func(*Entry) bool) {
+	if after.IsZero() {
+		ix.Ascend(fn)
+		return
+	}
+	// The smallest possible key strictly greater than after's key is the
+	// key with a zero byte appended.
+	lo := append(collate.KeyAuthor(after, ix.opts), 0)
+	ix.entries.AscendRange(lo, nil, func(_ []byte, e *Entry) bool { return fn(e) })
+}
+
+// Sections groups entries by first letter for rendering. The returned
+// entries are deep copies, safe to hold.
+func (ix *Index) Sections() []Section {
+	var sections []Section
+	ix.entries.Ascend(func(_ []byte, e *Entry) bool {
+		letter := collate.FirstLetter(e.Author, ix.opts)
+		if n := len(sections); n == 0 || sections[n-1].Letter != letter {
+			sections = append(sections, Section{Letter: letter})
+		}
+		s := &sections[len(sections)-1]
+		s.Entries = append(s.Entries, e.clone())
+		return true
+	})
+	return sections
+}
+
+// Stats returns current counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Authors:      ix.entries.Len(),
+		Works:        len(ix.workRefs),
+		Postings:     ix.postings,
+		StudentNotes: ix.students,
+		CrossRefs:    ix.crossRef,
+	}
+}
+
+// Len returns the number of headings.
+func (ix *Index) Len() int { return ix.entries.Len() }
+
+// Rebuild constructs a fresh index from a corpus in one pass. It is the
+// "full rebuild" baseline that incremental maintenance is measured
+// against in experiment E3.
+func Rebuild(opts collate.Options, works []*model.Work) (*Index, error) {
+	ix := New(opts)
+	for _, w := range works {
+		if err := ix.Add(w); err != nil {
+			return nil, fmt.Errorf("core: rebuild work %d: %w", w.ID, err)
+		}
+	}
+	return ix, nil
+}
+
+// insertWork files w in citation order; returns false if the ID was
+// already present (the posting is replaced in place).
+func (e *Entry) insertWork(w *model.Work) bool {
+	for i := range e.Works {
+		if e.Works[i].ID == w.ID {
+			e.Works[i] = *w.Clone()
+			return false
+		}
+	}
+	cp := *w.Clone()
+	i := sort.Search(len(e.Works), func(i int) bool {
+		if c := e.Works[i].Citation.Compare(cp.Citation); c != 0 {
+			return c > 0
+		}
+		return strings.Compare(e.Works[i].Title, cp.Title) >= 0
+	})
+	e.Works = append(e.Works, model.Work{})
+	copy(e.Works[i+1:], e.Works[i:])
+	e.Works[i] = cp
+	return true
+}
+
+func (e *Entry) removeWork(id model.WorkID) bool {
+	for i := range e.Works {
+		if e.Works[i].ID == id {
+			e.Works = append(e.Works[:i], e.Works[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

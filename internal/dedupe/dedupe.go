@@ -1,0 +1,162 @@
+// Package dedupe suggests author headings that may refer to the same
+// person: diacritic or case variants ("Muller" vs "Müller"), initialism
+// variants ("Lewin, Jeff L." vs "Lewin, J. L.") and student/professional
+// pairs ("Barrett, Joshua I.*" vs "Barrett, Joshua I."). Index editors
+// review suggestions and record see-also cross-references for the ones
+// that are real.
+package dedupe
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+// Reason classifies why two headings were paired.
+type Reason uint8
+
+// Suggestion reasons, strongest first.
+const (
+	// SpellingVariant: identical after diacritic/case folding.
+	SpellingVariant Reason = iota
+	// StudentVariant: identical except for the student marker.
+	StudentVariant
+	// InitialsVariant: same family name, given names agree on initials
+	// with at least one side abbreviated.
+	InitialsVariant
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case SpellingVariant:
+		return "spelling-variant"
+	case StudentVariant:
+		return "student-variant"
+	case InitialsVariant:
+		return "initials-variant"
+	}
+	return "unknown"
+}
+
+// Suggestion is one candidate duplicate pair, A sorting before B by
+// display string.
+type Suggestion struct {
+	A, B   model.Author
+	Reason Reason
+}
+
+// Suggest examines a list of distinct author headings and returns
+// candidate duplicate pairs, ordered by reason strength then display
+// name. Input order does not matter; each unordered pair appears at most
+// once, under its strongest reason.
+func Suggest(authors []model.Author) []Suggestion {
+	var out []Suggestion
+	seen := map[[2]string]bool{}
+	emit := func(a, b model.Author, r Reason) {
+		if a.Display() > b.Display() {
+			a, b = b, a
+		}
+		key := [2]string{a.Display(), b.Display()}
+		if key[0] == key[1] || seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Suggestion{A: a, B: b, Reason: r})
+	}
+
+	// Pass 1: exact fold-key collisions (spelling variants) and
+	// student/professional pairs (fold-key equal ignoring the flag).
+	byKey := map[string][]model.Author{}
+	for _, a := range authors {
+		byKey[names.Key(a)] = append(byKey[names.Key(a)], a)
+	}
+	for _, group := range byKey {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				if group[i].Student != group[j].Student {
+					emit(group[i], group[j], StudentVariant)
+				} else {
+					emit(group[i], group[j], SpellingVariant)
+				}
+			}
+		}
+	}
+
+	// Pass 2: same folded family + particle, given names compatible as
+	// initialisms.
+	byFamily := map[string][]model.Author{}
+	for _, a := range authors {
+		fk := names.Fold(a.Particle) + "|" + names.Fold(a.Family) + "|" + strings.ToLower(a.Suffix)
+		byFamily[fk] = append(byFamily[fk], a)
+	}
+	for _, group := range byFamily {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if names.Key(a) == names.Key(b) {
+					continue // already handled in pass 1
+				}
+				if a.Student != b.Student {
+					// Compare ignoring the marker: a student note and a
+					// later article often share the person.
+					a2, b2 := a, b
+					a2.Student, b2.Student = false, false
+					if initialsCompatible(a2.Given, b2.Given) {
+						emit(a, b, InitialsVariant)
+					}
+					continue
+				}
+				if initialsCompatible(a.Given, b.Given) {
+					emit(a, b, InitialsVariant)
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reason != out[j].Reason {
+			return out[i].Reason < out[j].Reason
+		}
+		if out[i].A.Display() != out[j].A.Display() {
+			return out[i].A.Display() < out[j].A.Display()
+		}
+		return out[i].B.Display() < out[j].B.Display()
+	})
+	return out
+}
+
+// initialsCompatible reports whether two given-name strings could be the
+// same person's: word for word, either both words fold-match or one is
+// an initial of the other. At least one abbreviation must be involved
+// (identical given names are not "variants"), and both must be non-empty.
+func initialsCompatible(a, b string) bool {
+	wa, wb := strings.Fields(names.Fold(a)), strings.Fields(names.Fold(b))
+	if len(wa) == 0 || len(wb) == 0 {
+		return false
+	}
+	if len(wa) != len(wb) {
+		// Allow one side to simply stop early: "Jeff L." vs "Jeff".
+		if len(wa) > len(wb) {
+			wa = wa[:len(wb)]
+		} else {
+			wb = wb[:len(wa)]
+		}
+	}
+	abbreviated := len(strings.Fields(a)) != len(strings.Fields(b))
+	for i := range wa {
+		x, y := strings.TrimSuffix(wa[i], "."), strings.TrimSuffix(wb[i], ".")
+		switch {
+		case x == y:
+		case len(x) == 1 && strings.HasPrefix(y, x):
+			abbreviated = true
+		case len(y) == 1 && strings.HasPrefix(x, y):
+			abbreviated = true
+		default:
+			return false
+		}
+	}
+	return abbreviated
+}

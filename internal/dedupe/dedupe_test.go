@@ -1,0 +1,135 @@
+package dedupe
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+func suggestFrom(t *testing.T, headings ...string) []Suggestion {
+	t.Helper()
+	authors := make([]model.Author, len(headings))
+	for i, h := range headings {
+		authors[i] = names.MustParse(h)
+	}
+	return Suggest(authors)
+}
+
+func TestSpellingVariant(t *testing.T) {
+	got := suggestFrom(t, "Müller, Jörg", "Muller, Jorg", "Totally, Different")
+	if len(got) != 1 {
+		t.Fatalf("suggestions = %+v", got)
+	}
+	if got[0].Reason != SpellingVariant {
+		t.Errorf("reason = %v", got[0].Reason)
+	}
+	if got[0].A.Display() != "Muller, Jorg" || got[0].B.Display() != "Müller, Jörg" {
+		t.Errorf("pair = %s / %s", got[0].A.Display(), got[0].B.Display())
+	}
+}
+
+func TestStudentVariant(t *testing.T) {
+	got := suggestFrom(t, "Barrett, Joshua I.*", "Barrett, Joshua I.")
+	if len(got) != 1 || got[0].Reason != StudentVariant {
+		t.Fatalf("suggestions = %+v", got)
+	}
+}
+
+func TestInitialsVariant(t *testing.T) {
+	got := suggestFrom(t, "Lewin, Jeff L.", "Lewin, J. L.")
+	if len(got) != 1 || got[0].Reason != InitialsVariant {
+		t.Fatalf("suggestions = %+v", got)
+	}
+	// Shorter given name is also compatible.
+	got = suggestFrom(t, "Lewin, Jeff L.", "Lewin, J.")
+	if len(got) != 1 || got[0].Reason != InitialsVariant {
+		t.Fatalf("short-given suggestions = %+v", got)
+	}
+	// Student-professional across initials.
+	got = suggestFrom(t, "Bryant, S. Benjamin*", "Bryant, Samuel Benjamin")
+	if len(got) != 1 || got[0].Reason != InitialsVariant {
+		t.Fatalf("student-initials suggestions = %+v", got)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	cases := [][]string{
+		{"Lewin, Jeff L.", "Lewin, Greg L."},       // different first names
+		{"Smith, A.", "Smythe, A."},                // different families
+		{"Fisher, John W.", "Fisher, John W., II"}, // suffix distinguishes
+		{"Brown, James M.", "Brown, Jay M."},       // J-initial but spelled differently
+		{"Adams, Q.", "Baker, Q."},                 // unrelated
+	}
+	for _, headings := range cases {
+		if got := suggestFrom(t, headings...); len(got) != 0 {
+			t.Errorf("%v produced suggestions: %+v", headings, got)
+		}
+	}
+}
+
+func TestIdenticalHeadingsNotSuggested(t *testing.T) {
+	if got := suggestFrom(t, "Same, Person", "Same, Person"); len(got) != 0 {
+		t.Errorf("identical headings suggested: %+v", got)
+	}
+}
+
+func TestFamilyOnlyHeadings(t *testing.T) {
+	// Family-only headings have empty given names: never initials-paired.
+	if got := suggestFrom(t, "Adler", "Adler, Mortimer J."); len(got) != 0 {
+		t.Errorf("family-only pairing: %+v", got)
+	}
+}
+
+func TestPairReportedOnceUnderStrongestReason(t *testing.T) {
+	got := suggestFrom(t, "Cañas, María", "Canas, Maria", "Cañas, M.")
+	// Pair 1: spelling variant (Cañas/Canas). Pairs with "Cañas, M.":
+	// initials variants against both spellings.
+	counts := map[Reason]int{}
+	seen := map[string]bool{}
+	for _, s := range got {
+		key := s.A.Display() + "|" + s.B.Display()
+		if seen[key] {
+			t.Fatalf("pair %s reported twice", key)
+		}
+		seen[key] = true
+		counts[s.Reason]++
+	}
+	if counts[SpellingVariant] != 1 || counts[InitialsVariant] != 2 {
+		t.Errorf("reason distribution = %v (suggestions %+v)", counts, got)
+	}
+	// Order: spelling variants first.
+	if got[0].Reason != SpellingVariant {
+		t.Errorf("first suggestion reason = %v", got[0].Reason)
+	}
+}
+
+func TestInitialsCompatible(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"Jeff L.", "J. L.", true},
+		{"Jeff L.", "Jeff", true},
+		{"Jeff L.", "Jeff L.", false}, // identical: not a variant
+		{"Jeff L.", "Greg L.", false},
+		{"", "J.", false},
+		{"J. R.", "James Robert", true},
+		{"Mary Ann", "M. A.", true},
+		{"Mary Ann", "M. B.", false},
+	}
+	for _, tt := range tests {
+		if got := initialsCompatible(tt.a, tt.b); got != tt.want {
+			t.Errorf("initialsCompatible(%q,%q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	if SpellingVariant.String() != "spelling-variant" ||
+		StudentVariant.String() != "student-variant" ||
+		InitialsVariant.String() != "initials-variant" ||
+		Reason(99).String() != "unknown" {
+		t.Error("Reason.String mismatch")
+	}
+}

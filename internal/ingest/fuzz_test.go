@@ -1,0 +1,48 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTSV feeds arbitrary text to the lenient TSV parser: it must never
+// panic, and every recovered work must validate.
+func FuzzTSV(f *testing.F) {
+	f.Add("Abdalla, Tarek F.*\tTitle\tarticle\t91:973 (1989)\n")
+	f.Add("A, B.\tT\tarticle\t90:1 (1988)\tMining Law | Property\n")
+	f.Add("Tol, J.\tVan Tol, J.\tsee-also\t\n")
+	f.Add("# comment\n\n\t\t\t\n")
+	f.Add("a\tb\tc\td\te\tf\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		res, err := TSV(strings.NewReader(in), Options{Lenient: true})
+		if err != nil {
+			// Only scanner-level failures (e.g. over-long lines) may error
+			// in lenient mode.
+			return
+		}
+		for _, w := range res.Works {
+			if err := w.Validate(); err != nil {
+				t.Fatalf("lenient TSV produced invalid work %v from %q: %v", w, in, err)
+			}
+		}
+	})
+}
+
+// FuzzCSV feeds arbitrary text to the lenient CSV parser.
+func FuzzCSV(f *testing.F) {
+	header := "family,given,particle,suffix,student,title,kind,volume,page,year,subjects\n"
+	f.Add(header + "Lewin,Jeff L.,,,false,Title,article,94,563,1992,Mining Law\n")
+	f.Add(header + ",,,,,x,y,z,0,0,\n")
+	f.Add("not,a,header\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		res, err := CSV(strings.NewReader(in), Options{Lenient: true})
+		if err != nil {
+			return // bad header is a legitimate hard error
+		}
+		for _, w := range res.Works {
+			if err := w.Validate(); err != nil {
+				t.Fatalf("lenient CSV produced invalid work %v from %q: %v", w, in, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package ingest parses rendered index data back into work records. It
+// understands the TSV machine format and the CSV format emitted by the
+// render package; postings that share a title, kind and citation are
+// merged back into one multi-author work.
+package ingest
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/citeparse"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+// ErrSyntax is wrapped by all parse failures in strict mode.
+var ErrSyntax = errors.New("ingest: syntax error")
+
+// Options configures parsing.
+type Options struct {
+	// Lenient skips malformed lines (counting them in Result.Skipped)
+	// instead of failing.
+	Lenient bool
+}
+
+// CrossRef is a "see also" reference recovered from the input.
+type CrossRef struct {
+	From, To model.Author
+}
+
+// Result is the outcome of an ingest run.
+type Result struct {
+	// Works are the recovered records, IDs assigned 1..N in first-
+	// appearance order. Multi-author postings are merged.
+	Works []*model.Work
+	// CrossRefs are recovered see-also references.
+	CrossRefs []CrossRef
+	// Skipped counts malformed lines dropped in lenient mode.
+	Skipped int
+}
+
+// mergeState accumulates postings into works.
+type mergeState struct {
+	byKey map[string]*model.Work
+	res   Result
+}
+
+func newMergeState() *mergeState {
+	return &mergeState{byKey: make(map[string]*model.Work)}
+}
+
+func (m *mergeState) addPosting(a model.Author, title string, kind model.Kind, c model.Citation, subjects []string) {
+	key := fmt.Sprintf("%s\x00%d\x00%d:%d:%d", title, kind, c.Volume, c.Page, c.Year)
+	w, ok := m.byKey[key]
+	if !ok {
+		w = &model.Work{
+			ID:       model.WorkID(len(m.res.Works) + 1),
+			Title:    title,
+			Kind:     kind,
+			Citation: c,
+		}
+		m.byKey[key] = w
+		m.res.Works = append(m.res.Works, w)
+	}
+	if len(w.Subjects) == 0 && len(subjects) > 0 {
+		w.Subjects = subjects
+	}
+	for _, existing := range w.Authors {
+		if existing == a {
+			return
+		}
+	}
+	w.Authors = append(w.Authors, a)
+}
+
+// splitSubjects parses the " | "-joined subject column.
+func splitSubjects(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, "|") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// TSV parses the tab-separated machine format produced by render.Render
+// with Format TSV: author, title, kind, citation columns. Blank lines and
+// lines starting with '#' are ignored.
+func TSV(r io.Reader, opts Options) (*Result, error) {
+	m := newMergeState()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseTSVLine(m, line); err != nil {
+			if opts.Lenient {
+				m.res.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: read: %w", err)
+	}
+	return &m.res, nil
+}
+
+func parseTSVLine(m *mergeState, line string) error {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 4 && len(fields) != 5 {
+		return fmt.Errorf("expected 4 or 5 tab-separated fields, got %d", len(fields))
+	}
+	author, err := names.Parse(fields[0])
+	if err != nil {
+		return fmt.Errorf("author: %v", err)
+	}
+	title := strings.TrimSpace(fields[1])
+	if title == "" {
+		return errors.New("empty title")
+	}
+	kindStr := strings.TrimSpace(fields[2])
+	if kindStr == "see-also" {
+		target, err := names.Parse(title)
+		if err != nil {
+			return fmt.Errorf("see-also target: %v", err)
+		}
+		m.res.CrossRefs = append(m.res.CrossRefs, CrossRef{From: author, To: target})
+		return nil
+	}
+	kind, err := model.ParseKind(kindStr)
+	if err != nil {
+		return err
+	}
+	cite, err := citeparse.Parse(fields[3])
+	if err != nil {
+		return err
+	}
+	if err := cite.Validate(); err != nil {
+		return err
+	}
+	var subjects []string
+	if len(fields) == 5 {
+		subjects = splitSubjects(fields[4])
+	}
+	if err := validatePosting(author, title, kind, cite, subjects); err != nil {
+		return err
+	}
+	m.addPosting(author, title, kind, cite, subjects)
+	return nil
+}
+
+// validatePosting runs the model validation over a would-be posting so
+// malformed field content (control characters and the like) is rejected
+// at parse time rather than surfacing later.
+func validatePosting(a model.Author, title string, kind model.Kind, c model.Citation, subjects []string) error {
+	w := model.Work{
+		ID: 1, Title: title, Kind: kind, Citation: c,
+		Authors: []model.Author{a}, Subjects: subjects,
+	}
+	return w.Validate()
+}
+
+// csvHeader must match the render package's CSV layout.
+var csvHeader = []string{
+	"family", "given", "particle", "suffix", "student",
+	"title", "kind", "volume", "page", "year", "subjects",
+}
+
+// CSV parses the CSV format produced by render.Render with Format CSV.
+func CSV(r io.Reader, opts Options) (*Result, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrSyntax, err)
+	}
+	for i, col := range csvHeader {
+		if i >= len(header) || !strings.EqualFold(header[i], col) {
+			return nil, fmt.Errorf("%w: header column %d is %q, want %q", ErrSyntax, i, header[i], col)
+		}
+	}
+	m := newMergeState()
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if opts.Lenient {
+				m.res.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		if err := parseCSVRecord(m, rec); err != nil {
+			if opts.Lenient {
+				m.res.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+	}
+	return &m.res, nil
+}
+
+func parseCSVRecord(m *mergeState, rec []string) error {
+	student, err := strconv.ParseBool(rec[4])
+	if err != nil {
+		return fmt.Errorf("student flag: %v", err)
+	}
+	a := model.Author{
+		Family:   rec[0],
+		Given:    rec[1],
+		Particle: rec[2],
+		Suffix:   rec[3],
+		Student:  student,
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	kind, err := model.ParseKind(rec[6])
+	if err != nil {
+		return err
+	}
+	var c model.Citation
+	for _, f := range []struct {
+		dst  *int
+		s    string
+		name string
+	}{
+		{&c.Volume, rec[7], "volume"},
+		{&c.Page, rec[8], "page"},
+		{&c.Year, rec[9], "year"},
+	} {
+		v, err := strconv.Atoi(strings.TrimSpace(f.s))
+		if err != nil {
+			return fmt.Errorf("%s: %v", f.name, err)
+		}
+		*f.dst = v
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	title := strings.TrimSpace(rec[5])
+	if title == "" {
+		return errors.New("empty title")
+	}
+	subjects := splitSubjects(rec[10])
+	if err := validatePosting(a, title, kind, c, subjects); err != nil {
+		return err
+	}
+	m.addPosting(a, title, kind, c, subjects)
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package inverted implements a small inverted index over work titles:
+// folded tokens map to sorted postings lists of work IDs, with boolean
+// AND/OR/NOT evaluation and trailing-* prefix expansion. Terms live in a
+// B+tree so prefix queries are ordered scans.
+package inverted
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+// stopwords are dropped at tokenization time; they carry no selectivity
+// in bibliographic titles.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "as": true, "at": true,
+	"by": true, "for": true, "from": true, "in": true, "into": true,
+	"is": true, "it": true, "its": true, "of": true, "on": true,
+	"or": true, "the": true, "to": true, "under": true, "upon": true,
+	"with": true, "v": true, "vs": true,
+}
+
+// Tokenize folds text and splits it into index terms: lower-cased,
+// diacritic-free, punctuation-separated, stopwords removed, duplicates
+// preserved (callers dedupe if needed).
+func Tokenize(text string) []string {
+	folded := names.Fold(text)
+	var toks []string
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := folded[start:end]
+		start = -1
+		if !stopwords[tok] {
+			toks = append(toks, tok)
+		}
+	}
+	for i, r := range folded {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(folded))
+	return toks
+}
+
+// Index maps terms to postings. It is not safe for concurrent mutation.
+type Index struct {
+	terms *btree.Tree[*postings]
+	docs  int
+}
+
+type postings struct {
+	ids []model.WorkID // sorted, unique
+}
+
+// New returns an empty index.
+func New() *Index { return &Index{terms: btree.New[*postings]()} }
+
+// Docs returns the number of documents added (and not yet removed).
+func (ix *Index) Docs() int { return ix.docs }
+
+// Terms returns the number of distinct terms currently indexed.
+func (ix *Index) Terms() int { return ix.terms.Len() }
+
+// Add indexes text under id. Adding the same id twice with the same text
+// is idempotent.
+func (ix *Index) Add(id model.WorkID, text string) {
+	added := false
+	for _, tok := range uniq(Tokenize(text)) {
+		key := []byte(tok)
+		p, ok := ix.terms.Get(key)
+		if !ok {
+			p = &postings{}
+			ix.terms.Set(key, p)
+		}
+		if p.insert(id) {
+			added = true
+		}
+	}
+	if added {
+		ix.docs++
+	}
+}
+
+// Remove un-indexes text for id; text must be the same string that was
+// added. Terms whose postings become empty are deleted.
+func (ix *Index) Remove(id model.WorkID, text string) {
+	removed := false
+	for _, tok := range uniq(Tokenize(text)) {
+		key := []byte(tok)
+		p, ok := ix.terms.Get(key)
+		if !ok {
+			continue
+		}
+		if p.remove(id) {
+			removed = true
+		}
+		if len(p.ids) == 0 {
+			ix.terms.Delete(key)
+		}
+	}
+	if removed {
+		ix.docs--
+	}
+}
+
+// Postings returns a copy of the postings list for an exact term.
+func (ix *Index) Postings(term string) []model.WorkID {
+	p, ok := ix.terms.Get([]byte(names.Fold(term)))
+	if !ok {
+		return nil
+	}
+	return append([]model.WorkID(nil), p.ids...)
+}
+
+// ExpandPrefix returns the union of postings for every term starting
+// with prefix, capped at limit terms (0 = no cap).
+func (ix *Index) ExpandPrefix(prefix string, limit int) []model.WorkID {
+	var acc []model.WorkID
+	n := 0
+	ix.terms.AscendPrefix([]byte(names.Fold(prefix)), func(_ []byte, p *postings) bool {
+		acc = union(acc, p.ids)
+		n++
+		return limit == 0 || n < limit
+	})
+	return acc
+}
+
+func (p *postings) insert(id model.WorkID) bool {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		return false
+	}
+	p.ids = append(p.ids, 0)
+	copy(p.ids[i+1:], p.ids[i:])
+	p.ids[i] = id
+	return true
+}
+
+func (p *postings) remove(id model.WorkID) bool {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i >= len(p.ids) || p.ids[i] != id {
+		return false
+	}
+	p.ids = append(p.ids[:i], p.ids[i+1:]...)
+	return true
+}
+
+// Query is a parsed boolean title query.
+type Query struct {
+	All  []Atom // every atom must match (AND)
+	Any  []Atom // at least one must match, if non-empty (OR)
+	None []Atom // none may match (NOT)
+}
+
+// Atom is one query term, optionally a prefix pattern.
+type Atom struct {
+	Term   string
+	Prefix bool
+}
+
+// IsEmpty reports whether the query constrains nothing.
+func (q Query) IsEmpty() bool { return len(q.All) == 0 && len(q.Any) == 0 && len(q.None) == 0 }
+
+// ParseQuery reads a query string: whitespace-separated terms are ANDed;
+// terms prefixed "-" are excluded; "or" between terms moves both into the
+// OR group; a trailing "*" makes a term a prefix pattern. Terms are
+// folded like indexed text.
+//
+//	"surface mining"      → All: surface, mining
+//	"coal or gas"         → Any: coal, gas
+//	"mining -surface"     → All: mining; None: surface
+//	"reclam*"             → All: reclam* (prefix)
+func ParseQuery(s string) Query {
+	fields := strings.Fields(s)
+	var q Query
+	// First pass: find OR groups (a or b or c).
+	used := make([]bool, len(fields))
+	for i, f := range fields {
+		if strings.EqualFold(f, "or") && i > 0 && i < len(fields)-1 {
+			used[i] = true
+			for _, j := range [2]int{i - 1, i + 1} {
+				if !used[j] {
+					if a, ok := makeAtom(fields[j]); ok && !strings.HasPrefix(fields[j], "-") {
+						q.Any = append(q.Any, a)
+						used[j] = true
+					}
+				}
+			}
+		}
+	}
+	for i, f := range fields {
+		if used[i] {
+			continue
+		}
+		neg := strings.HasPrefix(f, "-")
+		f = strings.TrimPrefix(f, "-")
+		a, ok := makeAtom(f)
+		if !ok {
+			continue
+		}
+		if neg {
+			q.None = append(q.None, a)
+		} else {
+			q.All = append(q.All, a)
+		}
+	}
+	return q
+}
+
+func makeAtom(f string) (Atom, bool) {
+	prefix := strings.HasSuffix(f, "*")
+	f = strings.TrimSuffix(f, "*")
+	toks := Tokenize(f)
+	if len(toks) == 0 {
+		return Atom{}, false
+	}
+	// Multi-token atoms ("o'brien") keep only the first token; the rest
+	// would have been separate fields anyway.
+	return Atom{Term: toks[0], Prefix: prefix}, true
+}
+
+// Eval runs the query and returns matching IDs in ascending order. An
+// empty query returns nil.
+func (ix *Index) Eval(q Query) []model.WorkID {
+	if q.IsEmpty() {
+		return nil
+	}
+	matchAtom := func(a Atom) []model.WorkID {
+		if a.Prefix {
+			return ix.ExpandPrefix(a.Term, 0)
+		}
+		return ix.Postings(a.Term)
+	}
+	var acc []model.WorkID
+	first := true
+	for _, a := range q.All {
+		ids := matchAtom(a)
+		if first {
+			acc, first = ids, false
+		} else {
+			acc = intersect(acc, ids)
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	if len(q.Any) > 0 {
+		var anyIDs []model.WorkID
+		for _, a := range q.Any {
+			anyIDs = union(anyIDs, matchAtom(a))
+		}
+		if first {
+			acc, first = anyIDs, false
+		} else {
+			acc = intersect(acc, anyIDs)
+		}
+	}
+	if first {
+		// NOT-only queries match nothing: there is no universe to subtract
+		// from without a positive term.
+		return nil
+	}
+	for _, a := range q.None {
+		acc = subtract(acc, matchAtom(a))
+	}
+	return acc
+}
+
+// Search parses and evaluates q in one step.
+func (ix *Index) Search(q string) []model.WorkID { return ix.Eval(ParseQuery(q)) }
+
+func intersect(a, b []model.WorkID) []model.WorkID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func union(a, b []model.WorkID) []model.WorkID {
+	out := make([]model.WorkID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func subtract(a, b []model.WorkID) []model.WorkID {
+	out := a[:0]
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func uniq(toks []string) []string {
+	if len(toks) < 2 {
+		return toks
+	}
+	seen := make(map[string]bool, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package inverted
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"The Law of Coal, Oil and Gas", []string{"law", "coal", "oil", "gas"}},
+		{"Drugs, Ideology, and the Deconstitutionalization of Criminal Procedure",
+			[]string{"drugs", "ideology", "deconstitutionalization", "criminal", "procedure"}},
+		{"Rule 10b-5 and Santa Fe", []string{"rule", "10b", "5", "santa", "fe"}},
+		{"Écologie Générale", []string{"ecologie", "generale"}},
+		{"", nil},
+		{"of the and", nil},
+		{"United States v. Law", []string{"united", "states", "law"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAddRemovePostings(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Surface Mining Control")
+	ix.Add(2, "Surface Rights in West Virginia")
+	ix.Add(3, "Deep Coal Mines")
+	if ix.Docs() != 3 {
+		t.Errorf("Docs = %d, want 3", ix.Docs())
+	}
+	if got := ix.Postings("surface"); !reflect.DeepEqual(got, []model.WorkID{1, 2}) {
+		t.Errorf("Postings(surface) = %v", got)
+	}
+	// Case and diacritics fold on lookup.
+	if got := ix.Postings("SÚRFACE"); !reflect.DeepEqual(got, []model.WorkID{1, 2}) {
+		t.Errorf("Postings(folded) = %v", got)
+	}
+	ix.Remove(1, "Surface Mining Control")
+	if got := ix.Postings("surface"); !reflect.DeepEqual(got, []model.WorkID{2}) {
+		t.Errorf("after remove, Postings(surface) = %v", got)
+	}
+	if got := ix.Postings("control"); got != nil {
+		t.Errorf("empty term not deleted: %v", got)
+	}
+	if ix.Docs() != 2 {
+		t.Errorf("Docs after remove = %d, want 2", ix.Docs())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	ix := New()
+	ix.Add(5, "Coal Coal Coal")
+	ix.Add(5, "Coal Coal Coal")
+	if got := ix.Postings("coal"); !reflect.DeepEqual(got, []model.WorkID{5}) {
+		t.Errorf("duplicate add produced %v", got)
+	}
+	if ix.Docs() != 1 {
+		t.Errorf("Docs = %d, want 1", ix.Docs())
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Query
+	}{
+		{"surface mining", Query{All: []Atom{{Term: "surface"}, {Term: "mining"}}}},
+		{"coal or gas", Query{Any: []Atom{{Term: "coal"}, {Term: "gas"}}}},
+		{"mining -surface", Query{All: []Atom{{Term: "mining"}}, None: []Atom{{Term: "surface"}}}},
+		{"reclam*", Query{All: []Atom{{Term: "reclam", Prefix: true}}}},
+		{"coal or gas or oil", Query{Any: []Atom{{Term: "coal"}, {Term: "gas"}, {Term: "oil"}}}},
+		{"tax coal or gas", Query{All: []Atom{{Term: "tax"}}, Any: []Atom{{Term: "coal"}, {Term: "gas"}}}},
+		{"", Query{}},
+		{"the of", Query{}}, // stopwords vanish
+	}
+	for _, tt := range tests {
+		got := ParseQuery(tt.in)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("ParseQuery(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func buildCorpus() (*Index, map[model.WorkID]string) {
+	ix := New()
+	docs := map[model.WorkID]string{
+		1: "Surface Mining Control and Reclamation",
+		2: "Reclamation of Orphaned Mined Lands",
+		3: "Coal Mining Machinery Cases",
+		4: "Ownership of Coalbed Methane Gas",
+		5: "The Federal Coal Leasing Waltz",
+		6: "Acid Rain and the Clean Air Act",
+	}
+	for id, title := range docs {
+		ix.Add(id, title)
+	}
+	return ix, docs
+}
+
+func TestSearch(t *testing.T) {
+	ix, _ := buildCorpus()
+	tests := []struct {
+		q    string
+		want []model.WorkID
+	}{
+		{"mining", []model.WorkID{1, 3}},
+		{"mining reclamation", []model.WorkID{1}},
+		{"coal or coalbed", []model.WorkID{3, 4, 5}},
+		{"mining -coal", []model.WorkID{1}},
+		{"reclam*", []model.WorkID{1, 2}},
+		{"min* coal", []model.WorkID{3}},
+		{"nonexistent", nil},
+		{"-coal", nil}, // NOT-only has no universe
+		{"", nil},
+		// "coal" ANDs with (leasing OR methane); doc 4 has "coalbed",
+		// not "coal", so only doc 5 qualifies.
+		{"coal leasing or methane", []model.WorkID{5}},
+		{"coal* leasing or methane", []model.WorkID{4, 5}},
+	}
+	for _, tt := range tests {
+		got := ix.Search(tt.q)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Search(%q) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+// bruteForce evaluates a query by scanning every document, as the ground
+// truth for property testing.
+func bruteForce(docs map[model.WorkID]string, q Query) []model.WorkID {
+	tokensOf := func(title string) map[string]bool {
+		m := map[string]bool{}
+		for _, tok := range Tokenize(title) {
+			m[tok] = true
+		}
+		return m
+	}
+	match := func(toks map[string]bool, a Atom) bool {
+		if !a.Prefix {
+			return toks[a.Term]
+		}
+		for tok := range toks {
+			if strings.HasPrefix(tok, a.Term) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []model.WorkID
+	if q.IsEmpty() {
+		return nil
+	}
+	for id, title := range docs {
+		toks := tokensOf(title)
+		ok := len(q.All) > 0 || len(q.Any) > 0
+		for _, a := range q.All {
+			if !match(toks, a) {
+				ok = false
+				break
+			}
+		}
+		if ok && len(q.Any) > 0 {
+			anyOK := false
+			for _, a := range q.Any {
+				if match(toks, a) {
+					anyOK = true
+					break
+				}
+			}
+			ok = anyOK
+		}
+		if ok {
+			for _, a := range q.None {
+				if match(toks, a) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var vocab = []string{"coal", "mine", "mining", "surface", "gas", "oil", "tax",
+	"law", "act", "reform", "safety", "water", "clean", "rights", "virginia"}
+
+func randomDocs(r *rand.Rand, n int) map[model.WorkID]string {
+	docs := make(map[model.WorkID]string, n)
+	for i := 0; i < n; i++ {
+		words := make([]string, 1+r.Intn(6))
+		for j := range words {
+			words[j] = vocab[r.Intn(len(vocab))]
+		}
+		docs[model.WorkID(i+1)] = strings.Join(words, " ")
+	}
+	return docs
+}
+
+func randomQuery(r *rand.Rand) Query {
+	var q Query
+	atom := func() Atom {
+		term := vocab[r.Intn(len(vocab))]
+		if r.Intn(4) == 0 {
+			term = term[:1+r.Intn(len(term))]
+			return Atom{Term: term, Prefix: true}
+		}
+		return Atom{Term: term}
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		q.All = append(q.All, atom())
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		q.Any = append(q.Any, atom())
+	}
+	for i := 0; i < r.Intn(2); i++ {
+		q.None = append(q.None, atom())
+	}
+	return q
+}
+
+func TestEvalMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		docs := randomDocs(r, 1+r.Intn(60))
+		ix := New()
+		for id, title := range docs {
+			ix.Add(id, title)
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := randomQuery(r)
+			got := ix.Eval(q)
+			want := bruteForce(docs, q)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d query %+v: got %v want %v", seed, q, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveEverythingEmptiesIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	docs := randomDocs(r, 50)
+	ix := New()
+	for id, title := range docs {
+		ix.Add(id, title)
+	}
+	for id, title := range docs {
+		ix.Remove(id, title)
+	}
+	if ix.Docs() != 0 || ix.Terms() != 0 {
+		t.Errorf("after removing all: docs=%d terms=%d", ix.Docs(), ix.Terms())
+	}
+}
+
+func TestExpandPrefixLimit(t *testing.T) {
+	ix := New()
+	for i := 0; i < 10; i++ {
+		ix.Add(model.WorkID(i+1), fmt.Sprintf("term%02d unique", i))
+	}
+	all := ix.ExpandPrefix("term", 0)
+	if len(all) != 10 {
+		t.Errorf("unlimited expansion = %d ids", len(all))
+	}
+	capped := ix.ExpandPrefix("term", 3)
+	if len(capped) != 3 {
+		t.Errorf("capped expansion = %d ids, want 3", len(capped))
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := []model.WorkID{1, 3, 5, 7}
+	b := []model.WorkID{3, 4, 5, 8}
+	if got := intersect(append([]model.WorkID(nil), a...), b); !reflect.DeepEqual(got, []model.WorkID{3, 5}) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := union(a, b); !reflect.DeepEqual(got, []model.WorkID{1, 3, 4, 5, 7, 8}) {
+		t.Errorf("union = %v", got)
+	}
+	if got := subtract(append([]model.WorkID(nil), a...), b); !reflect.DeepEqual(got, []model.WorkID{1, 7}) {
+		t.Errorf("subtract = %v", got)
+	}
+	if got := union(nil, nil); len(got) != 0 {
+		t.Errorf("union(nil,nil) = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package names
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that Parse∘Format is a
+// fixed point: once a string parses, formatting and re-parsing it
+// reproduces the same structured author.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"Abdalla, Tarek F.*",
+		"Fisher, John W., II",
+		"Van Tol, Joan E.",
+		"de la Cruz, Maria",
+		"Müller, Jörg",
+		"O'Brien, Seán",
+		"Smith",
+		"a,b,c,d,e",
+		", , ,",
+		"*, *",
+		"x, Jr.",
+		" weird space",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if a.Family == "" {
+			t.Fatalf("Parse(%q) returned author without family: %+v", s, a)
+		}
+		again, err := Parse(Format(a))
+		if err != nil {
+			t.Fatalf("Format(%+v) = %q does not re-parse: %v", a, Format(a), err)
+		}
+		if again != a {
+			t.Fatalf("Parse∘Format not a fixed point: %+v → %q → %+v", a, Format(a), again)
+		}
+	})
+}
+
+// FuzzFold checks that Fold never panics and is idempotent.
+func FuzzFold(f *testing.F) {
+	for _, seed := range []string{"Müller", "ßßß", "日本", "", "\xff\xfe", "Łukasiewicz"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		once := Fold(s)
+		if Fold(once) != once {
+			t.Fatalf("Fold not idempotent on %q: %q vs %q", s, once, Fold(once))
+		}
+	})
+}

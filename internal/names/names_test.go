@@ -1,0 +1,218 @@
+package names
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want model.Author
+	}{
+		{"Abdalla, Tarek F.*", model.Author{Family: "Abdalla", Given: "Tarek F.", Student: true}},
+		{"Adler, Mortimer J.", model.Author{Family: "Adler", Given: "Mortimer J."}},
+		{"Fisher, John W., II", model.Author{Family: "Fisher", Given: "John W.", Suffix: "II"}},
+		{"Copenhaver, John T., Jr.", model.Author{Family: "Copenhaver", Given: "John T.", Suffix: "Jr."}},
+		{"Van Tol, Joan E.", model.Author{Family: "Tol", Particle: "Van", Given: "Joan E."}},
+		{"de la Cruz, Maria", model.Author{Family: "Cruz", Particle: "de la", Given: "Maria"}},
+		{"van der Berg, Ludwig", model.Author{Family: "Berg", Particle: "van der", Given: "Ludwig"}},
+		{"Adler", model.Author{Family: "Adler"}},
+		{"Hooks, Benjamin L.", model.Author{Family: "Hooks", Given: "Benjamin L."}},
+		{"Southworth, Louis S., II*", model.Author{Family: "Southworth", Given: "Louis S.", Suffix: "II", Student: true}},
+		{"  Jones ,  Amy  ", model.Author{Family: "Jones", Given: "Amy"}},
+		// Double student marker collapses to one flag.
+		{"Smith, A.**", model.Author{Family: "Smith", Given: "A.", Student: true}},
+		// Compound family name with no particle stays intact.
+		{"Bates-Smith, Pamela A.", model.Author{Family: "Bates-Smith", Given: "Pamela A."}},
+		{"Crain Mountney, Marion", model.Author{Family: "Crain Mountney", Given: "Marion"}},
+		// Unknown trailing component is part of the given names.
+		{"Grey, Jean, Phoenix", model.Author{Family: "Grey", Given: "Jean Phoenix"}},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "*", " ** "} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	inputs := []string{
+		"Abdalla, Tarek F.*",
+		"Fisher, John W., II",
+		"Van Tol, Joan E.",
+		"de la Cruz, Maria",
+		"Adler",
+		"Copenhaver, John T., Jr.",
+	}
+	for _, in := range inputs {
+		a := MustParse(in)
+		if got := Format(a); got != in {
+			t.Errorf("Format(Parse(%q)) = %q", in, got)
+		}
+		// And parsing the formatted output is a fixed point.
+		if again := MustParse(Format(a)); again != a {
+			t.Errorf("Parse(Format(%+v)) = %+v", a, again)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on empty input")
+		}
+	}()
+	MustParse("")
+}
+
+func TestCanonicalSuffix(t *testing.T) {
+	tests := []struct {
+		in    string
+		canon string
+		ok    bool
+	}{
+		{"Jr", "Jr.", true},
+		{"jr.", "Jr.", true},
+		{"III", "III", true},
+		{"iii", "III", true},
+		{"Esq", "Esq.", true},
+		{"Phoenix", "", false},
+	}
+	for _, tt := range tests {
+		canon, ok := CanonicalSuffix(tt.in)
+		if ok != tt.ok || canon != tt.canon {
+			t.Errorf("CanonicalSuffix(%q) = %q,%v want %q,%v", tt.in, canon, ok, tt.canon, tt.ok)
+		}
+	}
+}
+
+func TestInitials(t *testing.T) {
+	tests := []struct {
+		a    model.Author
+		want string
+	}{
+		{model.Author{Family: "Lewin", Given: "Jeff L."}, "J.L."},
+		{model.Author{Family: "Adler"}, ""},
+		{model.Author{Family: "Kafka", Given: "Élodie Marie"}, "É.M."},
+	}
+	for _, tt := range tests {
+		if got := Initials(tt.a); got != tt.want {
+			t.Errorf("Initials(%+v) = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestFold(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Müller", "muller"},
+		{"GÖDEL", "godel"},
+		{"Straße", "strasse"},
+		{"Łukasiewicz", "lukasiewicz"},
+		{"Ørsted", "orsted"},
+		{"Þór", "thor"},
+		{"Æthelred", "aethelred"},
+		{"plain ascii", "plain ascii"},
+		{"O'Brien", "o'brien"},
+		{"Dvořák", "dvorak"},
+		{"Ñandú", "nandu"},
+		// Decomposed e + combining acute folds like precomposed é.
+		{"Café", "cafe"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := Fold(tt.in); got != tt.want {
+			t.Errorf("Fold(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFoldIdempotent(t *testing.T) {
+	f := func(s string) bool { return Fold(Fold(s)) == Fold(s) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasDiacritics(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"Müller", true},
+		{"Muller", false},
+		{"Café", true},
+		{"日本", false}, // non-Latin but no diacritics in our table
+	}
+	for _, tt := range tests {
+		if got := HasDiacritics(tt.in); got != tt.want {
+			t.Errorf("HasDiacritics(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFoldRune(t *testing.T) {
+	tests := []struct {
+		in   rune
+		want string
+	}{
+		{'A', "a"}, {'z', "z"}, {'ß', "ss"}, {'Ø', "o"}, {'́', ""}, {'7', "7"},
+	}
+	for _, tt := range tests {
+		if got := FoldRune(tt.in); got != tt.want {
+			t.Errorf("FoldRune(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestKeyMatchesAcrossSpellings(t *testing.T) {
+	a := MustParse("Müller, Jörg")
+	b := MustParse("Muller, Jorg")
+	if Key(a) != Key(b) {
+		t.Errorf("Key(%q) != Key(%q): %q vs %q", Format(a), Format(b), Key(a), Key(b))
+	}
+	c := MustParse("Muller, Georg")
+	if Key(a) == Key(c) {
+		t.Error("distinct names share key")
+	}
+	// Suffix distinguishes.
+	d := MustParse("Fisher, John W., II")
+	e := MustParse("Fisher, John W.")
+	if Key(d) == Key(e) {
+		t.Error("suffix ignored in key")
+	}
+}
+
+func TestIsParticle(t *testing.T) {
+	for _, p := range []string{"van", "Van", "DE", " la "} {
+		if !IsParticle(p) {
+			t.Errorf("IsParticle(%q) = false", p)
+		}
+	}
+	if IsParticle("smith") {
+		t.Error(`IsParticle("smith") = true`)
+	}
+}
+
+func TestSplitParticleKeepsLastWordAsFamily(t *testing.T) {
+	// Even if every word is a particle, the last word must stay the family.
+	p, f := splitParticle("van der")
+	if f == "" {
+		t.Errorf("splitParticle('van der') lost family: particle=%q family=%q", p, f)
+	}
+}

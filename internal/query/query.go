@@ -1,0 +1,324 @@
+// Package query combines the author index, the inverted title index and
+// secondary year/volume indexes into one lookup engine: exact and prefix
+// author lookups, boolean title search, and citation-range scans.
+package query
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/inverted"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+// Engine owns every in-memory index over a corpus. It is not safe for
+// concurrent mutation; the public facade serializes access.
+type Engine struct {
+	idx   *core.Index
+	inv   *inverted.Index
+	works map[model.WorkID]*model.Work
+	// byYear and byVolume map fixed-width big-endian (key, id) pairs to
+	// the work ID for ordered range scans.
+	byYear   *btree.Tree[model.WorkID]
+	byVolume *btree.Tree[model.WorkID]
+	// bySubject maps collation keys of subject headings to their display
+	// form and posting list, for subject lookups and enumeration.
+	bySubject *btree.Tree[*subjectPosting]
+	coll      collate.Options
+}
+
+type subjectPosting struct {
+	display string
+	ids     []model.WorkID // sorted
+}
+
+// New returns an empty engine with the given collation options.
+func New(opts collate.Options) *Engine {
+	return &Engine{
+		idx:       core.New(opts),
+		inv:       inverted.New(),
+		works:     make(map[model.WorkID]*model.Work),
+		byYear:    btree.New[model.WorkID](),
+		byVolume:  btree.New[model.WorkID](),
+		bySubject: btree.New[*subjectPosting](),
+		coll:      opts,
+	}
+}
+
+// Index exposes the underlying author index (for rendering and stats).
+func (e *Engine) Index() *core.Index { return e.idx }
+
+// Len returns the number of indexed works.
+func (e *Engine) Len() int { return len(e.works) }
+
+// Add indexes w everywhere. Re-adding an existing ID replaces the old
+// version atomically (remove + add).
+func (e *Engine) Add(w *model.Work) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if w.ID == 0 {
+		return fmt.Errorf("query: work %q has no ID", w.Title)
+	}
+	if _, exists := e.works[w.ID]; exists {
+		e.Remove(w.ID)
+	}
+	cp := w.Clone()
+	if err := e.idx.Add(cp); err != nil {
+		return err
+	}
+	e.inv.Add(cp.ID, cp.Title)
+	e.byYear.Set(scopedKey(cp.Citation.Year, cp.ID), cp.ID)
+	e.byVolume.Set(scopedKey(cp.Citation.Volume, cp.ID), cp.ID)
+	for _, s := range cp.Subjects {
+		key := collate.KeyString(s, e.coll)
+		p, ok := e.bySubject.Get(key)
+		if !ok {
+			p = &subjectPosting{display: s}
+			e.bySubject.Set(key, p)
+		}
+		p.insert(cp.ID)
+	}
+	e.works[cp.ID] = cp
+	return nil
+}
+
+// Remove un-indexes the work with the given ID, returning it.
+func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
+	w, ok := e.works[id]
+	if !ok {
+		return nil, false
+	}
+	e.idx.Remove(w)
+	e.inv.Remove(id, w.Title)
+	e.byYear.Delete(scopedKey(w.Citation.Year, id))
+	e.byVolume.Delete(scopedKey(w.Citation.Volume, id))
+	for _, s := range w.Subjects {
+		key := collate.KeyString(s, e.coll)
+		if p, ok := e.bySubject.Get(key); ok {
+			p.remove(id)
+			if len(p.ids) == 0 {
+				e.bySubject.Delete(key)
+			}
+		}
+	}
+	delete(e.works, id)
+	return w.Clone(), true
+}
+
+func (p *subjectPosting) insert(id model.WorkID) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		return
+	}
+	p.ids = append(p.ids, 0)
+	copy(p.ids[i+1:], p.ids[i:])
+	p.ids[i] = id
+}
+
+func (p *subjectPosting) remove(id model.WorkID) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		p.ids = append(p.ids[:i], p.ids[i+1:]...)
+	}
+}
+
+// Subjects returns every subject heading in collation order, with the
+// number of works filed under each.
+func (e *Engine) Subjects() []SubjectCount {
+	var out []SubjectCount
+	e.bySubject.Ascend(func(_ []byte, p *subjectPosting) bool {
+		out = append(out, SubjectCount{Subject: p.display, Works: len(p.ids)})
+		return true
+	})
+	return out
+}
+
+// SubjectCount pairs a subject heading with its work count.
+type SubjectCount struct {
+	Subject string
+	Works   int
+}
+
+// BySubject returns the works filed under a subject heading (matched
+// under the engine's collation: case- and diacritic-insensitive),
+// citation order, capped at limit (<=0: no cap).
+func (e *Engine) BySubject(subject string, limit int) []*model.Work {
+	p, ok := e.bySubject.Get(collate.KeyString(subject, e.coll))
+	if !ok {
+		// The collation key includes original bytes at lower tiers, so an
+		// exact Get only matches identical spellings; fall back to a scan
+		// of the primary tier for case-insensitive matching.
+		prefix := collate.PrimaryPrefix(subject, e.coll)
+		e.bySubject.AscendPrefix(prefix, func(k []byte, cand *subjectPosting) bool {
+			if bytes.Equal(collate.PrimaryPrefix(cand.display, e.coll), prefix) {
+				p, ok = cand, true
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return nil
+		}
+	}
+	return e.resolve(append([]model.WorkID(nil), p.ids...), limit)
+}
+
+// AllWorks returns copies of every indexed work, in ID order.
+func (e *Engine) AllWorks() []*model.Work {
+	out := make([]*model.Work, 0, len(e.works))
+	for _, w := range e.works {
+		out = append(out, w.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Work returns a copy of the work with the given ID.
+func (e *Engine) Work(id model.WorkID) (*model.Work, bool) {
+	w, ok := e.works[id]
+	if !ok {
+		return nil, false
+	}
+	return w.Clone(), true
+}
+
+// AuthorExact looks up a heading by its index-order string, e.g.
+// "Lewin, Jeff L." or "Abdalla, Tarek F.*".
+func (e *Engine) AuthorExact(heading string) (*core.Entry, bool) {
+	a, err := names.Parse(heading)
+	if err != nil {
+		return nil, false
+	}
+	return e.idx.Lookup(a)
+}
+
+// AuthorPrefix returns up to limit entries whose heading starts with the
+// folded prefix, in print order. limit <= 0 means no limit.
+func (e *Engine) AuthorPrefix(prefix string, limit int) []*core.Entry {
+	var out []*core.Entry
+	e.idx.AscendPrefix(prefix, func(entry *core.Entry) bool {
+		a := entry.Author
+		got, ok := e.idx.Lookup(a) // deep copy for the caller
+		if ok {
+			out = append(out, got)
+		}
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// AuthorPage returns up to limit entries strictly after the heading
+// `after` (empty: from the start), in print order — a stable cursor for
+// paging through the whole index. The next page's cursor is the last
+// returned entry's Display() string.
+func (e *Engine) AuthorPage(after string, limit int) []*core.Entry {
+	var start model.Author
+	if after != "" {
+		a, err := names.Parse(after)
+		if err != nil {
+			return nil
+		}
+		start = a
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	var out []*core.Entry
+	e.idx.AscendAfter(start, func(entry *core.Entry) bool {
+		got, ok := e.idx.Lookup(entry.Author)
+		if ok {
+			out = append(out, got)
+		}
+		return len(out) < limit
+	})
+	return out
+}
+
+// TitleSearch evaluates a boolean title query ("surface mining",
+// "coal or gas", "mining -surface", "reclam*") and returns matching
+// works in citation order, capped at limit (<=0: no cap).
+func (e *Engine) TitleSearch(q string, limit int) []*model.Work {
+	ids := e.inv.Search(q)
+	return e.resolve(ids, limit)
+}
+
+// YearRange returns works published in [from, to] (inclusive), in
+// citation order, capped at limit (<=0: no cap).
+func (e *Engine) YearRange(from, to int, limit int) []*model.Work {
+	if from > to {
+		return nil
+	}
+	var ids []model.WorkID
+	e.byYear.AscendRange(scopedKeyMin(from), scopedKeyMin(to+1), func(_ []byte, id model.WorkID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return e.resolve(ids, limit)
+}
+
+// Volume returns every work in the given volume, in citation order.
+func (e *Engine) Volume(v int, limit int) []*model.Work {
+	var ids []model.WorkID
+	e.byVolume.AscendRange(scopedKeyMin(v), scopedKeyMin(v+1), func(_ []byte, id model.WorkID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return e.resolve(ids, limit)
+}
+
+// Stats aggregates counters across all indexes.
+type Stats struct {
+	core.Stats
+	Terms int // distinct title terms in the inverted index
+}
+
+// Stats returns current counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Stats: e.idx.Stats(), Terms: e.inv.Terms()}
+}
+
+// resolve maps IDs to work copies sorted by citation, then title, then ID.
+func (e *Engine) resolve(ids []model.WorkID, limit int) []*model.Work {
+	out := make([]*model.Work, 0, len(ids))
+	for _, id := range ids {
+		if w, ok := e.works[id]; ok {
+			out = append(out, w.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Citation.Compare(out[j].Citation); c != 0 {
+			return c < 0
+		}
+		if out[i].Title != out[j].Title {
+			return out[i].Title < out[j].Title
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// scopedKey packs (scope, id) into a fixed-width big-endian key so that
+// byte order equals numeric order.
+func scopedKey(scope int, id model.WorkID) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint32(k[:4], uint32(scope))
+	binary.BigEndian.PutUint64(k[4:], uint64(id))
+	return k[:]
+}
+
+// scopedKeyMin is the smallest key with the given scope.
+func scopedKeyMin(scope int) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint32(k[:4], uint32(scope))
+	return k[:]
+}

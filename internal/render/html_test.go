@@ -1,0 +1,80 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/citeparse"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+func TestHTMLRender(t *testing.T) {
+	ix := fixtureIndex(t)
+	var buf bytes.Buffer
+	err := Render(&buf, ix, Options{
+		Format: HTMLPage,
+		Volume: model.Volume{Publication: "W. VA. L. REV.", Number: 95, Year: 1993},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"AUTHOR INDEX",
+		"Abdalla, Tarek F.*",
+		`id="sec-A"`,
+		"94:563 (1992)",
+		"see also Van Tol, Joan E.",
+		"W. VA. L. REV. vol. 95 (1993)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesContent(t *testing.T) {
+	ix := core.New(collate.Default())
+	w := &model.Work{
+		ID:       1,
+		Title:    `<script>alert("xss")</script> & Sons`,
+		Citation: citeparse.MustParse("90:1 (1988)"),
+		Authors:  []model.Author{names.MustParse(`O'<b>Bold</b>, A.`)},
+	}
+	if err := ix.Add(w); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: HTMLPage}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<script>alert") || strings.Contains(out, "<b>Bold</b>") {
+		t.Error("HTML injection not escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestHTMLEmptyIndex(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, core.New(collate.Default()), Options{Format: HTMLPage}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AUTHOR INDEX") {
+		t.Error("empty html page missing head")
+	}
+}
+
+func TestParseFormatHTML(t *testing.T) {
+	f, err := ParseFormat("html")
+	if err != nil || f != HTMLPage || f.String() != "html" {
+		t.Errorf("ParseFormat(html) = %v,%v", f, err)
+	}
+}

@@ -1,0 +1,260 @@
+package render
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/citeparse"
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureIndex builds a small, fixed index exercising every rendering
+// feature: students, suffixes, particles, multi-work authors, wrapping
+// titles and a cross-reference.
+func fixtureIndex(t *testing.T) *core.Index {
+	t.Helper()
+	ix := core.New(collate.Default())
+	add := func(id model.WorkID, title, cite string, kind model.Kind, authors ...string) {
+		w := &model.Work{ID: id, Title: title, Kind: kind, Citation: citeparse.MustParse(cite)}
+		for _, a := range authors {
+			w.Authors = append(w.Authors, names.MustParse(a))
+		}
+		if err := ix.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, "Allegheny-Pittsburgh Coal Co. v. County Commission of Webster County",
+		"91:973 (1989)", model.KindCaseNote, "Abdalla, Tarek F.*")
+	add(2, "Ideas of Relevance to Law", "84:1 (1981)", model.KindArticle, "Adler, Mortimer J.")
+	add(3, "Unlocking the Fire: A Proposal for Judicial or Legislative Determination of the Ownership of Coalbed Methane",
+		"94:563 (1992)", model.KindArticle, "Lewin, Jeff L.", "Peng, Syd S.", "Ameri, Samuel J.")
+	add(4, "The Silent Revolution in West Virginia's Law of Nuisance",
+		"92:235 (1989)", model.KindArticle, "Lewin, Jeff L.")
+	add(5, "Crisis in Higher Education Governance", "91:1 (1988)", model.KindArticle, "Van Tol, Joan E.")
+	add(6, "Joint Tenancy in West Virginia: A Progressive Court Looks at Traditional Property Rights",
+		"91:267 (1988)", model.KindArticle, "Fisher, John W., II")
+	if err := ix.AddSeeAlso(names.MustParse("Tol, Joan E."), names.MustParse("Van Tol, Joan E.")); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func renderTo(t *testing.T, ix *core.Index, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, opts); err != nil {
+		t.Fatalf("Render(%v): %v", opts.Format, err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenText(t *testing.T) {
+	ix := fixtureIndex(t)
+	out := renderTo(t, ix, Options{
+		Format: Text,
+		Volume: model.Volume{Publication: "W. VA. L. REV.", Number: 95, Year: 1993},
+	})
+	checkGolden(t, "index.txt", out)
+}
+
+func TestGoldenTextPaginated(t *testing.T) {
+	ix := fixtureIndex(t)
+	out := renderTo(t, ix, Options{
+		Format:     Text,
+		PageLength: 12,
+		PageWidth:  72,
+		Volume:     model.Volume{Publication: "W. VA. L. REV.", Number: 95, Year: 1993},
+	})
+	checkGolden(t, "index_paged.txt", out)
+	// Each page must start with the running head.
+	pages := strings.Split(strings.TrimRight(string(out), "\n"), "\n\n")
+	if len(pages) < 2 {
+		t.Fatalf("expected pagination to produce multiple pages, got %d", len(pages))
+	}
+}
+
+func TestGoldenMarkdown(t *testing.T) {
+	out := renderTo(t, fixtureIndex(t), Options{Format: Markdown})
+	checkGolden(t, "index.md", out)
+}
+
+func TestGoldenTSV(t *testing.T) {
+	out := renderTo(t, fixtureIndex(t), Options{Format: TSV})
+	checkGolden(t, "index.tsv", out)
+}
+
+func TestTextContainsEveryPosting(t *testing.T) {
+	ix := fixtureIndex(t)
+	out := string(renderTo(t, ix, Options{Format: Text}))
+	for _, want := range []string{
+		"Abdalla, Tarek F.*",
+		"Adler, Mortimer J.",
+		"Fisher, John W., II",
+		"Lewin, Jeff L.",
+		"Van Tol, Joan E.",
+		"91:973 (1989)",
+		"94:563 (1992)",
+		"See also: Van Tol, Joan E.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+	// Multi-author works appear once per author heading.
+	if got := strings.Count(out, "94:563 (1992)"); got != 3 {
+		t.Errorf("three-author work printed %d times, want 3", got)
+	}
+}
+
+func TestTextLineWidth(t *testing.T) {
+	for _, width := range []int{60, 78, 100} {
+		out := renderTo(t, fixtureIndex(t), Options{Format: Text, PageWidth: width})
+		for i, line := range strings.Split(string(out), "\n") {
+			if n := len([]rune(line)); n > width {
+				t.Fatalf("width %d: line %d is %d wide: %q", width, i+1, n, line)
+			}
+		}
+	}
+}
+
+func TestCSVParsesBack(t *testing.T) {
+	out := renderTo(t, fixtureIndex(t), Options{Format: CSV})
+	r := csv.NewReader(bytes.NewReader(out))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if !reflect.DeepEqual(recs[0], csvHeader) {
+		t.Errorf("header = %v", recs[0])
+	}
+	// 6 works → 8 postings (3-author work appears 3×).
+	if len(recs) != 9 {
+		t.Errorf("csv rows = %d, want 9 (header + 8 postings)", len(recs))
+	}
+}
+
+func TestJSONWellFormed(t *testing.T) {
+	out := renderTo(t, fixtureIndex(t), Options{Format: JSON})
+	var doc struct {
+		Sections []struct {
+			Letter  string `json:"letter"`
+			Entries []struct {
+				Author struct {
+					Family  string `json:"family"`
+					Student bool   `json:"student"`
+				} `json:"author"`
+				Works []struct {
+					Title    string `json:"title"`
+					Citation string `json:"citation"`
+				} `json:"works"`
+				SeeAlso []string `json:"seeAlso"`
+			} `json:"entries"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("json parse: %v", err)
+	}
+	if len(doc.Sections) == 0 || doc.Sections[0].Letter != "A" {
+		t.Errorf("sections = %+v", doc.Sections)
+	}
+	foundSeeAlso := false
+	for _, s := range doc.Sections {
+		for _, e := range s.Entries {
+			if len(e.SeeAlso) > 0 {
+				foundSeeAlso = true
+			}
+		}
+	}
+	if !foundSeeAlso {
+		t.Error("see-also lost in JSON")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := core.New(collate.Default())
+	for _, f := range []Format{Text, TSV, Markdown, CSV, JSON} {
+		var buf bytes.Buffer
+		if err := Render(&buf, ix, Options{Format: f}); err != nil {
+			t.Errorf("empty index, format %v: %v", f, err)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range formatNames {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v,%v", name, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if Text.String() != "text" || JSON.String() != "json" {
+		t.Error("Format.String mismatch")
+	}
+}
+
+func TestPageWidthClamp(t *testing.T) {
+	// Widths under 40 are clamped to 40; output must not exceed it.
+	out := renderTo(t, fixtureIndex(t), Options{Format: Text, PageWidth: 10})
+	for i, line := range strings.Split(string(out), "\n") {
+		if n := len([]rune(line)); n > 40 {
+			t.Fatalf("clamped width: line %d is %d wide: %q", i, n, line)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	tests := []struct {
+		in    string
+		width int
+		want  []string
+	}{
+		{"short", 10, []string{"short"}},
+		{"two words", 6, []string{"two", "words"}},
+		{"", 10, []string{""}},
+		{"exactfit!!", 10, []string{"exactfit!!"}},
+		{"superlonghyphenlessword", 8, []string{"superlon", "ghyphenl", "essword"}},
+		{"a b c d", 3, []string{"a b", "c d"}},
+	}
+	for _, tt := range tests {
+		got := wrap(tt.in, tt.width)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("wrap(%q,%d) = %q, want %q", tt.in, tt.width, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/citeparse"
+	"repro/internal/collate"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+func subjectFixture() []*model.Work {
+	mk := func(id model.WorkID, title, cite, author string, subjects ...string) *model.Work {
+		return &model.Work{
+			ID: id, Title: title,
+			Citation: citeparse.MustParse(cite),
+			Authors:  []model.Author{names.MustParse(author)},
+			Subjects: subjects,
+		}
+	}
+	return []*model.Work{
+		mk(1, "Strip Mining Overview", "75:319 (1973)", "Cardi, Vincent P.", "Mining Law"),
+		mk(2, "Methane Rights", "94:563 (1992)", "Lewin, Jeff L.", "Mining Law", "Property"),
+		mk(3, "Jury Selection Reform", "87:219 (1984)", "DiSalvo, Charles R.", "Civil Procedure"),
+		mk(4, "Orphan Work", "90:1 (1988)", "Nobody, Files"), // no subjects
+	}
+}
+
+func TestSubjectIndexGrouping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SubjectIndex(&buf, subjectFixture(), collate.Default(), Options{Format: TSV}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 1 + 2 + 1 + 1 postings (work 2 under two subjects).
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %v", len(lines), lines)
+	}
+	// Group order: (unclassified) < Civil Procedure < Mining Law < Property.
+	wantPrefixes := []string{"(unclassified)", "Civil Procedure", "Mining Law", "Mining Law", "Property"}
+	for i, p := range wantPrefixes {
+		if !strings.HasPrefix(lines[i], p+"\t") {
+			t.Fatalf("line %d = %q, want subject %q", i, lines[i], p)
+		}
+	}
+	// Within Mining Law: citation order (75 before 94).
+	if !strings.Contains(lines[2], "75:319") || !strings.Contains(lines[3], "94:563") {
+		t.Errorf("citation order inside group wrong: %v", lines[2:4])
+	}
+}
+
+func TestSubjectIndexText(t *testing.T) {
+	var buf bytes.Buffer
+	err := SubjectIndex(&buf, subjectFixture(), collate.Default(), Options{
+		Format: Text,
+		Volume: model.Volume{Publication: "W. VA. L. REV.", Number: 95, Year: 1993},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SUBJECT INDEX", "MINING LAW", "CIVIL PROCEDURE", "Methane Rights", "94:563 (1992)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("subject index missing %q", want)
+		}
+	}
+	for i, line := range strings.Split(out, "\n") {
+		if n := len([]rune(line)); n > 78 {
+			t.Fatalf("line %d too wide (%d): %q", i, n, line)
+		}
+	}
+}
+
+func TestSubjectIndexMarkdownAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SubjectIndex(&buf, subjectFixture(), collate.Default(), Options{Format: Markdown}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "## Mining Law") {
+		t.Error("markdown heading missing")
+	}
+	for _, f := range []Format{CSV, JSON} {
+		if err := SubjectIndex(&buf, nil, collate.Default(), Options{Format: f}); err == nil {
+			t.Errorf("format %s accepted", f)
+		}
+	}
+}
+
+func TestSubjectIndexEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SubjectIndex(&buf, nil, collate.Default(), Options{Format: Text}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SUBJECT INDEX") {
+		t.Error("empty subject index lacks header")
+	}
+}

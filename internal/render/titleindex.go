@@ -1,0 +1,157 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/collate"
+	"repro/internal/model"
+)
+
+// TitleIndex renders the companion front-matter artifact: a title index,
+// listing works alphabetized by title with their authors and citations.
+// Only the Text, TSV and Markdown formats are supported; titles collate
+// with the same options as author headings.
+//
+// Cumulative index issues traditionally print both artifacts back to
+// back (AUTHOR INDEX, then TITLE INDEX); callers pass the same works the
+// author index was built from.
+func TitleIndex(w io.Writer, works []*model.Work, coll collate.Options, opts Options) error {
+	if opts.RunningHead == "" {
+		opts.RunningHead = "TITLE INDEX"
+	}
+	sorted := make([]*model.Work, len(works))
+	copy(sorted, works)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ki := collate.KeyString(indexableTitle(sorted[i].Title), coll)
+		kj := collate.KeyString(indexableTitle(sorted[j].Title), coll)
+		if c := bytes.Compare(ki, kj); c != 0 {
+			return c < 0
+		}
+		return sorted[i].Citation.Compare(sorted[j].Citation) < 0
+	})
+	switch opts.Format {
+	case Text:
+		return titleIndexText(w, sorted, coll, opts)
+	case TSV:
+		return titleIndexTSV(w, sorted)
+	case Markdown:
+		return titleIndexMarkdown(w, sorted, coll, opts)
+	default:
+		return fmt.Errorf("render: title index does not support format %s", opts.Format)
+	}
+}
+
+// indexableTitle drops leading articles ("A", "An", "The") the way index
+// compilers file titles.
+func indexableTitle(title string) string {
+	for _, art := range [...]string{"The ", "A ", "An ", "the ", "a ", "an "} {
+		if strings.HasPrefix(title, art) && len(title) > len(art) {
+			return title[len(art):]
+		}
+	}
+	return title
+}
+
+func titleLetter(title string, coll collate.Options) byte {
+	t := indexableTitle(title)
+	key := collate.PrimaryPrefix(t, coll)
+	for _, c := range key {
+		if c >= 'a' && c <= 'z' {
+			return c - 'a' + 'A'
+		}
+		if c >= '0' && c <= '9' {
+			return '#'
+		}
+	}
+	return '#'
+}
+
+func titleIndexText(w io.Writer, works []*model.Work, coll collate.Options, opts Options) error {
+	width := opts.pageWidth()
+	citeW := 16
+	titleW := (width - citeW - 2) * 3 / 5
+	authorW := width - citeW - 2 - titleW
+	p := &textPager{w: w, opts: opts}
+
+	var lastLetter byte
+	for _, work := range works {
+		if !opts.NoSections {
+			if l := titleLetter(work.Title, coll); l != lastLetter {
+				lastLetter = l
+				p.emit("")
+				p.emit(center(fmt.Sprintf("— %c —", l), width))
+				p.emit("")
+			}
+		}
+		authors := make([]string, len(work.Authors))
+		for i, a := range work.Authors {
+			authors[i] = a.Display()
+		}
+		titleLines := wrap(work.Title, titleW)
+		authorLines := wrap(strings.Join(authors, "; "), authorW)
+		n := max(len(titleLines), len(authorLines))
+		for i := 0; i < n; i++ {
+			t, a, c := "", "", ""
+			if i < len(titleLines) {
+				t = titleLines[i]
+			}
+			if i < len(authorLines) {
+				a = authorLines[i]
+			}
+			if i == 0 {
+				c = work.Citation.String()
+			}
+			p.emit(fmt.Sprintf("%-*s %-*s %*s", titleW, t, authorW, a, citeW, c))
+		}
+	}
+	if p.err != nil {
+		return fmt.Errorf("render: title index: %w", p.err)
+	}
+	if p.line == 0 && p.page == 0 {
+		p.header()
+	}
+	return p.err
+}
+
+func titleIndexTSV(w io.Writer, works []*model.Work) error {
+	var b strings.Builder
+	for _, work := range works {
+		authors := make([]string, len(work.Authors))
+		for i, a := range work.Authors {
+			authors[i] = a.Display()
+		}
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\n",
+			work.Title, strings.Join(authors, "; "), work.Kind, work.Citation)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func titleIndexMarkdown(w io.Writer, works []*model.Work, coll collate.Options, opts Options) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", opts.runningHead())
+	if vol := opts.Volume.String(); vol != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", vol)
+	}
+	var lastLetter byte
+	for _, work := range works {
+		if !opts.NoSections {
+			if l := titleLetter(work.Title, coll); l != lastLetter {
+				lastLetter = l
+				fmt.Fprintf(&b, "\n## %c\n\n", l)
+			}
+		}
+		authors := make([]string, len(work.Authors))
+		for i, a := range work.Authors {
+			authors[i] = a.Display()
+		}
+		fmt.Fprintf(&b, "- *%s* — %s, %s\n",
+			mdEscape(work.Title), mdEscape(strings.Join(authors, "; ")), work.Citation)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/citeparse"
+	"repro/internal/collate"
+	"repro/internal/model"
+	"repro/internal/names"
+)
+
+func titleFixture() []*model.Work {
+	mk := func(id model.WorkID, title, cite, author string) *model.Work {
+		return &model.Work{
+			ID: id, Title: title,
+			Citation: citeparse.MustParse(cite),
+			Authors:  []model.Author{names.MustParse(author)},
+		}
+	}
+	return []*model.Work{
+		mk(1, "The Silent Revolution in Nuisance Law", "92:235 (1989)", "Lewin, Jeff L."),
+		mk(2, "A Survey of Strip Mining", "75:319 (1973)", "Cardi, Vincent P."),
+		mk(3, "Zoning Ordinances Revisited", "78:522 (1976)", "Bailey, John P.*"),
+		mk(4, "An Economic Analysis of Antitrust Law", "88:677 (1986)", "Cirace, John"),
+		mk(5, "Ideas of Relevance to Law", "84:1 (1981)", "Adler, Mortimer J."),
+	}
+}
+
+func TestTitleIndexOrderIgnoresArticles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TitleIndex(&buf, titleFixture(), collate.Default(), Options{Format: TSV}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Filing order: Economic (An), Ideas, Silent (The), Survey (A), Zoning.
+	wantOrder := []string{"An Economic", "Ideas", "The Silent", "A Survey", "Zoning"}
+	for i, prefix := range wantOrder {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Fatalf("line %d = %q, want prefix %q\nall: %v", i, lines[i], prefix, lines)
+		}
+	}
+}
+
+func TestTitleIndexTextLayout(t *testing.T) {
+	var buf bytes.Buffer
+	err := TitleIndex(&buf, titleFixture(), collate.Default(), Options{
+		Format: Text,
+		Volume: model.Volume{Publication: "W. VA. L. REV.", Number: 95, Year: 1993},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TITLE INDEX", "— E —", "— Z —", "92:235 (1989)", "Lewin, Jeff L."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text title index missing %q", want)
+		}
+	}
+	for i, line := range strings.Split(out, "\n") {
+		if n := len([]rune(line)); n > 78 {
+			t.Fatalf("line %d too wide (%d): %q", i, n, line)
+		}
+	}
+}
+
+func TestTitleIndexMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TitleIndex(&buf, titleFixture(), collate.Default(), Options{Format: Markdown}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TITLE INDEX") || !strings.Contains(out, "## S") {
+		t.Errorf("markdown title index malformed:\n%s", out)
+	}
+}
+
+func TestTitleIndexUnsupportedFormats(t *testing.T) {
+	for _, f := range []Format{CSV, JSON} {
+		var buf bytes.Buffer
+		if err := TitleIndex(&buf, titleFixture(), collate.Default(), Options{Format: f}); err == nil {
+			t.Errorf("format %s accepted", f)
+		}
+	}
+}
+
+func TestTitleIndexEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TitleIndex(&buf, nil, collate.Default(), Options{Format: Text}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TITLE INDEX") {
+		t.Error("empty title index lacks header")
+	}
+}
+
+func TestIndexableTitle(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"The Silent Revolution", "Silent Revolution"},
+		{"A Survey", "Survey"},
+		{"An Essay", "Essay"},
+		{"Theories of Law", "Theories of Law"}, // "The" must match a whole word
+		{"Analysis", "Analysis"},
+		{"The ", "The "}, // nothing after the article: unchanged
+	}
+	for _, tt := range tests {
+		if got := indexableTitle(tt.in); got != tt.want {
+			t.Errorf("indexableTitle(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTitleIndexDoesNotMutateInput(t *testing.T) {
+	works := titleFixture()
+	first := works[0].Title
+	var buf bytes.Buffer
+	if err := TitleIndex(&buf, works, collate.Default(), Options{Format: TSV}); err != nil {
+		t.Fatal(err)
+	}
+	if works[0].Title != first {
+		t.Error("TitleIndex reordered or mutated caller slice contents")
+	}
+}

@@ -1,0 +1,562 @@
+// Package storage implements the durable record store underneath the
+// author-index engine: an in-memory map of works made crash-safe by a
+// write-ahead log and periodic snapshots.
+//
+// Every mutation is appended to the WAL before being applied, so a crash
+// at any instant loses at most the in-flight operation. Compact writes a
+// CRC-protected snapshot (atomically, via rename) and resets the WAL;
+// recovery loads the newest snapshot and replays the WAL suffix.
+//
+// A Store opened with an empty directory path is purely in-memory: same
+// API, no durability — useful for tests and benchmarks.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// Errors reported by the package.
+var (
+	ErrNotFound = errors.New("storage: work not found")
+	ErrClosed   = errors.New("storage: store is closed")
+	ErrCorrupt  = errors.New("storage: corrupt data")
+)
+
+// WAL operation tags.
+const (
+	opPut     = 1
+	opDelete  = 2
+	opXRefAdd = 3
+	opXRefDel = 4
+)
+
+// CrossRef is a persisted "see also" reference between author headings.
+type CrossRef struct {
+	From, To model.Author
+}
+
+const (
+	snapshotFile = "snapshot.dat"
+	snapshotTmp  = "snapshot.tmp"
+	walSubdir    = "wal"
+	snapMagic    = "AIDXSNP1"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Store.
+type Options struct {
+	// WAL is passed through to the write-ahead log.
+	WAL wal.Options
+	// CompactEvery triggers an automatic Compact after this many logged
+	// operations. Zero disables automatic compaction.
+	CompactEvery int
+}
+
+// Store is a durable map from WorkID to Work. All methods are safe for
+// concurrent use. Returned works are deep copies; mutating them never
+// affects the store.
+type Store struct {
+	mu sync.RWMutex
+
+	dir    string
+	log    *wal.Log // nil in memory-only mode
+	opts   Options
+	closed bool
+
+	works    map[model.WorkID]*model.Work
+	xrefs    []CrossRef
+	nextID   model.WorkID
+	opsSince int // operations logged since the last snapshot
+	scratch  []byte
+}
+
+// Open opens (creating if necessary) a store rooted at dir. An empty dir
+// yields a volatile in-memory store.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		works:  make(map[model.WorkID]*model.Work),
+		nextID: 1,
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	walDir := filepath.Join(dir, walSubdir)
+	if _, err := wal.Replay(walDir, s.applyRecord); err != nil {
+		return nil, fmt.Errorf("storage: replay: %w", err)
+	}
+	log, err := wal.Open(walDir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+// Put stores a validated work. A zero ID is assigned the next free ID;
+// an explicit ID inserts or overwrites. The assigned ID is returned.
+func (s *Store) Put(w *model.Work) (model.WorkID, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	clone := w.Clone()
+	if clone.ID == 0 {
+		clone.ID = s.nextID
+	}
+	if err := s.logOp(s.encodePut(clone)); err != nil {
+		return 0, err
+	}
+	s.applyPut(clone)
+	if err := s.maybeCompactLocked(); err != nil {
+		return 0, err
+	}
+	return clone.ID, nil
+}
+
+// Get returns a copy of the work stored under id.
+func (s *Store) Get(id model.WorkID) (*model.Work, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.works[id]
+	if !ok {
+		return nil, false
+	}
+	return w.Clone(), true
+}
+
+// Delete removes the work stored under id.
+func (s *Store) Delete(id model.WorkID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.works[id]; !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if err := s.logOp(s.encodeDelete(id)); err != nil {
+		return err
+	}
+	delete(s.works, id)
+	return s.maybeCompactLocked()
+}
+
+// Len returns the number of stored works.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.works)
+}
+
+// ForEach calls fn with a copy of every stored work, in unspecified
+// order, stopping at the first error.
+func (s *Store) ForEach(fn func(*model.Work) error) error {
+	s.mu.RLock()
+	works := make([]*model.Work, 0, len(s.works))
+	for _, w := range s.works {
+		works = append(works, w.Clone())
+	}
+	s.mu.RUnlock()
+	for _, w := range works {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddCrossRef durably records a "see also" reference. Duplicates are
+// ignored.
+func (s *Store) AddCrossRef(ref CrossRef) error {
+	if err := ref.From.Validate(); err != nil {
+		return err
+	}
+	if err := ref.To.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.findXRef(ref) >= 0 {
+		return nil
+	}
+	if err := s.logOp(s.encodeXRef(opXRefAdd, ref)); err != nil {
+		return err
+	}
+	s.xrefs = append(s.xrefs, ref)
+	return s.maybeCompactLocked()
+}
+
+// DeleteCrossRef removes a previously recorded reference.
+func (s *Store) DeleteCrossRef(ref CrossRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	i := s.findXRef(ref)
+	if i < 0 {
+		return fmt.Errorf("%w: cross-reference %s → %s", ErrNotFound, ref.From.Display(), ref.To.Display())
+	}
+	if err := s.logOp(s.encodeXRef(opXRefDel, ref)); err != nil {
+		return err
+	}
+	s.xrefs = append(s.xrefs[:i], s.xrefs[i+1:]...)
+	return s.maybeCompactLocked()
+}
+
+// CrossRefs returns a copy of all recorded references.
+func (s *Store) CrossRefs() []CrossRef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]CrossRef(nil), s.xrefs...)
+}
+
+func (s *Store) findXRef(ref CrossRef) int {
+	for i, x := range s.xrefs {
+		if x == ref {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compact writes a snapshot of the current state and resets the WAL. It
+// is a no-op for in-memory stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// Stats describes the store's size on disk and in memory.
+type Stats struct {
+	Works         int
+	NextID        model.WorkID
+	WALBytes      int64
+	SnapshotBytes int64
+	InMemory      bool
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Works: len(s.works), NextID: s.nextID, InMemory: s.dir == ""}
+	if s.log != nil {
+		st.WALBytes = s.log.Size()
+	}
+	if s.dir != "" {
+		if fi, err := os.Stat(filepath.Join(s.dir, snapshotFile)); err == nil {
+			st.SnapshotBytes = fi.Size()
+		}
+	}
+	return st
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	if s.log != nil {
+		return s.log.Close()
+	}
+	return nil
+}
+
+// ---- internals (callers hold s.mu) ----
+
+func (s *Store) logOp(payload []byte) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Append(payload); err != nil {
+		return err
+	}
+	s.opsSince++
+	return nil
+}
+
+// maybeCompactLocked runs an automatic compaction once enough operations
+// have been logged. It must be called after the triggering operation is
+// applied, so the snapshot includes it.
+func (s *Store) maybeCompactLocked() error {
+	if s.log != nil && s.opts.CompactEvery > 0 && s.opsSince >= s.opts.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+func (s *Store) encodePut(w *model.Work) []byte {
+	s.scratch = append(s.scratch[:0], opPut)
+	s.scratch = model.AppendWork(s.scratch, w)
+	return s.scratch
+}
+
+func (s *Store) encodeDelete(id model.WorkID) []byte {
+	s.scratch = append(s.scratch[:0], opDelete)
+	s.scratch = binary.AppendUvarint(s.scratch, uint64(id))
+	return s.scratch
+}
+
+func (s *Store) encodeXRef(op byte, ref CrossRef) []byte {
+	s.scratch = append(s.scratch[:0], op)
+	s.scratch = model.AppendAuthor(s.scratch, ref.From)
+	s.scratch = model.AppendAuthor(s.scratch, ref.To)
+	return s.scratch
+}
+
+func decodeXRef(p []byte) (CrossRef, error) {
+	var ref CrossRef
+	from, n, err := model.DecodeAuthor(p)
+	if err != nil {
+		return ref, err
+	}
+	to, _, err := model.DecodeAuthor(p[n:])
+	if err != nil {
+		return ref, err
+	}
+	ref.From, ref.To = from, to
+	return ref, nil
+}
+
+func (s *Store) applyPut(w *model.Work) {
+	s.works[w.ID] = w
+	if w.ID >= s.nextID {
+		s.nextID = w.ID + 1
+	}
+}
+
+// applyRecord interprets one WAL payload during recovery.
+func (s *Store) applyRecord(p []byte) error {
+	if len(p) == 0 {
+		return fmt.Errorf("%w: empty WAL record", ErrCorrupt)
+	}
+	switch p[0] {
+	case opPut:
+		w, _, err := model.DecodeWork(p[1:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		s.applyPut(w)
+		return nil
+	case opDelete:
+		id, n := binary.Uvarint(p[1:])
+		if n <= 0 {
+			return fmt.Errorf("%w: bad delete record", ErrCorrupt)
+		}
+		delete(s.works, model.WorkID(id))
+		return nil
+	case opXRefAdd:
+		ref, err := decodeXRef(p[1:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if s.findXRef(ref) < 0 {
+			s.xrefs = append(s.xrefs, ref)
+		}
+		return nil
+	case opXRefDel:
+		ref, err := decodeXRef(p[1:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if i := s.findXRef(ref); i >= 0 {
+			s.xrefs = append(s.xrefs[:i], s.xrefs[i+1:]...)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown WAL op %d", ErrCorrupt, p[0])
+	}
+}
+
+// compactLocked writes snapshot.tmp, fsyncs, renames over snapshot.dat
+// and resets the WAL.
+func (s *Store) compactLocked() error {
+	if s.dir == "" || s.log == nil {
+		return nil // in-memory: nothing to compact
+	}
+	tmp := filepath.Join(s.dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	if err := s.writeSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("storage: compact rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if err := s.log.Reset(); err != nil {
+		return err
+	}
+	s.opsSince = 0
+	return nil
+}
+
+// Snapshot layout: magic, then a body of
+//
+//	uvarint nextID
+//	uvarint work count, then that many work encodings
+//	uvarint cross-ref count, then that many (from, to) author pairs
+//
+// followed by a uint32 CRC-32C of the body.
+func (s *Store) writeSnapshot(w io.Writer) error {
+	body := binary.AppendUvarint(nil, uint64(s.nextID))
+	body = binary.AppendUvarint(body, uint64(len(s.works)))
+	for _, work := range s.works {
+		body = model.AppendWork(body, work)
+	}
+	body = binary.AppendUvarint(body, uint64(len(s.xrefs)))
+	for _, ref := range s.xrefs {
+		body = model.AppendAuthor(body, ref.From)
+		body = model.AppendAuthor(body, ref.To)
+	}
+	if _, err := w.Write([]byte(snapMagic)); err != nil {
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, castagnoli))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("storage: load snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	nextID, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("%w: snapshot nextID", ErrCorrupt)
+	}
+	body = body[n:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("%w: snapshot count", ErrCorrupt)
+	}
+	body = body[n:]
+	for i := uint64(0); i < count; i++ {
+		w, consumed, err := model.DecodeWork(body)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot work %d: %v", ErrCorrupt, i, err)
+		}
+		body = body[consumed:]
+		s.works[w.ID] = w
+	}
+	xrefCount, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("%w: snapshot cross-ref count", ErrCorrupt)
+	}
+	body = body[n:]
+	for i := uint64(0); i < xrefCount; i++ {
+		ref, err := decodeSnapshotXRef(&body)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot cross-ref %d: %v", ErrCorrupt, i, err)
+		}
+		s.xrefs = append(s.xrefs, ref)
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(body))
+	}
+	s.nextID = model.WorkID(nextID)
+	// Guard against snapshots written before an explicit-ID Put raised
+	// nextID: never hand out an ID that is already taken.
+	for id := range s.works {
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	return nil
+}
+
+func decodeSnapshotXRef(body *[]byte) (CrossRef, error) {
+	var ref CrossRef
+	from, n, err := model.DecodeAuthor(*body)
+	if err != nil {
+		return ref, err
+	}
+	*body = (*body)[n:]
+	to, n, err := model.DecodeAuthor(*body)
+	if err != nil {
+		return ref, err
+	}
+	*body = (*body)[n:]
+	ref.From, ref.To = from, to
+	return ref, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return nil
+}
