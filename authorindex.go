@@ -36,6 +36,7 @@ import (
 	"repro/internal/dedupe"
 	"repro/internal/gen"
 	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/names"
 	"repro/internal/query"
@@ -77,6 +78,16 @@ type (
 	SubjectCount = query.SubjectCount
 	// Suggestion is one candidate duplicate-heading pair.
 	Suggestion = dedupe.Suggestion
+	// AuthorMetrics is one heading's bibliometrics snapshot.
+	AuthorMetrics = metrics.AuthorMetrics
+	// MetricsSummary aggregates corpus-level collaboration statistics.
+	MetricsSummary = metrics.Summary
+	// Collaborator pairs a co-author heading with shared-work count.
+	Collaborator = metrics.Collaborator
+	// Scheme selects how authorship credit is split by position.
+	Scheme = metrics.Scheme
+	// RankKey selects the statistic TopAuthors ranks by.
+	RankKey = metrics.RankKey
 )
 
 // Duplicate-suggestion reasons, strongest first.
@@ -106,6 +117,40 @@ const (
 	JSON     = render.JSON
 	HTMLPage = render.HTMLPage
 )
+
+// Credit-weighting schemes for author metrics.
+const (
+	SchemeHarmonic   = metrics.Harmonic
+	SchemeArithmetic = metrics.Arithmetic
+	SchemeGeometric  = metrics.Geometric
+	SchemeFractional = metrics.Fractional
+)
+
+// Ranking keys for TopAuthors.
+const (
+	ByWorks         = metrics.ByWorks
+	ByWeighted      = metrics.ByWeighted
+	ByFractional    = metrics.ByFractional
+	ByHIndex        = metrics.ByHIndex
+	ByCollaborators = metrics.ByCollaborators
+	ByFirstAuthored = metrics.ByFirstAuthored
+)
+
+// MaxLimit bounds every caller-supplied result limit; see ClampLimit.
+const MaxLimit = query.MaxLimit
+
+// ClampLimit normalizes a caller-supplied result limit, shared by the
+// CLI and HTTP layers: negative values fall back to def, zero ("all")
+// and values above MaxLimit clamp to MaxLimit.
+func ClampLimit(n, def int) int { return query.ClampLimit(n, def) }
+
+// ParseScheme converts a scheme name ("harmonic", "arithmetic",
+// "geometric", "fractional") into a Scheme.
+func ParseScheme(s string) (Scheme, error) { return metrics.ParseScheme(s) }
+
+// ParseRankKey converts a rank-key name ("works", "weighted",
+// "fractional", "h", "collabs", "first") into a RankKey.
+func ParseRankKey(s string) (RankKey, error) { return metrics.ParseRankKey(s) }
 
 // Errors re-exported from the storage layer.
 var (
@@ -149,6 +194,9 @@ type Options struct {
 	// CompactEvery auto-compacts after this many logged operations;
 	// zero disables automatic compaction.
 	CompactEvery int
+	// MetricsScheme selects the position-weighting scheme for author
+	// credit. The zero value is SchemeHarmonic.
+	MetricsScheme Scheme
 }
 
 // Stats summarizes index contents and storage footprint.
@@ -185,6 +233,9 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if o.Collation != nil {
 		coll = *o.Collation
 	}
+	if !o.MetricsScheme.Valid() {
+		return nil, fmt.Errorf("authorindex: invalid metrics scheme %d", o.MetricsScheme)
+	}
 	st, err := storage.Open(dir, storage.Options{
 		WAL:          wal.Options{NoSync: o.NoSync},
 		CompactEvery: o.CompactEvery,
@@ -192,7 +243,7 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{store: st, eng: query.New(coll), coll: coll}
+	ix := &Index{store: st, eng: query.NewWithScheme(coll, o.MetricsScheme), coll: coll}
 	if err := st.ForEach(func(w *model.Work) error { return ix.eng.Add(w) }); err != nil {
 		st.Close()
 		return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
@@ -342,6 +393,51 @@ func (ix *Index) AddSeeAlso(from, to string) error {
 	return ix.store.AddCrossRef(storage.CrossRef{From: fa, To: ta})
 }
 
+// AuthorMetrics returns the bibliometrics snapshot for one heading:
+// work counts by kind and year, fractional and position-weighted
+// credit, productivity h-index and collaboration degree.
+func (ix *Index) AuthorMetrics(heading string) (AuthorMetrics, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.AuthorMetrics(heading)
+}
+
+// TopAuthors returns up to limit author snapshots ranked by the given
+// key, best first. The limit is clamped like every query limit.
+func (ix *Index) TopAuthors(by RankKey, limit int) []AuthorMetrics {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.TopAuthors(by, limit)
+}
+
+// MetricsSummary returns corpus-level collaboration statistics.
+func (ix *Index) MetricsSummary() MetricsSummary {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Metrics().Summary()
+}
+
+// SetMetricsScheme swaps the credit-weighting scheme, rebuilding the
+// metrics state from the corpus (O(corpus), a recovery-grade path).
+func (ix *Index) SetMetricsScheme(s Scheme) error {
+	if !s.Valid() {
+		return fmt.Errorf("authorindex: invalid metrics scheme %d", s)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.eng.SetMetricsScheme(s)
+	return nil
+}
+
+// RebuildMetrics discards the incrementally maintained metrics state
+// and recomputes it from the indexed corpus — the recovery path when
+// incremental state is suspect.
+func (ix *Index) RebuildMetrics() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.eng.RebuildMetrics()
+}
+
 // Sections returns the index grouped by letter, in print order; entries
 // are deep copies.
 func (ix *Index) Sections() []Section {
@@ -350,10 +446,17 @@ func (ix *Index) Sections() []Section {
 	return ix.eng.Index().Sections()
 }
 
-// Render writes the index to w in the format selected by opts.
+// Render writes the index to w in the format selected by opts. With
+// opts.Statistics set, the Text, Markdown and JSON formats close with a
+// contributor-summary appendix built from the metrics tracker.
 func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
+		// BuildStatistics defaults non-positive limits to 10; the cap
+		// bounds explicit limits like every other query limit.
+		opts.Appendix = render.BuildStatistics(ix.eng.Metrics(), min(opts.StatsLimit, MaxLimit))
+	}
 	return render.Render(w, ix.eng.Index(), opts)
 }
 
@@ -491,6 +594,13 @@ func (ix *Index) Verify() error {
 	st := ix.eng.Stats()
 	if st.Works != storeCount {
 		return fmt.Errorf("authorindex: verify: author index counts %d works, store %d", st.Works, storeCount)
+	}
+	ms := ix.eng.Metrics().Summary()
+	if ms.Works != storeCount {
+		return fmt.Errorf("authorindex: verify: metrics track %d works, store %d", ms.Works, storeCount)
+	}
+	if ms.Postings != st.Postings {
+		return fmt.Errorf("authorindex: verify: metrics count %d postings, index %d", ms.Postings, st.Postings)
 	}
 	return nil
 }

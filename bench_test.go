@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/ingest"
 	"repro/internal/inverted"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/render"
 	"repro/internal/storage"
@@ -272,6 +273,46 @@ func BenchmarkIngest(b *testing.B) {
 		if _, err := ingest.TSV(bytes.NewReader(tsv.Bytes()), ingest.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// E10 — author metrics: incremental maintenance and top-k ranking.
+//
+// Incremental measures one add+remove round trip against trackers
+// holding corpora of increasing size: per-mutation cost must stay flat
+// as the corpus grows (the incremental-maintenance claim). TopK and
+// Rebuild scale with corpus size by design.
+func BenchmarkMetrics(b *testing.B) {
+	sizes := []int{1_000, 10_000, 100_000}
+	for _, n := range sizes {
+		all := corpus(b, n+1)
+		works, extra := all[:n], all[n]
+		tr := metrics.NewEngine(metrics.Harmonic)
+		for _, w := range works {
+			tr.Add(w)
+		}
+		b.Run(fmt.Sprintf("Incremental/corpus=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Add(extra)
+				tr.Remove(extra)
+			}
+		})
+		b.Run(fmt.Sprintf("TopK/corpus=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(tr.TopAuthors(metrics.ByWeighted, 10)) == 0 {
+					b.Fatal("no authors ranked")
+				}
+			}
+			b.ReportMetric(float64(tr.Len()), "authors")
+		})
+		b.Run(fmt.Sprintf("Rebuild/corpus=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fresh := metrics.NewEngine(metrics.Harmonic)
+				fresh.Rebuild(works)
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/ingest"
 	"repro/internal/inverted"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/render"
 	"repro/internal/storage"
@@ -141,6 +142,50 @@ func runE3(c config) {
 		}
 		t.add(fmt.Sprint(b), inc.Round(time.Microsecond).String(),
 			full.Round(time.Millisecond).String(), winner)
+	}
+	t.print()
+}
+
+// E10: author metrics — per-mutation cost of incremental maintenance
+// vs corpus size (must stay flat), top-k ranking latency, and the full
+// rebuild baseline.
+func runE10(c config) {
+	const rounds = 2_000
+	t := &table{header: []string{"corpus", "authors", "ns/update", "top-10", "rebuild", "rank/s"}}
+	for _, n := range corpusSizes(c) {
+		all := gen.Generate(gen.Config{Seed: c.seed, Works: n + 1, ZipfS: 1.1})
+		works, extra := all[:n], all[n]
+		tr := metrics.NewEngine(metrics.Harmonic)
+		for _, w := range works {
+			tr.Add(w)
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			tr.Add(extra)
+			tr.Remove(extra)
+		}
+		update := time.Since(start)
+
+		rankOps := 200
+		if n >= 100_000 {
+			rankOps = 20
+		}
+		start = time.Now()
+		for i := 0; i < rankOps; i++ {
+			if len(tr.TopAuthors(metrics.ByWeighted, 10)) == 0 {
+				panic("no authors ranked")
+			}
+		}
+		rank := time.Since(start)
+
+		start = time.Now()
+		fresh := metrics.NewEngine(metrics.Harmonic)
+		fresh.Rebuild(works)
+		rebuild := time.Since(start)
+
+		t.add(fmt.Sprint(n), fmt.Sprint(tr.Len()), ns(update, 2*rounds),
+			(rank / time.Duration(rankOps)).Round(time.Microsecond).String(),
+			rebuild.Round(time.Millisecond).String(), persec(rank, rankOps))
 	}
 	t.print()
 }

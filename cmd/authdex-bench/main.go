@@ -1,4 +1,4 @@
-// Command authdex-bench runs the evaluation suite (experiments E1–E8
+// Command authdex-bench runs the evaluation suite (experiments E1–E10
 // from EXPERIMENTS.md) and prints one result table per experiment.
 //
 // The source paper ("Author Index", VLDB 2000) is front matter with no
@@ -39,6 +39,7 @@ var experiments = []experiment{
 	{"E7", "title search: inverted index vs full scan", runE7},
 	{"E8", "ingest round-trip throughput and fidelity", runE8},
 	{"E9", "durability ablation: fsync vs no-sync vs in-memory", runE9},
+	{"E10", "author metrics: incremental update and top-k ranking", runE10},
 }
 
 func main() {

@@ -13,20 +13,31 @@ import (
 )
 
 // openFlags declares the flags every index-touching command shares and
-// returns an opener bound to them.
-func openFlags(fs *flag.FlagSet) func() (*authorindex.Index, error) {
+// returns an opener bound to them. Tweaks adjust the Options before
+// Open (e.g. the metrics commands set the credit scheme so the tracker
+// is built once, during the rebuild from the store).
+func openFlags(fs *flag.FlagSet) func(tweaks ...func(*authorindex.Options)) (*authorindex.Index, error) {
 	dir := fs.String("dir", "", "index directory (required)")
 	nosync := fs.Bool("nosync", false, "skip fsync on writes (faster, less durable)")
 	compactEvery := fs.Int("compact-every", 0, "auto-compact after N logged operations")
-	return func() (*authorindex.Index, error) {
+	return func(tweaks ...func(*authorindex.Options)) (*authorindex.Index, error) {
 		if *dir == "" {
 			return nil, errors.New("-dir is required")
 		}
-		return authorindex.Open(*dir, &authorindex.Options{
+		opts := authorindex.Options{
 			NoSync:       *nosync,
 			CompactEvery: *compactEvery,
-		})
+		}
+		for _, tweak := range tweaks {
+			tweak(&opts)
+		}
+		return authorindex.Open(*dir, &opts)
 	}
+}
+
+// withScheme is the opener tweak the metrics-facing commands share.
+func withScheme(s authorindex.Scheme) func(*authorindex.Options) {
+	return func(o *authorindex.Options) { o.MetricsScheme = s }
 }
 
 func outWriter(path string) (io.WriteCloser, error) {
@@ -223,14 +234,14 @@ func cmdPrefix(args []string) error {
 	fs := flag.NewFlagSet("prefix", flag.ExitOnError)
 	open := openFlags(fs)
 	p := fs.String("p", "", "heading prefix (empty = all)")
-	n := fs.Int("n", 20, "max headings (0 = all)")
+	n := fs.Int("n", 20, "max headings (0 = all, capped at 10000)")
 	fs.Parse(args)
 	ix, err := open()
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
-	for _, e := range ix.Authors(*p, *n) {
+	for _, e := range ix.Authors(*p, authorindex.ClampLimit(*n, 20)) {
 		fmt.Printf("%-40s %d works\n", authorindex.FormatAuthor(e.Author), len(e.Works))
 	}
 	return nil
@@ -240,7 +251,7 @@ func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	open := openFlags(fs)
 	q := fs.String("q", "", `query, e.g. "surface mining -tax" or "coal*" (required)`)
-	n := fs.Int("n", 20, "max results (0 = all)")
+	n := fs.Int("n", 20, "max results (0 = all, capped at 10000)")
 	fs.Parse(args)
 	if *q == "" {
 		return errors.New("-q is required")
@@ -250,7 +261,7 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.Search(*q, *n))
+	printWorks(ix.Search(*q, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
@@ -259,7 +270,7 @@ func cmdYears(args []string) error {
 	open := openFlags(fs)
 	from := fs.Int("from", 0, "first year (required)")
 	to := fs.Int("to", 0, "last year (required)")
-	n := fs.Int("n", 20, "max results (0 = all)")
+	n := fs.Int("n", 20, "max results (0 = all, capped at 10000)")
 	fs.Parse(args)
 	if *from == 0 || *to == 0 {
 		return errors.New("-from and -to are required")
@@ -269,7 +280,7 @@ func cmdYears(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.YearRange(*from, *to, *n))
+	printWorks(ix.YearRange(*from, *to, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
@@ -277,7 +288,7 @@ func cmdVolume(args []string) error {
 	fs := flag.NewFlagSet("volume", flag.ExitOnError)
 	open := openFlags(fs)
 	v := fs.Int("v", 0, "volume number (required)")
-	n := fs.Int("n", 0, "max results (0 = all)")
+	n := fs.Int("n", 0, "max results (0 = all, capped at 10000)")
 	fs.Parse(args)
 	if *v == 0 {
 		return errors.New("-v is required")
@@ -287,7 +298,7 @@ func cmdVolume(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.VolumeWorks(*v, *n))
+	printWorks(ix.VolumeWorks(*v, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
@@ -301,6 +312,8 @@ func cmdRender(args []string) error {
 	pub := fs.String("publication", "", "running-head publication name")
 	volnum := fs.Int("volnum", 0, "running-head volume number")
 	year := fs.Int("year", 0, "running-head year")
+	stats := fs.Bool("stats", false, "append the contributor-statistics appendix (text/markdown/json)")
+	statsTop := fs.Int("stats-top", 10, "ranked contributors in the appendix")
 	fs.Parse(args)
 
 	f, err := authorindex.ParseFormat(*format)
@@ -322,6 +335,8 @@ func cmdRender(args []string) error {
 		PageLength: *pagelen,
 		PageWidth:  *width,
 		Volume:     authorindex.Volume{Publication: *pub, Number: *volnum, Year: *year},
+		Statistics: *stats,
+		StatsLimit: *statsTop,
 	})
 }
 
@@ -361,7 +376,7 @@ func cmdSubjects(args []string) error {
 	s := fs.String("s", "", "show works under this subject (default: list all headings)")
 	renderIt := fs.Bool("render", false, "render the full subject index instead")
 	format := fs.String("format", "text", "render format: text, tsv or markdown")
-	n := fs.Int("n", 0, "max results (0 = all)")
+	n := fs.Int("n", 0, "max results (0 = all, capped at 10000)")
 	fs.Parse(args)
 
 	ix, err := open()
@@ -377,7 +392,7 @@ func cmdSubjects(args []string) error {
 		}
 		return ix.RenderSubjectIndex(os.Stdout, authorindex.RenderOptions{Format: f})
 	case *s != "":
-		printWorks(ix.BySubject(*s, *n))
+		printWorks(ix.BySubject(*s, authorindex.ClampLimit(*n, 20)))
 	default:
 		for _, sc := range ix.Subjects() {
 			fmt.Printf("%-50s %d works\n", sc.Subject, sc.Works)
@@ -473,6 +488,98 @@ func cmdReport(args []string) error {
 			break
 		}
 		fmt.Printf("  %-40s %d works\n", a.heading, a.works)
+	}
+	return nil
+}
+
+// cmdMetrics prints the bibliometrics snapshot for one heading, or the
+// corpus-level summary when no -author is given.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	open := openFlags(fs)
+	author := fs.String("author", "", `heading, e.g. "Lewin, Jeff L." (default: corpus summary)`)
+	scheme := fs.String("scheme", "harmonic", "credit scheme: harmonic, arithmetic, geometric or fractional")
+	fs.Parse(args)
+
+	s, err := authorindex.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	ix, err := open(withScheme(s))
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	if *author == "" {
+		sum := ix.MetricsSummary()
+		fmt.Printf("works:            %d\n", sum.Works)
+		fmt.Printf("contributors:     %d\n", sum.Authors)
+		fmt.Printf("postings:         %d\n", sum.Postings)
+		fmt.Printf("solo works:       %d\n", sum.SoloWorks)
+		fmt.Printf("collab pairs:     %d\n", sum.Pairs)
+		fmt.Printf("authors per work: %.2f\n", sum.MeanAuthorsPerWork)
+		fmt.Printf("scheme:           %s\n", sum.Scheme)
+		return nil
+	}
+	m, ok := ix.AuthorMetrics(*author)
+	if !ok {
+		return fmt.Errorf("no heading %q", *author)
+	}
+	fmt.Println(m.Heading)
+	fmt.Printf("  works:          %d (first-authored %d)\n", m.Works, m.FirstAuthored)
+	fmt.Printf("  credit:         %.3f weighted (%s), %.3f fractional\n", m.Weighted, *scheme, m.Fractional)
+	fmt.Printf("  h-index:        %d\n", m.HIndex)
+	fmt.Printf("  collaborators:  %d\n", m.Collaborators)
+	kinds := make([]string, 0, len(m.ByKind))
+	for kind := range m.ByKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		fmt.Printf("  kind %-14s %d\n", kind+":", m.ByKind[kind])
+	}
+	years := make([]int, 0, len(m.ByYear))
+	for y := range m.ByYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		fmt.Printf("  year %d:      %d\n", y, m.ByYear[y])
+	}
+	for _, c := range m.TopCollaborators {
+		fmt.Printf("  with %-34s %d works\n", c.Heading, c.Works)
+	}
+	return nil
+}
+
+// cmdRank prints the top contributors under a chosen statistic.
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	open := openFlags(fs)
+	by := fs.String("by", "weighted", "rank key: works, weighted, fractional, h, collabs or first")
+	limit := fs.Int("limit", 10, "how many authors to list (0 = all, clamped)")
+	scheme := fs.String("scheme", "harmonic", "credit scheme: harmonic, arithmetic, geometric or fractional")
+	fs.Parse(args)
+
+	key, err := authorindex.ParseRankKey(*by)
+	if err != nil {
+		return err
+	}
+	s, err := authorindex.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	ix, err := open(withScheme(s))
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	fmt.Printf("%-4s %-40s %5s %5s %8s %3s %7s\n", "rank", "author", "works", "first", "credit", "h", "collabs")
+	for i, m := range ix.TopAuthors(key, authorindex.ClampLimit(*limit, 10)) {
+		fmt.Printf("%-4d %-40s %5d %5d %8.3f %3d %7d\n",
+			i+1, m.Heading, m.Works, m.FirstAuthored, m.Weighted, m.HIndex, m.Collaborators)
 	}
 	return nil
 }

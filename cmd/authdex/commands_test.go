@@ -137,6 +137,34 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	out = captureStdout(t, func() error {
+		return cmdMetrics([]string{"-dir", idx, "-nosync"})
+	})
+	if !strings.Contains(out, "works:            61") || !strings.Contains(out, "scheme:           harmonic") {
+		t.Fatalf("metrics summary output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdMetrics([]string{"-dir", idx, "-nosync", "-author", "Manual, Added A."})
+	})
+	if !strings.Contains(out, "Manual, Added A.") || !strings.Contains(out, "h-index:") {
+		t.Fatalf("metrics author output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "weighted", "-limit", "5"})
+	})
+	if !strings.Contains(out, "rank") || len(strings.Split(strings.TrimSpace(out), "\n")) != 6 {
+		t.Fatalf("rank output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "h", "-scheme", "arithmetic", "-limit", "3"})
+	})
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("rank by h output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
 		return cmdVerify([]string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "ok:") {
@@ -170,6 +198,14 @@ func TestCLIPipeline(t *testing.T) {
 	})
 	if !strings.Contains(out, "# SUBJECT INDEX") {
 		t.Fatalf("subject render output: %q", out)
+	}
+
+	// Render with the statistics appendix.
+	out = captureStdout(t, func() error {
+		return cmdRender([]string{"-dir", idx, "-nosync", "-format", "markdown", "-stats", "-stats-top", "3"})
+	})
+	if !strings.Contains(out, "## Statistics") {
+		t.Fatalf("render -stats output: %q", out)
 	}
 }
 
@@ -212,5 +248,14 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if _, err := parseKind("haiku"); err == nil {
 		t.Error("parseKind accepted unknown kind")
+	}
+	if err := cmdRank([]string{"-dir", t.TempDir(), "-nosync", "-by", "citations"}); err == nil {
+		t.Error("rank with unknown key succeeded")
+	}
+	if err := cmdRank([]string{"-dir", t.TempDir(), "-nosync", "-scheme", "alphabetical"}); err == nil {
+		t.Error("rank with unknown scheme succeeded")
+	}
+	if err := cmdMetrics([]string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
+		t.Error("metrics for missing author succeeded")
 	}
 }

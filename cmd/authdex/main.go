@@ -12,9 +12,11 @@
 //	authdex search  -dir ./idx -q "surface mining -tax" [-n 10]
 //	authdex years   -dir ./idx -from 1980 -to 1989 [-n 10]
 //	authdex volume  -dir ./idx -v 95 [-n 10]
-//	authdex render  -dir ./idx [-format text] [-out -] [-pagelen 58] [-width 78]
+//	authdex render  -dir ./idx [-format text] [-out -] [-pagelen 58] [-width 78] [-stats]
 //	authdex xref    -dir ./idx -from "Old, Name" -to "New, Name"
 //	authdex stats   -dir ./idx
+//	authdex metrics -dir ./idx [-author "Lewin, Jeff L."] [-scheme harmonic]
+//	authdex rank    -dir ./idx [-by weighted] [-limit 10] [-scheme harmonic]
 //	authdex compact -dir ./idx
 //	authdex serve   -dir ./idx -addr :8377
 package main
@@ -43,6 +45,8 @@ var commands = []command{
 	{"subjects", "list subject headings or render/query the subject index", cmdSubjects},
 	{"xref", "add a see-also cross-reference", cmdXref},
 	{"stats", "print index statistics", cmdStats},
+	{"metrics", "per-author bibliometrics or the corpus summary", cmdMetrics},
+	{"rank", "top contributors by works/credit/h-index/collaboration", cmdRank},
 	{"report", "editorial summary: per-letter histogram, top authors, volumes", cmdReport},
 	{"verify", "cross-check store and index invariants", cmdVerify},
 	{"dupes", "suggest headings that may be the same person", cmdDupes},

@@ -23,39 +23,54 @@ import (
 //	GET /years?from=1980&to=1989&n=20  year-range scan
 //	GET /volume?v=95                   volume scan
 //	GET /index?format=text|tsv|md|csv|json   the rendered artifact
+//	GET /metrics                       corpus bibliometrics summary
+//	GET /rank?by=weighted&limit=10     top contributors by rank key
+//	GET /authors/{heading}/metrics     one heading's bibliometrics
 //	POST /works                        add a work (JSON body)
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
 	addr := fs.String("addr", ":8377", "listen address")
+	scheme := fs.String("scheme", "harmonic", "metrics credit scheme: harmonic, arithmetic, geometric or fractional")
 	fs.Parse(args)
 
-	ix, err := open()
+	s, err := authorindex.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	ix, err := open(withScheme(s))
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
 
-	mux := http.NewServeMux()
-	srv := &server{ix: ix}
-	mux.HandleFunc("GET /stats", srv.stats)
-	mux.HandleFunc("GET /authors", srv.authors)
-	mux.HandleFunc("GET /authors/{heading}", srv.author)
-	mux.HandleFunc("GET /works/{id}", srv.work)
-	mux.HandleFunc("GET /search", srv.search)
-	mux.HandleFunc("GET /years", srv.years)
-	mux.HandleFunc("GET /volume", srv.volume)
-	mux.HandleFunc("GET /index", srv.index)
-	mux.HandleFunc("GET /titles", srv.titles)
-	mux.HandleFunc("GET /subjects", srv.subjects)
-	mux.HandleFunc("GET /subjects/{subject}", srv.bySubject)
-	mux.HandleFunc("POST /works", srv.addWork)
-
 	log.Printf("authdex: serving on %s", *addr)
-	return http.ListenAndServe(*addr, mux)
+	return http.ListenAndServe(*addr, (&server{ix: ix}).routes())
 }
 
 type server struct{ ix *authorindex.Index }
+
+// routes registers every handler on a fresh mux; the serve command and
+// the test harness share it so the surfaces cannot drift.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /authors", s.authors)
+	mux.HandleFunc("GET /authors/{heading}", s.author)
+	mux.HandleFunc("GET /authors/{heading}/metrics", s.authorMetrics)
+	mux.HandleFunc("GET /works/{id}", s.work)
+	mux.HandleFunc("GET /search", s.search)
+	mux.HandleFunc("GET /years", s.years)
+	mux.HandleFunc("GET /volume", s.volume)
+	mux.HandleFunc("GET /index", s.index)
+	mux.HandleFunc("GET /titles", s.titles)
+	mux.HandleFunc("GET /subjects", s.subjects)
+	mux.HandleFunc("GET /subjects/{subject}", s.bySubject)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /rank", s.rank)
+	mux.HandleFunc("POST /works", s.addWork)
+	return mux
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -70,12 +85,23 @@ func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// limitParam reads the result limit from ?limit= (or the legacy ?n=)
+// and clamps it with the helper every layer shares: missing, negative
+// or unparseable values fall back to 20, zero and absurd values clamp
+// to authorindex.MaxLimit.
 func limitParam(r *http.Request) int {
-	n, err := strconv.Atoi(r.URL.Query().Get("n"))
-	if err != nil || n < 0 {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		raw = r.URL.Query().Get("n")
+	}
+	if raw == "" {
 		return 20
 	}
-	return n
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 20
+	}
+	return authorindex.ClampLimit(n, 20)
 }
 
 // wire representations -------------------------------------------------
@@ -251,6 +277,33 @@ func (s *server) bySubject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, toWireWorks(works))
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.MetricsSummary())
+}
+
+func (s *server) rank(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("by")
+	if name == "" {
+		name = "weighted"
+	}
+	by, err := authorindex.ParseRankKey(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, s.ix.TopAuthors(by, limitParam(r)))
+}
+
+func (s *server) authorMetrics(w http.ResponseWriter, r *http.Request) {
+	heading := r.PathValue("heading")
+	m, ok := s.ix.AuthorMetrics(heading)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no heading %q", heading)
+		return
+	}
+	writeJSON(w, m)
 }
 
 func (s *server) addWork(w http.ResponseWriter, r *http.Request) {

@@ -45,21 +45,7 @@ func testServer(t *testing.T) (*httptest.Server, *authorindex.Index) {
 		t.Fatal(err)
 	}
 
-	mux := http.NewServeMux()
-	srv := &server{ix: ix}
-	mux.HandleFunc("GET /stats", srv.stats)
-	mux.HandleFunc("GET /authors", srv.authors)
-	mux.HandleFunc("GET /authors/{heading}", srv.author)
-	mux.HandleFunc("GET /works/{id}", srv.work)
-	mux.HandleFunc("GET /search", srv.search)
-	mux.HandleFunc("GET /years", srv.years)
-	mux.HandleFunc("GET /volume", srv.volume)
-	mux.HandleFunc("GET /index", srv.index)
-	mux.HandleFunc("GET /titles", srv.titles)
-	mux.HandleFunc("GET /subjects", srv.subjects)
-	mux.HandleFunc("GET /subjects/{subject}", srv.bySubject)
-	mux.HandleFunc("POST /works", srv.addWork)
-	ts := httptest.NewServer(mux)
+	ts := httptest.NewServer((&server{ix: ix}).routes())
 	t.Cleanup(ts.Close)
 	return ts, ix
 }
@@ -226,6 +212,98 @@ func TestServeSubjects(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/subjects/Nothing%20Here", nil); code != 404 {
 		t.Errorf("missing subject status = %d", code)
+	}
+}
+
+func TestServeMetricsSummary(t *testing.T) {
+	ts, _ := testServer(t)
+	var sum authorindex.MetricsSummary
+	if code := getJSON(t, ts.URL+"/metrics", &sum); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// 3 works, 4 headings; the two-author work contributes 2 postings.
+	if sum.Works != 3 || sum.Authors != 4 || sum.Postings != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.SoloWorks != 2 || sum.Pairs != 1 || sum.Scheme != "harmonic" {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestServeRank(t *testing.T) {
+	ts, ix := testServer(t)
+	var top []authorindex.AuthorMetrics
+	if code := getJSON(t, ts.URL+"/rank?by=weighted&limit=2", &top); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(top) != 2 {
+		t.Fatalf("rank returned %d entries, want 2", len(top))
+	}
+	// The solo authors (credit 1.0) outrank the co-authors of the
+	// two-author work.
+	if top[0].Weighted != 1 || top[1].Weighted != 1 {
+		t.Errorf("top credit = %v, %v", top[0].Weighted, top[1].Weighted)
+	}
+	// HTTP results must match the facade the CLI uses.
+	facade := ix.TopAuthors(authorindex.ByWeighted, 2)
+	for i := range top {
+		if top[i].Heading != facade[i].Heading || top[i].Weighted != facade[i].Weighted {
+			t.Errorf("rank[%d] = %+v, facade %+v", i, top[i], facade[i])
+		}
+	}
+	// Default key is weighted; bad keys are 400.
+	var dflt []authorindex.AuthorMetrics
+	if code := getJSON(t, ts.URL+"/rank", &dflt); code != 200 || len(dflt) == 0 {
+		t.Errorf("default rank: code=%d len=%d", code, len(dflt))
+	}
+	if code := getJSON(t, ts.URL+"/rank?by=citations", nil); code != 400 {
+		t.Errorf("bad rank key status = %d", code)
+	}
+	// h-index ranking works end to end.
+	var byH []authorindex.AuthorMetrics
+	if code := getJSON(t, ts.URL+"/rank?by=h&limit=10", &byH); code != 200 || len(byH) == 0 {
+		t.Errorf("rank by h: code=%d len=%d", code, len(byH))
+	}
+}
+
+func TestServeAuthorMetrics(t *testing.T) {
+	ts, _ := testServer(t)
+	var m authorindex.AuthorMetrics
+	url := ts.URL + "/authors/" + strings.ReplaceAll("Lewin, Jeff L.", " ", "%20") + "/metrics"
+	if code := getJSON(t, url, &m); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if m.Heading != "Lewin, Jeff L." || m.Works != 1 || m.Collaborators != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.TopCollaborators[0].Heading != "Peng, Syd S." {
+		t.Errorf("collaborators = %+v", m.TopCollaborators)
+	}
+	if m.Weighted >= 1 || m.Weighted <= 0 {
+		t.Errorf("first-author weighted credit = %v, want in (0, 1)", m.Weighted)
+	}
+	if code := getJSON(t, ts.URL+"/authors/Nobody,%20Known/metrics", nil); code != 404 {
+		t.Errorf("missing author status = %d", code)
+	}
+}
+
+// TestServeLimitClamping exercises the shared clamp across handlers:
+// negative and garbage limits fall back to the default, zero and huge
+// values clamp to MaxLimit instead of going unbounded.
+func TestServeLimitClamping(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, q := range []string{"limit=-5", "limit=abc", "n=-1", "limit=0", "limit=999999999"} {
+		var top []authorindex.AuthorMetrics
+		if code := getJSON(t, ts.URL+"/rank?"+q, &top); code != 200 {
+			t.Errorf("rank?%s status = %d", q, code)
+		}
+		if len(top) == 0 || len(top) > authorindex.MaxLimit {
+			t.Errorf("rank?%s returned %d entries", q, len(top))
+		}
+		var entries []wireEntry
+		if code := getJSON(t, ts.URL+"/authors?"+strings.ReplaceAll(q, "limit", "n"), &entries); code != 200 {
+			t.Errorf("authors?%s status = %d", q, code)
+		}
 	}
 }
 

@@ -1,0 +1,544 @@
+// Package metrics maintains per-author bibliometric statistics over the
+// indexed corpus: work counts by kind and year, fractional and
+// position-weighted authorship credit (Abbas-style counting schemes),
+// an h-index-style productivity score over per-year output, and
+// co-author collaboration degree.
+//
+// The engine is incremental: Add and Remove update every statistic in
+// O(authors-per-work) time with no dependence on corpus size, and a
+// Remove exactly inverts the matching Add, so an incrementally
+// maintained engine is indistinguishable from one rebuilt from scratch.
+// Credit is accumulated in integer millionths of a work so that the
+// guarantee holds bit-for-bit: integer addition is order-independent,
+// where floating-point accumulation would drift with mutation order.
+//
+// The package consumes the corpus rather than building an index of it;
+// the query engine owns a Tracker and feeds it every mutation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Scheme selects how one work's unit of credit is divided among its
+// authors. Every scheme gives earlier positions at least as much weight
+// as later ones and (up to integer rounding) sums to one per work.
+type Scheme uint8
+
+// Counting schemes, in the order of how steeply they favor the first
+// author. Harmonic is the default and the scheme the bibliometrics
+// literature most often recommends for position-weighted credit.
+const (
+	// Harmonic weights position i by 1/i, normalized: w_i = (1/i)/H(k).
+	Harmonic Scheme = iota
+	// Arithmetic (proportional) weights position i by k+1-i, normalized.
+	Arithmetic
+	// Geometric halves the weight at each position: w_i ∝ 2^(-i).
+	Geometric
+	// Fractional splits credit evenly: w_i = 1/k for all positions.
+	Fractional
+)
+
+var schemeNames = [...]string{
+	Harmonic:   "harmonic",
+	Arithmetic: "arithmetic",
+	Geometric:  "geometric",
+	Fractional: "fractional",
+}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Valid reports whether s is a defined scheme.
+func (s Scheme) Valid() bool { return int(s) < len(schemeNames) }
+
+// ParseScheme converts a scheme name back into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == strings.ToLower(name) {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown scheme %q", name)
+}
+
+// RankKey selects the statistic TopAuthors orders by.
+type RankKey uint8
+
+// Ranking keys.
+const (
+	ByWorks RankKey = iota
+	ByWeighted
+	ByFractional
+	ByHIndex
+	ByCollaborators
+	ByFirstAuthored
+)
+
+var rankNames = [...]string{
+	ByWorks:         "works",
+	ByWeighted:      "weighted",
+	ByFractional:    "fractional",
+	ByHIndex:        "h",
+	ByCollaborators: "collabs",
+	ByFirstAuthored: "first",
+}
+
+// String names the rank key.
+func (k RankKey) String() string {
+	if int(k) < len(rankNames) {
+		return rankNames[k]
+	}
+	return fmt.Sprintf("rankkey(%d)", uint8(k))
+}
+
+// ParseRankKey converts a rank-key name ("works", "weighted",
+// "fractional", "h", "collabs", "first") into a RankKey.
+func ParseRankKey(name string) (RankKey, error) {
+	switch strings.ToLower(name) {
+	case "collaborators":
+		return ByCollaborators, nil
+	case "h-index", "hindex":
+		return ByHIndex, nil
+	}
+	for i, n := range rankNames {
+		if n == strings.ToLower(name) {
+			return RankKey(i), nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown rank key %q", name)
+}
+
+// Collaborator pairs a co-author heading with the number of shared works.
+type Collaborator struct {
+	Heading string `json:"heading"`
+	Works   int    `json:"works"`
+}
+
+// AuthorMetrics is the full statistics snapshot for one heading. Credit
+// values are in units of whole works (a solo article is worth 1.0).
+type AuthorMetrics struct {
+	Heading string `json:"heading"`
+	// Works counts distinct works filed under the heading.
+	Works int `json:"works"`
+	// FirstAuthored counts works where this heading is listed first.
+	FirstAuthored int `json:"firstAuthored"`
+	// ByKind counts works per kind name.
+	ByKind map[string]int `json:"byKind,omitempty"`
+	// ByYear counts works per publication year; works with a zero or
+	// negative (unknown) year are counted in Works but not here.
+	ByYear map[int]int `json:"byYear,omitempty"`
+	// Fractional is uniform 1/k credit summed over the author's works.
+	Fractional float64 `json:"fractional"`
+	// Weighted is position-weighted credit under the engine's Scheme.
+	Weighted float64 `json:"weighted"`
+	// HIndex is the productivity h-index over per-year output: the
+	// largest h such that the author has h years with ≥ h works each.
+	HIndex int `json:"hIndex"`
+	// Collaborators counts distinct co-author headings.
+	Collaborators int `json:"collaborators"`
+	// TopCollaborators lists the most frequent co-authors, best first.
+	TopCollaborators []Collaborator `json:"topCollaborators,omitempty"`
+}
+
+// Summary aggregates corpus-level collaboration statistics.
+type Summary struct {
+	Scheme   string `json:"scheme"`
+	Authors  int    `json:"authors"`
+	Works    int    `json:"works"`
+	Postings int    `json:"postings"` // distinct author–work pairs
+	// SoloWorks counts works with exactly one distinct heading.
+	SoloWorks int `json:"soloWorks"`
+	// Pairs counts distinct collaborating heading pairs.
+	Pairs int `json:"pairs"`
+	// MeanAuthorsPerWork is Postings / Works.
+	MeanAuthorsPerWork float64 `json:"meanAuthorsPerWork"`
+}
+
+// Tracker is the interface the query engine programs against, so later
+// work (caching, sharding) can swap the implementation.
+type Tracker interface {
+	// Add folds one work into every statistic. Adding an ID that is
+	// already tracked is a no-op; replace by Remove then Add.
+	Add(w *model.Work)
+	// Remove exactly inverts the Add of the same work.
+	Remove(w *model.Work)
+	// Rebuild resets the tracker and re-adds the given corpus — the
+	// recovery path when incremental state is suspect.
+	Rebuild(works []*model.Work)
+	// Author returns the snapshot for one heading in Display form.
+	Author(heading string) (AuthorMetrics, bool)
+	// TopAuthors returns up to limit snapshots ordered by the rank key
+	// descending (ties broken by heading ascending). limit <= 0: all.
+	TopAuthors(by RankKey, limit int) []AuthorMetrics
+	// Summary returns corpus-level aggregates.
+	Summary() Summary
+	// Len returns the number of tracked headings.
+	Len() int
+	// Weighting returns the position-weighting scheme in effect.
+	Weighting() Scheme
+}
+
+// topCollaborators caps the per-author co-author list in snapshots.
+const topCollaborators = 5
+
+// microUnit is the integer credit resolution: one work = 1e6 micro.
+const microUnit = 1_000_000
+
+// authorStats is the live per-heading state. Counters only — snapshots
+// are materialized on read.
+type authorStats struct {
+	author    model.Author
+	works     int
+	first     int
+	byKind    map[model.Kind]int
+	byYear    map[int]int
+	fracMicro int64
+	wgtMicro  int64
+	coauthors map[string]int // heading -> shared works
+}
+
+// Engine is the incremental Tracker implementation.
+type Engine struct {
+	scheme   Scheme
+	authors  map[string]*authorStats // keyed by Author.Display()
+	tracked  map[model.WorkID]struct{}
+	postings int
+	solo     int
+}
+
+// NewEngine returns an empty tracker using the given counting scheme.
+// An invalid scheme falls back to Harmonic rather than silently zeroing
+// every weight; callers that want an error should check Scheme.Valid.
+func NewEngine(scheme Scheme) *Engine {
+	if !scheme.Valid() {
+		scheme = Harmonic
+	}
+	return &Engine{
+		scheme:  scheme,
+		authors: make(map[string]*authorStats),
+		tracked: make(map[model.WorkID]struct{}),
+	}
+}
+
+// Weighting returns the scheme the engine divides credit with.
+func (e *Engine) Weighting() Scheme { return e.scheme }
+
+// Len returns the number of tracked headings.
+func (e *Engine) Len() int { return len(e.authors) }
+
+// delta is the per-(work, heading) contribution, computed identically
+// by Add and Remove so removal inverts addition exactly.
+type delta struct {
+	author    model.Author
+	first     bool
+	fracMicro int64
+	wgtMicro  int64
+}
+
+// deltas returns one entry per distinct heading on w, in first-position
+// order. A heading listed at several positions earns the credit of each
+// position but counts as one work.
+func (e *Engine) deltas(w *model.Work) []delta {
+	k := len(w.Authors)
+	index := make(map[string]int, k)
+	out := make([]delta, 0, k)
+	for i, a := range w.Authors {
+		h := a.Display()
+		j, ok := index[h]
+		if !ok {
+			j = len(out)
+			index[h] = j
+			out = append(out, delta{author: a, first: i == 0})
+		}
+		out[j].fracMicro += microUnit / int64(k)
+		out[j].wgtMicro += positionMicro(e.scheme, i+1, k)
+	}
+	return out
+}
+
+// positionMicro returns the credit, in micro-works, that position i
+// (1-based) of k earns under scheme s. Deterministic in (s, i, k), so
+// adds and removes of the same work always agree.
+func positionMicro(s Scheme, i, k int) int64 {
+	var w float64
+	switch s {
+	case Fractional:
+		return microUnit / int64(k)
+	case Harmonic:
+		var h float64
+		for j := 1; j <= k; j++ {
+			h += 1 / float64(j)
+		}
+		w = (1 / float64(i)) / h
+	case Arithmetic:
+		w = float64(2*(k+1-i)) / float64(k*(k+1))
+	case Geometric:
+		// w_i = 2^(k-i)/(2^k - 1), written overflow-safe.
+		w = math.Pow(0.5, float64(i)) / (1 - math.Pow(0.5, float64(k)))
+	}
+	return int64(math.Round(w * microUnit))
+}
+
+// Add folds w into every statistic in O(len(w.Authors)²) time (the
+// quadratic term is the co-author matrix; author lists are short).
+func (e *Engine) Add(w *model.Work) {
+	if w == nil || len(w.Authors) == 0 {
+		return
+	}
+	if _, dup := e.tracked[w.ID]; dup {
+		return
+	}
+	e.tracked[w.ID] = struct{}{}
+	ds := e.deltas(w)
+	for _, d := range ds {
+		h := d.author.Display()
+		st, ok := e.authors[h]
+		if !ok {
+			st = &authorStats{
+				author:    d.author,
+				byKind:    make(map[model.Kind]int),
+				byYear:    make(map[int]int),
+				coauthors: make(map[string]int),
+			}
+			e.authors[h] = st
+		}
+		st.works++
+		if d.first {
+			st.first++
+		}
+		st.byKind[w.Kind]++
+		if w.Citation.Year > 0 {
+			st.byYear[w.Citation.Year]++
+		}
+		st.fracMicro += d.fracMicro
+		st.wgtMicro += d.wgtMicro
+		e.postings++
+	}
+	if len(ds) == 1 {
+		e.solo++
+	}
+	for i := range ds {
+		hi := ds[i].author.Display()
+		for j := range ds {
+			if i != j {
+				e.authors[hi].coauthors[ds[j].author.Display()]++
+			}
+		}
+	}
+}
+
+// Remove inverts the Add of the same work. Removing an untracked ID is
+// a no-op.
+func (e *Engine) Remove(w *model.Work) {
+	if w == nil || len(w.Authors) == 0 {
+		return
+	}
+	if _, ok := e.tracked[w.ID]; !ok {
+		return
+	}
+	delete(e.tracked, w.ID)
+	ds := e.deltas(w)
+	for i := range ds {
+		hi := ds[i].author.Display()
+		st := e.authors[hi]
+		if st == nil {
+			continue
+		}
+		for j := range ds {
+			if i == j {
+				continue
+			}
+			hj := ds[j].author.Display()
+			if st.coauthors[hj]--; st.coauthors[hj] <= 0 {
+				delete(st.coauthors, hj)
+			}
+		}
+	}
+	for _, d := range ds {
+		h := d.author.Display()
+		st := e.authors[h]
+		if st == nil {
+			continue
+		}
+		st.works--
+		if d.first {
+			st.first--
+		}
+		if st.byKind[w.Kind]--; st.byKind[w.Kind] <= 0 {
+			delete(st.byKind, w.Kind)
+		}
+		if y := w.Citation.Year; y > 0 {
+			if st.byYear[y]--; st.byYear[y] <= 0 {
+				delete(st.byYear, y)
+			}
+		}
+		st.fracMicro -= d.fracMicro
+		st.wgtMicro -= d.wgtMicro
+		e.postings--
+		if st.works <= 0 {
+			delete(e.authors, h)
+		}
+	}
+	if len(ds) == 1 {
+		e.solo--
+	}
+}
+
+// Rebuild resets the engine and re-adds the corpus in one pass.
+func (e *Engine) Rebuild(works []*model.Work) {
+	e.authors = make(map[string]*authorStats, len(e.authors))
+	e.tracked = make(map[model.WorkID]struct{}, len(works))
+	e.postings, e.solo = 0, 0
+	for _, w := range works {
+		e.Add(w)
+	}
+}
+
+// Author returns the snapshot for one heading in Display form.
+func (e *Engine) Author(heading string) (AuthorMetrics, bool) {
+	st, ok := e.authors[heading]
+	if !ok {
+		return AuthorMetrics{}, false
+	}
+	return e.snapshot(heading, st), true
+}
+
+// snapshot materializes one AuthorMetrics from live counters.
+func (e *Engine) snapshot(heading string, st *authorStats) AuthorMetrics {
+	m := AuthorMetrics{
+		Heading:       heading,
+		Works:         st.works,
+		FirstAuthored: st.first,
+		Fractional:    float64(st.fracMicro) / microUnit,
+		Weighted:      float64(st.wgtMicro) / microUnit,
+		HIndex:        hIndex(st.byYear),
+		Collaborators: len(st.coauthors),
+	}
+	if len(st.byKind) > 0 {
+		m.ByKind = make(map[string]int, len(st.byKind))
+		for k, n := range st.byKind {
+			m.ByKind[k.String()] = n
+		}
+	}
+	if len(st.byYear) > 0 {
+		m.ByYear = make(map[int]int, len(st.byYear))
+		for y, n := range st.byYear {
+			m.ByYear[y] = n
+		}
+	}
+	if len(st.coauthors) > 0 {
+		cs := make([]Collaborator, 0, len(st.coauthors))
+		for h, n := range st.coauthors {
+			cs = append(cs, Collaborator{Heading: h, Works: n})
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Works != cs[j].Works {
+				return cs[i].Works > cs[j].Works
+			}
+			return cs[i].Heading < cs[j].Heading
+		})
+		if len(cs) > topCollaborators {
+			cs = cs[:topCollaborators]
+		}
+		m.TopCollaborators = cs
+	}
+	return m
+}
+
+// hIndex computes the productivity h-index over per-year counts: the
+// largest h such that h years have at least h works each.
+func hIndex(byYear map[int]int) int {
+	counts := make([]int, 0, len(byYear))
+	for _, n := range byYear {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	h := 0
+	for i, n := range counts {
+		if n < i+1 {
+			break
+		}
+		h = i + 1
+	}
+	return h
+}
+
+// rankValue returns the sort key for one heading under a rank key. All
+// keys compare descending; raw integer counters avoid materializing
+// snapshots for headings that will not make the cut.
+func rankValue(by RankKey, st *authorStats) int64 {
+	switch by {
+	case ByWeighted:
+		return st.wgtMicro
+	case ByFractional:
+		return st.fracMicro
+	case ByHIndex:
+		return int64(hIndex(st.byYear))
+	case ByCollaborators:
+		return int64(len(st.coauthors))
+	case ByFirstAuthored:
+		return int64(st.first)
+	default:
+		return int64(st.works)
+	}
+}
+
+// TopAuthors returns up to limit snapshots ordered by the rank key
+// descending, ties broken by heading ascending. limit <= 0 means all.
+func (e *Engine) TopAuthors(by RankKey, limit int) []AuthorMetrics {
+	type ranked struct {
+		heading string
+		st      *authorStats
+		value   int64
+	}
+	rs := make([]ranked, 0, len(e.authors))
+	for h, st := range e.authors {
+		rs = append(rs, ranked{heading: h, st: st, value: rankValue(by, st)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].value != rs[j].value {
+			return rs[i].value > rs[j].value
+		}
+		return rs[i].heading < rs[j].heading
+	})
+	if limit > 0 && len(rs) > limit {
+		rs = rs[:limit]
+	}
+	out := make([]AuthorMetrics, len(rs))
+	for i, r := range rs {
+		out[i] = e.snapshot(r.heading, r.st)
+	}
+	return out
+}
+
+// Summary returns corpus-level aggregates. Pair counting walks the
+// co-author maps (O(authors)); everything else is pre-maintained.
+func (e *Engine) Summary() Summary {
+	s := Summary{
+		Scheme:    e.scheme.String(),
+		Authors:   len(e.authors),
+		Works:     len(e.tracked),
+		Postings:  e.postings,
+		SoloWorks: e.solo,
+	}
+	edges := 0
+	for _, st := range e.authors {
+		edges += len(st.coauthors)
+	}
+	s.Pairs = edges / 2
+	if s.Works > 0 {
+		s.MeanAuthorsPerWork = float64(s.Postings) / float64(s.Works)
+	}
+	return s
+}

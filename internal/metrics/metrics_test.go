@@ -1,0 +1,334 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func work(id model.WorkID, year int, headings ...string) *model.Work {
+	w := &model.Work{
+		ID:       id,
+		Title:    "T",
+		Citation: model.Citation{Volume: 1, Page: int(id), Year: year},
+	}
+	for _, h := range headings {
+		w.Authors = append(w.Authors, model.Author{Family: h})
+	}
+	return w
+}
+
+func TestSchemeAndRankKeyRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{Harmonic, Arithmetic, Geometric, Fractional} {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("ParseScheme accepted unknown name")
+	}
+	for _, k := range []RankKey{ByWorks, ByWeighted, ByFractional, ByHIndex, ByCollaborators, ByFirstAuthored} {
+		got, err := ParseRankKey(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseRankKey(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for name, want := range map[string]RankKey{"collaborators": ByCollaborators, "h-index": ByHIndex, "WEIGHTED": ByWeighted} {
+		if got, err := ParseRankKey(name); err != nil || got != want {
+			t.Errorf("ParseRankKey(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseRankKey("nope"); err == nil {
+		t.Error("ParseRankKey accepted unknown name")
+	}
+}
+
+// TestPositionWeights checks each scheme's weight table on small author
+// lists: first position dominates, weights are non-increasing, and a
+// work's total credit is one (within integer rounding).
+func TestPositionWeights(t *testing.T) {
+	for _, s := range []Scheme{Harmonic, Arithmetic, Geometric, Fractional} {
+		for k := 1; k <= 12; k++ {
+			var sum int64
+			prev := int64(math.MaxInt64)
+			for i := 1; i <= k; i++ {
+				w := positionMicro(s, i, k)
+				if w <= 0 {
+					t.Fatalf("%v: w(%d of %d) = %d, want > 0", s, i, k, w)
+				}
+				if w > prev {
+					t.Fatalf("%v: w(%d of %d) = %d increased from %d", s, i, k, w, prev)
+				}
+				prev = w
+				sum += w
+			}
+			// Integer division/rounding loses at most k micro per work.
+			if diff := microUnit - sum; diff < -int64(k) || diff > int64(k) {
+				t.Errorf("%v k=%d: weights sum to %d micro, want ≈ %d", s, k, sum, microUnit)
+			}
+			if k > 1 && s != Fractional {
+				if first, last := positionMicro(s, 1, k), positionMicro(s, k, k); first <= last {
+					t.Errorf("%v k=%d: first weight %d not > last %d", s, k, first, last)
+				}
+			}
+		}
+	}
+}
+
+// TestAuthorMetricsTable drives the weighting edge cases the subsystem
+// must define: single-author works, long author lists, unknown years,
+// and a heading repeated on one work.
+func TestAuthorMetricsTable(t *testing.T) {
+	manyAuthors := make([]string, 12)
+	for i := range manyAuthors {
+		manyAuthors[i] = string(rune('A' + i))
+	}
+	tests := []struct {
+		name  string
+		works []*model.Work
+		check func(t *testing.T, e *Engine)
+	}{
+		{
+			name:  "single author keeps whole credit",
+			works: []*model.Work{work(1, 1990, "Solo")},
+			check: func(t *testing.T, e *Engine) {
+				m, ok := e.Author("Solo")
+				if !ok {
+					t.Fatal("Solo not tracked")
+				}
+				if m.Works != 1 || m.FirstAuthored != 1 || m.Collaborators != 0 {
+					t.Errorf("metrics = %+v", m)
+				}
+				if m.Weighted != 1 || m.Fractional != 1 {
+					t.Errorf("credit = %v / %v, want 1 / 1", m.Weighted, m.Fractional)
+				}
+				if m.HIndex != 1 {
+					t.Errorf("h = %d, want 1", m.HIndex)
+				}
+			},
+		},
+		{
+			name:  "more than ten authors",
+			works: []*model.Work{work(1, 1990, manyAuthors...)},
+			check: func(t *testing.T, e *Engine) {
+				first, _ := e.Author("A")
+				last, _ := e.Author("L")
+				if first.Weighted <= last.Weighted {
+					t.Errorf("first credit %v not > last %v", first.Weighted, last.Weighted)
+				}
+				if first.Collaborators != 11 || last.Collaborators != 11 {
+					t.Errorf("collaborators = %d / %d, want 11", first.Collaborators, last.Collaborators)
+				}
+				if got := len(first.TopCollaborators); got != topCollaborators {
+					t.Errorf("top collaborators = %d, want %d", got, topCollaborators)
+				}
+				var total float64
+				for _, h := range manyAuthors {
+					m, _ := e.Author(h)
+					total += m.Weighted
+					if m.Fractional != 1.0/12 {
+						// 1e6/12 micro exactly, truncated.
+						if math.Abs(m.Fractional-1.0/12) > 1e-5 {
+							t.Errorf("%s fractional = %v", h, m.Fractional)
+						}
+					}
+				}
+				if math.Abs(total-1) > 1e-4 {
+					t.Errorf("total weighted credit = %v, want ≈ 1", total)
+				}
+			},
+		},
+		{
+			name:  "zero year counts the work but not the year",
+			works: []*model.Work{work(1, 0, "NoYear"), work(2, 1990, "NoYear")},
+			check: func(t *testing.T, e *Engine) {
+				m, _ := e.Author("NoYear")
+				if m.Works != 2 {
+					t.Errorf("works = %d, want 2", m.Works)
+				}
+				if len(m.ByYear) != 1 || m.ByYear[1990] != 1 {
+					t.Errorf("byYear = %v, want {1990: 1}", m.ByYear)
+				}
+				if m.HIndex != 1 {
+					t.Errorf("h = %d, want 1 (unknown year excluded)", m.HIndex)
+				}
+			},
+		},
+		{
+			name:  "author listed twice on one work",
+			works: []*model.Work{work(1, 1990, "Twice", "Other", "Twice")},
+			check: func(t *testing.T, e *Engine) {
+				m, _ := e.Author("Twice")
+				if m.Works != 1 {
+					t.Errorf("works = %d, want 1 (one distinct work)", m.Works)
+				}
+				if m.Collaborators != 1 || m.TopCollaborators[0].Heading != "Other" {
+					t.Errorf("collaborators = %+v (self-collaboration?)", m.TopCollaborators)
+				}
+				// Positions 1 and 3 of 3 both pay out to the heading.
+				want := float64(positionMicro(Harmonic, 1, 3)+positionMicro(Harmonic, 3, 3)) / microUnit
+				if m.Weighted != want {
+					t.Errorf("weighted = %v, want %v", m.Weighted, want)
+				}
+				o, _ := e.Author("Other")
+				if o.Collaborators != 1 {
+					t.Errorf("Other collaborators = %d, want 1", o.Collaborators)
+				}
+			},
+		},
+		{
+			name: "h index needs repeated productive years",
+			works: []*model.Work{
+				work(1, 1990, "H"), work(2, 1990, "H"), work(3, 1990, "H"),
+				work(4, 1991, "H"), work(5, 1991, "H"),
+				work(6, 1992, "H"),
+			},
+			check: func(t *testing.T, e *Engine) {
+				m, _ := e.Author("H")
+				// Year counts 3,2,1 → h = 2.
+				if m.HIndex != 2 {
+					t.Errorf("h = %d, want 2", m.HIndex)
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(Harmonic)
+			for _, w := range tc.works {
+				e.Add(w)
+			}
+			tc.check(t, e)
+		})
+	}
+}
+
+// TestIncrementalMatchesRebuild is the core invariant: N adds followed
+// by M removes yields byte-identical snapshots to a fresh Rebuild over
+// the surviving works, for every scheme.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 7, Works: 400, ZipfS: 1.2})
+	for _, s := range []Scheme{Harmonic, Arithmetic, Geometric, Fractional} {
+		t.Run(s.String(), func(t *testing.T) {
+			inc := NewEngine(s)
+			for _, w := range works {
+				inc.Add(w)
+			}
+			// Remove every third work.
+			var kept []*model.Work
+			for i, w := range works {
+				if i%3 == 0 {
+					inc.Remove(w)
+				} else {
+					kept = append(kept, w)
+				}
+			}
+			fresh := NewEngine(s)
+			fresh.Rebuild(kept)
+
+			a := inc.TopAuthors(ByWeighted, 0)
+			b := fresh.TopAuthors(ByWeighted, 0)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("incremental and rebuilt snapshots differ (%d vs %d authors)", len(a), len(b))
+			}
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if string(aj) != string(bj) {
+				t.Fatal("incremental and rebuilt snapshots not byte-identical")
+			}
+			if !reflect.DeepEqual(inc.Summary(), fresh.Summary()) {
+				t.Fatalf("summaries differ: %+v vs %+v", inc.Summary(), fresh.Summary())
+			}
+		})
+	}
+}
+
+func TestRemoveAllLeavesEmptyEngine(t *testing.T) {
+	e := NewEngine(Harmonic)
+	ws := []*model.Work{
+		work(1, 1990, "A", "B"),
+		work(2, 1991, "B", "C"),
+	}
+	for _, w := range ws {
+		e.Add(w)
+	}
+	for _, w := range ws {
+		e.Remove(w)
+	}
+	if e.Len() != 0 {
+		t.Errorf("engine holds %d authors after removing everything", e.Len())
+	}
+	s := e.Summary()
+	if s.Works != 0 || s.Postings != 0 || s.SoloWorks != 0 || s.Pairs != 0 {
+		t.Errorf("summary = %+v, want zeros", s)
+	}
+}
+
+func TestAddRemoveIdempotence(t *testing.T) {
+	e := NewEngine(Harmonic)
+	w := work(1, 1990, "A")
+	e.Add(w)
+	e.Add(w) // duplicate ID: no-op
+	if m, _ := e.Author("A"); m.Works != 1 {
+		t.Errorf("works = %d after double add", m.Works)
+	}
+	e.Remove(w)
+	e.Remove(w) // already gone: no-op
+	if e.Len() != 0 {
+		t.Errorf("%d authors after double remove", e.Len())
+	}
+	e.Add(nil)
+	e.Remove(nil)
+}
+
+func TestTopAuthorsOrderingAndLimit(t *testing.T) {
+	e := NewEngine(Harmonic)
+	e.Add(work(1, 1990, "Busy"))
+	e.Add(work(2, 1991, "Busy"))
+	e.Add(work(3, 1990, "Mid", "Busy"))
+	e.Add(work(4, 1992, "Solo"))
+	top := e.TopAuthors(ByWorks, 2)
+	if len(top) != 2 || top[0].Heading != "Busy" || top[0].Works != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	// Ties (Mid and Solo both have 1 work) break by heading.
+	all := e.TopAuthors(ByWorks, 0)
+	if len(all) != 3 || all[1].Heading != "Mid" || all[2].Heading != "Solo" {
+		t.Fatalf("all = %+v", all)
+	}
+	byC := e.TopAuthors(ByCollaborators, 1)
+	if byC[0].Collaborators != 1 {
+		t.Fatalf("byCollaborators = %+v", byC)
+	}
+	byF := e.TopAuthors(ByFirstAuthored, 1)
+	if byF[0].Heading != "Busy" || byF[0].FirstAuthored != 2 {
+		t.Fatalf("byFirst = %+v", byF)
+	}
+	if byH := e.TopAuthors(ByHIndex, 1); byH[0].Heading != "Busy" {
+		t.Fatalf("byH = %+v", byH)
+	}
+	if byFr := e.TopAuthors(ByFractional, 1); byFr[0].Heading != "Busy" {
+		t.Fatalf("byFractional = %+v", byFr)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	e := NewEngine(Arithmetic)
+	e.Add(work(1, 1990, "A", "B"))
+	e.Add(work(2, 1991, "A"))
+	s := e.Summary()
+	if s.Scheme != "arithmetic" || s.Authors != 2 || s.Works != 2 || s.Postings != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.SoloWorks != 1 || s.Pairs != 1 {
+		t.Errorf("solo/pairs = %d/%d, want 1/1", s.SoloWorks, s.Pairs)
+	}
+	if s.MeanAuthorsPerWork != 1.5 {
+		t.Errorf("mean authors per work = %v, want 1.5", s.MeanAuthorsPerWork)
+	}
+}

@@ -13,9 +13,29 @@ import (
 	"repro/internal/collate"
 	"repro/internal/core"
 	"repro/internal/inverted"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/names"
 )
+
+// MaxLimit bounds every caller-supplied result limit so one request
+// cannot ask for an unbounded result set.
+const MaxLimit = 10_000
+
+// ClampLimit normalizes a caller-supplied result limit, shared by the
+// CLI and HTTP layers so both clamp identically: negative values fall
+// back to def, zero ("all") and values above MaxLimit clamp to
+// MaxLimit.
+func ClampLimit(n, def int) int {
+	switch {
+	case n < 0:
+		return def
+	case n == 0 || n > MaxLimit:
+		return MaxLimit
+	default:
+		return n
+	}
+}
 
 // Engine owns every in-memory index over a corpus. It is not safe for
 // concurrent mutation; the public facade serializes access.
@@ -30,7 +50,11 @@ type Engine struct {
 	// bySubject maps collation keys of subject headings to their display
 	// form and posting list, for subject lookups and enumeration.
 	bySubject *btree.Tree[*subjectPosting]
-	coll      collate.Options
+	// met maintains per-author bibliometrics incrementally; every Add
+	// and Remove feeds it. Behind the Tracker interface so later layers
+	// (caching, sharding) can swap the implementation.
+	met  metrics.Tracker
+	coll collate.Options
 }
 
 type subjectPosting struct {
@@ -38,8 +62,15 @@ type subjectPosting struct {
 	ids     []model.WorkID // sorted
 }
 
-// New returns an empty engine with the given collation options.
+// New returns an empty engine with the given collation options and the
+// default (harmonic) metrics scheme.
 func New(opts collate.Options) *Engine {
+	return NewWithScheme(opts, metrics.Harmonic)
+}
+
+// NewWithScheme returns an empty engine whose metrics tracker divides
+// authorship credit under the given scheme.
+func NewWithScheme(opts collate.Options, scheme metrics.Scheme) *Engine {
 	return &Engine{
 		idx:       core.New(opts),
 		inv:       inverted.New(),
@@ -47,6 +78,7 @@ func New(opts collate.Options) *Engine {
 		byYear:    btree.New[model.WorkID](),
 		byVolume:  btree.New[model.WorkID](),
 		bySubject: btree.New[*subjectPosting](),
+		met:       metrics.NewEngine(scheme),
 		coll:      opts,
 	}
 }
@@ -85,6 +117,7 @@ func (e *Engine) Add(w *model.Work) error {
 		}
 		p.insert(cp.ID)
 	}
+	e.met.Add(cp)
 	e.works[cp.ID] = cp
 	return nil
 }
@@ -108,6 +141,7 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 			}
 		}
 	}
+	e.met.Remove(w)
 	delete(e.works, id)
 	return w.Clone(), true
 }
@@ -271,6 +305,47 @@ func (e *Engine) Volume(v int, limit int) []*model.Work {
 		return true
 	})
 	return e.resolve(ids, limit)
+}
+
+// Metrics exposes the bibliometrics tracker (for stats and rendering).
+func (e *Engine) Metrics() metrics.Tracker { return e.met }
+
+// AuthorMetrics returns the bibliometrics snapshot for one heading
+// given in index-order form, e.g. "Lewin, Jeff L.".
+func (e *Engine) AuthorMetrics(heading string) (metrics.AuthorMetrics, bool) {
+	a, err := names.Parse(heading)
+	if err != nil {
+		return metrics.AuthorMetrics{}, false
+	}
+	return e.met.Author(a.Display())
+}
+
+// TopAuthors returns up to limit author snapshots ranked by the given
+// key, best first.
+func (e *Engine) TopAuthors(by metrics.RankKey, limit int) []metrics.AuthorMetrics {
+	return e.met.TopAuthors(by, ClampLimit(limit, 10))
+}
+
+// SetMetricsScheme swaps the credit-weighting scheme, rebuilding the
+// tracker from the corpus (the recovery path, O(corpus)).
+func (e *Engine) SetMetricsScheme(scheme metrics.Scheme) {
+	if e.met.Weighting() == scheme {
+		return
+	}
+	e.met = metrics.NewEngine(scheme)
+	for _, w := range e.works {
+		e.met.Add(w)
+	}
+}
+
+// RebuildMetrics discards the incremental metrics state and recomputes
+// it from the indexed corpus.
+func (e *Engine) RebuildMetrics() {
+	works := make([]*model.Work, 0, len(e.works))
+	for _, w := range e.works {
+		works = append(works, w)
+	}
+	e.met.Rebuild(works)
 }
 
 // Stats aggregates counters across all indexes.

@@ -78,6 +78,17 @@ type Options struct {
 	PageLength int
 	// NoSections suppresses the per-letter headings in text/Markdown.
 	NoSections bool
+	// Statistics appends the contributor-summary appendix (Text,
+	// Markdown and JSON formats). The facade fills Appendix from its
+	// metrics tracker when this is set.
+	Statistics bool
+	// StatsLimit caps the ranked contributor table (default 10).
+	StatsLimit int
+	// Appendix is the statistics payload rendered when non-nil. Callers
+	// going through the facade set Statistics instead and let it build
+	// this; direct render callers supply it themselves (see
+	// BuildStatistics).
+	Appendix *Statistics
 }
 
 func (o Options) runningHead() string {
@@ -110,7 +121,7 @@ func Render(w io.Writer, ix *core.Index, opts Options) error {
 	case CSV:
 		return renderCSV(w, sections)
 	case JSON:
-		return renderJSON(w, sections)
+		return renderJSON(w, sections, opts)
 	case HTMLPage:
 		return HTML(w, ix, opts)
 	}
@@ -208,6 +219,9 @@ func renderText(w io.Writer, sections []core.Section, opts Options) error {
 				row(name, work.Title, work.Citation.String())
 			}
 		}
+	}
+	if opts.Appendix != nil {
+		appendTextStats(p, opts.Appendix)
 	}
 	if p.err != nil {
 		return fmt.Errorf("render: text: %w", p.err)
@@ -318,6 +332,9 @@ func renderMarkdown(w io.Writer, sections []core.Section, opts Options) error {
 			}
 		}
 	}
+	if opts.Appendix != nil {
+		appendMarkdownStats(&b, opts.Appendix)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -372,6 +389,8 @@ func renderCSV(w io.Writer, sections []core.Section) error {
 // jsonDoc mirrors the section structure for the JSON encoding.
 type jsonDoc struct {
 	Sections []jsonSection `json:"sections"`
+	// Statistics carries the contributor appendix when requested.
+	Statistics *Statistics `json:"statistics,omitempty"`
 }
 
 type jsonSection struct {
@@ -399,8 +418,8 @@ type jsonWork struct {
 	Citation string `json:"citation"`
 }
 
-func renderJSON(w io.Writer, sections []core.Section) error {
-	doc := jsonDoc{Sections: make([]jsonSection, 0, len(sections))}
+func renderJSON(w io.Writer, sections []core.Section, opts Options) error {
+	doc := jsonDoc{Sections: make([]jsonSection, 0, len(sections)), Statistics: opts.Appendix}
 	for _, sec := range sections {
 		js := jsonSection{Letter: string(sec.Letter)}
 		for _, e := range sec.Entries {

@@ -1,0 +1,145 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// statsFixture builds a tiny index plus its metrics tracker.
+func statsFixture(t *testing.T) (*core.Index, *Statistics) {
+	t.Helper()
+	works := []*model.Work{
+		{ID: 1, Title: "Solo Study", Citation: model.Citation{Volume: 1, Page: 1, Year: 1990},
+			Authors: []model.Author{{Family: "Alpha", Given: "A."}}},
+		{ID: 2, Title: "Joint Effort", Citation: model.Citation{Volume: 1, Page: 50, Year: 1991},
+			Authors: []model.Author{{Family: "Alpha", Given: "A."}, {Family: "Beta", Given: "B."}}},
+	}
+	ix, err := core.Rebuild(collate.Default(), works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewEngine(metrics.Harmonic)
+	for _, w := range works {
+		tr.Add(w)
+	}
+	return ix, BuildStatistics(tr, 10)
+}
+
+func TestBuildStatistics(t *testing.T) {
+	_, st := statsFixture(t)
+	if st.Works != 2 || st.Authors != 2 || st.Postings != 3 {
+		t.Errorf("totals = %+v", st)
+	}
+	if len(st.Top) != 2 || st.Top[0].Heading != "Alpha, A." {
+		t.Errorf("top = %+v", st.Top)
+	}
+	if BuildStatistics(nil, 5) != nil {
+		t.Error("BuildStatistics(nil) != nil")
+	}
+}
+
+func TestTextAppendix(t *testing.T) {
+	ix, st := statsFixture(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: Text, Appendix: st}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "— STATISTICS —") {
+		t.Error("text output missing statistics rule")
+	}
+	if !strings.Contains(out, "2 works · 2 contributors") {
+		t.Errorf("text output missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "Alpha, A.") || !strings.Contains(out, "collabs") {
+		t.Errorf("text output missing table:\n%s", out)
+	}
+	// Without the appendix the rule must not appear.
+	buf.Reset()
+	if err := Render(&buf, ix, Options{Format: Text}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "STATISTICS") {
+		t.Error("appendix rendered without being requested")
+	}
+}
+
+func TestMarkdownAppendix(t *testing.T) {
+	ix, st := statsFixture(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: Markdown, Appendix: st}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Statistics") {
+		t.Error("markdown output missing statistics heading")
+	}
+	if !strings.Contains(out, "| rank | author |") {
+		t.Errorf("markdown output missing table header:\n%s", out)
+	}
+	if strings.Count(out, "\n| ") < 3 { // header + divider + 2 rows
+		t.Errorf("markdown table rows missing:\n%s", out)
+	}
+}
+
+func TestJSONAppendix(t *testing.T) {
+	ix, st := statsFixture(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: JSON, Appendix: st}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Sections   []json.RawMessage `json:"sections"`
+		Statistics *Statistics       `json:"statistics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Statistics == nil || doc.Statistics.Works != 2 || len(doc.Statistics.Top) != 2 {
+		t.Errorf("json statistics = %+v", doc.Statistics)
+	}
+	// Appendix-free JSON omits the member entirely.
+	buf.Reset()
+	if err := Render(&buf, ix, Options{Format: JSON}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "statistics") {
+		t.Error("json output has statistics without the option")
+	}
+}
+
+// TSV and CSV are round-trip formats; the appendix must never leak in.
+func TestMachineFormatsIgnoreAppendix(t *testing.T) {
+	ix, st := statsFixture(t)
+	for _, f := range []Format{TSV, CSV} {
+		var with, without bytes.Buffer
+		if err := Render(&with, ix, Options{Format: f, Appendix: st}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Render(&without, ix, Options{Format: f}); err != nil {
+			t.Fatal(err)
+		}
+		if with.String() != without.String() {
+			t.Errorf("%v output changed by appendix", f)
+		}
+	}
+}
+
+func TestEmptyAppendixTable(t *testing.T) {
+	ix := core.New(collate.Default())
+	st := BuildStatistics(metrics.NewEngine(metrics.Harmonic), 10)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: Text, Appendix: st}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no contributors)") {
+		t.Errorf("empty appendix output:\n%s", buf.String())
+	}
+}
