@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dedupe"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -88,6 +89,12 @@ type (
 	Scheme = metrics.Scheme
 	// RankKey selects the statistic TopAuthors ranks by.
 	RankKey = metrics.RankKey
+	// GraphSummary aggregates coauthorship-network statistics.
+	GraphSummary = graph.Summary
+	// CentralAuthor pairs a heading with its network-centrality score.
+	CentralAuthor = graph.CentralAuthor
+	// Neighbor pairs a co-author heading with the shared-work count.
+	Neighbor = graph.Neighbor
 )
 
 // Duplicate-suggestion reasons, strongest first.
@@ -134,7 +141,13 @@ const (
 	ByHIndex        = metrics.ByHIndex
 	ByCollaborators = metrics.ByCollaborators
 	ByFirstAuthored = metrics.ByFirstAuthored
+	// ByCentrality ranks by coauthorship-network PageRank.
+	ByCentrality = metrics.ByCentrality
 )
+
+// DefaultDamping is the PageRank damping factor used when Options
+// leaves GraphDamping zero.
+const DefaultDamping = graph.DefaultDamping
 
 // MaxLimit bounds every caller-supplied result limit; see ClampLimit.
 const MaxLimit = query.MaxLimit
@@ -149,7 +162,7 @@ func ClampLimit(n, def int) int { return query.ClampLimit(n, def) }
 func ParseScheme(s string) (Scheme, error) { return metrics.ParseScheme(s) }
 
 // ParseRankKey converts a rank-key name ("works", "weighted",
-// "fractional", "h", "collabs", "first") into a RankKey.
+// "fractional", "h", "collabs", "first", "central") into a RankKey.
 func ParseRankKey(s string) (RankKey, error) { return metrics.ParseRankKey(s) }
 
 // Errors re-exported from the storage layer.
@@ -197,20 +210,27 @@ type Options struct {
 	// MetricsScheme selects the position-weighting scheme for author
 	// credit. The zero value is SchemeHarmonic.
 	MetricsScheme Scheme
+	// GraphDamping is the PageRank damping factor for network
+	// centrality. Zero means DefaultDamping (0.85); values outside
+	// (0, 1) are rejected by Open.
+	GraphDamping float64
 }
 
 // Stats summarizes index contents and storage footprint.
 type Stats struct {
-	Works         int    // distinct works
-	Authors       int    // distinct headings
-	Postings      int    // author–work pairs
-	StudentNotes  int    // postings under student headings
-	CrossRefs     int    // see-also references
-	Terms         int    // distinct title-search terms
-	WALBytes      int64  // current write-ahead-log size
-	SnapshotBytes int64  // last snapshot size
-	InMemory      bool   // true when opened without a directory
-	Collation     string // collation scheme name
+	Works           int    // distinct works
+	Authors         int    // distinct headings
+	Postings        int    // author–work pairs
+	StudentNotes    int    // postings under student headings
+	CrossRefs       int    // see-also references
+	Terms           int    // distinct title-search terms
+	GraphNodes      int    // authors in the coauthorship network
+	GraphEdges      int    // distinct collaborating pairs
+	GraphComponents int    // connected components (isolated authors included)
+	WALBytes        int64  // current write-ahead-log size
+	SnapshotBytes   int64  // last snapshot size
+	InMemory        bool   // true when opened without a directory
+	Collation       string // collation scheme name
 }
 
 // Index is an open author-index engine. All methods are safe for
@@ -236,6 +256,11 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if !o.MetricsScheme.Valid() {
 		return nil, fmt.Errorf("authorindex: invalid metrics scheme %d", o.MetricsScheme)
 	}
+	// Written to reject NaN too: NaN fails every comparison, so test
+	// for the valid range and negate.
+	if o.GraphDamping != 0 && !(o.GraphDamping > 0 && o.GraphDamping < 1) {
+		return nil, fmt.Errorf("authorindex: graph damping %g outside (0, 1)", o.GraphDamping)
+	}
 	st, err := storage.Open(dir, storage.Options{
 		WAL:          wal.Options{NoSync: o.NoSync},
 		CompactEvery: o.CompactEvery,
@@ -244,6 +269,9 @@ func Open(dir string, opts *Options) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{store: st, eng: query.NewWithScheme(coll, o.MetricsScheme), coll: coll}
+	if o.GraphDamping != 0 {
+		ix.eng.Graph().SetDamping(o.GraphDamping)
+	}
 	if err := st.ForEach(func(w *model.Work) error { return ix.eng.Add(w) }); err != nil {
 		st.Close()
 		return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
@@ -438,6 +466,63 @@ func (ix *Index) RebuildMetrics() {
 	ix.eng.RebuildMetrics()
 }
 
+// CollaborationPath returns the shortest coauthorship chain between two
+// headings given in index-order form ("Lewin, Jeff L."), endpoints
+// included — the Erdős-style distance is len(path)-1. It reports false
+// when either heading is unknown or no chain of shared works connects
+// them.
+func (ix *Index) CollaborationPath(from, to string) ([]string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.CollaborationPath(from, to)
+}
+
+// Centrality returns a heading's PageRank score in the coauthorship
+// network; scores across all authors sum to 1.
+func (ix *Index) Centrality(heading string) (float64, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Centrality(heading)
+}
+
+// Collaborators returns a heading's co-authors with shared-work counts,
+// heaviest first.
+func (ix *Index) Collaborators(heading string) []Neighbor {
+	a, err := names.Parse(heading)
+	if err != nil {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Graph().Neighbors(a.Display())
+}
+
+// GraphSummary returns coauthorship-network aggregates: node, edge and
+// component counts, the largest component, density, and the most
+// central authors under the configured damping factor.
+func (ix *Index) GraphSummary() GraphSummary {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Graph().Summarize()
+}
+
+// TopCentral returns up to limit authors by network centrality, best
+// first. The limit is clamped like every query limit.
+func (ix *Index) TopCentral(limit int) []CentralAuthor {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.eng.Graph().TopCentral(ClampLimit(limit, 10))
+}
+
+// RebuildGraph discards the incrementally maintained coauthorship graph
+// and recomputes it from the indexed corpus — the recovery path when
+// incremental state is suspect.
+func (ix *Index) RebuildGraph() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.eng.RebuildGraph()
+}
+
 // Sections returns the index grouped by letter, in print order; entries
 // are deep copies.
 func (ix *Index) Sections() []Section {
@@ -448,10 +533,16 @@ func (ix *Index) Sections() []Section {
 
 // Render writes the index to w in the format selected by opts. With
 // opts.Statistics set, the Text, Markdown and JSON formats close with a
-// contributor-summary appendix built from the metrics tracker.
+// contributor-summary appendix built from the metrics tracker; with
+// opts.Network set they close with a collaboration-network appendix
+// built from the coauthorship graph. Graph reads run under the read
+// lock: the graph's lazy caches carry their own internal mutex.
 func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
+		opts.NetworkAppendix = render.BuildNetwork(ix.eng.Graph(), min(opts.NetworkLimit, MaxLimit))
+	}
 	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
 		// BuildStatistics defaults non-positive limits to 10; the cap
 		// bounds explicit limits like every other query limit.
@@ -602,6 +693,23 @@ func (ix *Index) Verify() error {
 	if ms.Postings != st.Postings {
 		return fmt.Errorf("authorindex: verify: metrics count %d postings, index %d", ms.Postings, st.Postings)
 	}
+	g := ix.eng.Graph()
+	if g.Works() != storeCount {
+		return fmt.Errorf("authorindex: verify: graph tracks %d works, store %d", g.Works(), storeCount)
+	}
+	// The graph and the metrics tracker maintain the collaboration
+	// structure independently; their node and pair counts must agree.
+	if g.Nodes() != ms.Authors {
+		return fmt.Errorf("authorindex: verify: graph holds %d nodes, metrics %d authors", g.Nodes(), ms.Authors)
+	}
+	if g.Edges() != ms.Pairs {
+		return fmt.Errorf("authorindex: verify: graph holds %d edges, metrics %d pairs", g.Edges(), ms.Pairs)
+	}
+	// The incremental graph must be byte-identical to one rebuilt from
+	// scratch over the same corpus.
+	if !ix.eng.GraphConsistent() {
+		return fmt.Errorf("authorindex: verify: incremental graph state differs from a from-scratch rebuild")
+	}
 	return nil
 }
 
@@ -611,17 +719,21 @@ func (ix *Index) Stats() Stats {
 	defer ix.mu.RUnlock()
 	es := ix.eng.Stats()
 	ss := ix.store.Stats()
+	g := ix.eng.Graph()
 	return Stats{
-		Works:         es.Works,
-		Authors:       es.Authors,
-		Postings:      es.Postings,
-		StudentNotes:  es.StudentNotes,
-		CrossRefs:     es.CrossRefs,
-		Terms:         es.Terms,
-		WALBytes:      ss.WALBytes,
-		SnapshotBytes: ss.SnapshotBytes,
-		InMemory:      ss.InMemory,
-		Collation:     ix.coll.Scheme.String(),
+		Works:           es.Works,
+		Authors:         es.Authors,
+		Postings:        es.Postings,
+		StudentNotes:    es.StudentNotes,
+		CrossRefs:       es.CrossRefs,
+		Terms:           es.Terms,
+		GraphNodes:      g.Nodes(),
+		GraphEdges:      g.Edges(),
+		GraphComponents: g.Components(),
+		WALBytes:        ss.WALBytes,
+		SnapshotBytes:   ss.SnapshotBytes,
+		InMemory:        ss.InMemory,
+		Collation:       ix.coll.Scheme.String(),
 	}
 }
 

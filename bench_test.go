@@ -16,6 +16,7 @@ import (
 	"repro/internal/collate"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/inverted"
 	"repro/internal/metrics"
@@ -314,6 +315,69 @@ func BenchmarkMetrics(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E11 — coauthorship graph: incremental maintenance, path queries and
+// centrality.
+//
+// Incremental measures one add+remove round trip against graphs holding
+// corpora of increasing size: per-mutation cost is O(authors-per-work²)
+// and must stay flat as the corpus grows (the incremental-maintenance
+// claim — the quadratic term is the pairwise edge update over a short
+// author list). Path, PageRank and Rebuild scale with corpus size by
+// design.
+func BenchmarkGraph(b *testing.B) {
+	sizes := []int{1_000, 10_000, 100_000}
+	for _, n := range sizes {
+		all := corpus(b, n+1)
+		works, extra := all[:n], all[n]
+		g := graph.NewFromWorks(0, works)
+		endpoints := graphEndpoints(works)
+		b.Run(fmt.Sprintf("Incremental/corpus=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Add(extra)
+				g.Remove(extra)
+			}
+		})
+		b.Run(fmt.Sprintf("Path/corpus=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				from := endpoints[i%len(endpoints)]
+				to := endpoints[(i+len(endpoints)/2)%len(endpoints)]
+				if _, ok := g.Path(from, to); ok {
+					hits++
+				}
+			}
+			b.ReportMetric(float64(g.Components()), "components")
+		})
+		b.Run(fmt.Sprintf("PageRank/corpus=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.SetDamping(0.85 - float64(i%2)*0.05) // bust the cache each round
+				if len(g.TopCentral(10)) == 0 {
+					b.Fatal("no central authors")
+				}
+			}
+			b.ReportMetric(float64(g.Nodes()), "nodes")
+		})
+		b.Run(fmt.Sprintf("Rebuild/corpus=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fresh := graph.New(0)
+				fresh.Rebuild(works)
+			}
+		})
+	}
+}
+
+// graphEndpoints samples headings across the corpus for path probes.
+func graphEndpoints(works []*model.Work) []string {
+	var out []string
+	for i := 0; i < len(works); i += max(1, len(works)/64) {
+		out = append(out, works[i].Authors[0].Display())
+	}
+	return out
 }
 
 // E9 / end-to-end facade benchmark: the cost one Add pays through the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/collate"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/inverted"
 	"repro/internal/metrics"
@@ -186,6 +187,71 @@ func runE10(c config) {
 		t.add(fmt.Sprint(n), fmt.Sprint(tr.Len()), ns(update, 2*rounds),
 			(rank / time.Duration(rankOps)).Round(time.Microsecond).String(),
 			rebuild.Round(time.Millisecond).String(), persec(rank, rankOps))
+	}
+	t.print()
+}
+
+// E11: coauthorship graph — per-mutation cost of incremental
+// maintenance vs corpus size (must stay flat: O(authors-per-work²) per
+// work, independent of corpus size), BFS path latency, PageRank
+// convergence time, and the full rebuild baseline.
+func runE11(c config) {
+	const rounds = 2_000
+	t := &table{header: []string{"corpus", "nodes", "edges", "components", "ns/update", "path", "pagerank", "rebuild"}}
+	for _, n := range corpusSizes(c) {
+		all := gen.Generate(gen.Config{Seed: c.seed, Works: n + 1, ZipfS: 1.1})
+		works, extra := all[:n], all[n]
+		g := graph.NewFromWorks(0, works)
+
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			g.Add(extra)
+			g.Remove(extra)
+		}
+		update := time.Since(start)
+
+		// Path probes between headings sampled across the corpus; the
+		// first query also pays the lazy union-find rebuild.
+		var endpoints []string
+		for i := 0; i < len(works); i += max(1, len(works)/64) {
+			endpoints = append(endpoints, works[i].Authors[0].Display())
+		}
+		pathOps := 500
+		if n >= 100_000 {
+			pathOps = 100
+		}
+		start = time.Now()
+		for i := 0; i < pathOps; i++ {
+			from := endpoints[i%len(endpoints)]
+			to := endpoints[(i+len(endpoints)/2)%len(endpoints)]
+			g.Path(from, to)
+		}
+		path := time.Since(start)
+
+		// PageRank with the cache busted each round via the damping knob.
+		prOps := 20
+		if n >= 100_000 {
+			prOps = 3
+		}
+		start = time.Now()
+		for i := 0; i < prOps; i++ {
+			g.SetDamping(0.85 - float64(i%2)*0.05)
+			if len(g.TopCentral(10)) == 0 {
+				panic("no central authors")
+			}
+		}
+		pagerank := time.Since(start)
+
+		start = time.Now()
+		fresh := graph.New(0)
+		fresh.Rebuild(works)
+		rebuild := time.Since(start)
+
+		t.add(fmt.Sprint(n), fmt.Sprint(g.Nodes()), fmt.Sprint(g.Edges()),
+			fmt.Sprint(g.Components()), ns(update, 2*rounds),
+			(path / time.Duration(pathOps)).Round(time.Microsecond).String(),
+			(pagerank / time.Duration(prOps)).Round(time.Millisecond).String(),
+			rebuild.Round(time.Millisecond).String())
 	}
 	t.print()
 }

@@ -314,6 +314,8 @@ func cmdRender(args []string) error {
 	year := fs.Int("year", 0, "running-head year")
 	stats := fs.Bool("stats", false, "append the contributor-statistics appendix (text/markdown/json)")
 	statsTop := fs.Int("stats-top", 10, "ranked contributors in the appendix")
+	network := fs.Bool("network", false, "append the collaboration-network appendix (text/markdown/json)")
+	networkTop := fs.Int("network-top", 10, "ranked central authors in the network appendix")
 	fs.Parse(args)
 
 	f, err := authorindex.ParseFormat(*format)
@@ -331,12 +333,14 @@ func cmdRender(args []string) error {
 	}
 	defer w.Close()
 	return ix.Render(w, authorindex.RenderOptions{
-		Format:     f,
-		PageLength: *pagelen,
-		PageWidth:  *width,
-		Volume:     authorindex.Volume{Publication: *pub, Number: *volnum, Year: *year},
-		Statistics: *stats,
-		StatsLimit: *statsTop,
+		Format:       f,
+		PageLength:   *pagelen,
+		PageWidth:    *width,
+		Volume:       authorindex.Volume{Publication: *pub, Number: *volnum, Year: *year},
+		Statistics:   *stats,
+		StatsLimit:   *statsTop,
+		Network:      *network,
+		NetworkLimit: *networkTop,
 	})
 }
 
@@ -434,6 +438,9 @@ func cmdStats(args []string) error {
 	fmt.Printf("student notes:  %d\n", st.StudentNotes)
 	fmt.Printf("cross-refs:     %d\n", st.CrossRefs)
 	fmt.Printf("search terms:   %d\n", st.Terms)
+	fmt.Printf("graph nodes:    %d\n", st.GraphNodes)
+	fmt.Printf("graph edges:    %d\n", st.GraphEdges)
+	fmt.Printf("components:     %d\n", st.GraphComponents)
 	fmt.Printf("collation:      %s\n", st.Collation)
 	fmt.Printf("WAL bytes:      %d\n", st.WALBytes)
 	fmt.Printf("snapshot bytes: %d\n", st.SnapshotBytes)
@@ -557,7 +564,7 @@ func cmdMetrics(args []string) error {
 func cmdRank(args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ExitOnError)
 	open := openFlags(fs)
-	by := fs.String("by", "weighted", "rank key: works, weighted, fractional, h, collabs or first")
+	by := fs.String("by", "weighted", "rank key: works, weighted, fractional, h, collabs, first or central")
 	limit := fs.Int("limit", 10, "how many authors to list (0 = all, clamped)")
 	scheme := fs.String("scheme", "harmonic", "credit scheme: harmonic, arithmetic, geometric or fractional")
 	fs.Parse(args)
@@ -580,6 +587,93 @@ func cmdRank(args []string) error {
 	for i, m := range ix.TopAuthors(key, authorindex.ClampLimit(*limit, 10)) {
 		fmt.Printf("%-4d %-40s %5d %5d %8.3f %3d %7d\n",
 			i+1, m.Heading, m.Works, m.FirstAuthored, m.Weighted, m.HIndex, m.Collaborators)
+	}
+	return nil
+}
+
+// withDamping is the opener tweak the graph-facing commands share.
+func withDamping(d float64) func(*authorindex.Options) {
+	return func(o *authorindex.Options) { o.GraphDamping = d }
+}
+
+// cmdPath prints the shortest collaboration chain between two headings.
+func cmdPath(args []string) error {
+	fs := flag.NewFlagSet("path", flag.ExitOnError)
+	open := openFlags(fs)
+	from := fs.String("from", "", `source heading, e.g. "Lewin, Jeff L." (required)`)
+	to := fs.String("to", "", "target heading (required)")
+	fs.Parse(args)
+	if *from == "" || *to == "" {
+		return errors.New("-from and -to are required")
+	}
+	ix, err := open()
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	path, ok := ix.CollaborationPath(*from, *to)
+	if !ok {
+		return fmt.Errorf("no collaboration path from %q to %q", *from, *to)
+	}
+	fmt.Printf("%d hop(s):\n", len(path)-1)
+	for i, h := range path {
+		if i == 0 {
+			fmt.Printf("  %s\n", h)
+		} else {
+			fmt.Printf("  └─ %s\n", h)
+		}
+	}
+	return nil
+}
+
+// cmdGraph prints the coauthorship-network summary, one author's
+// network position, or the most central authors.
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	open := openFlags(fs)
+	author := fs.String("author", "", "show one heading's network position (default: network summary)")
+	central := fs.Int("central", 0, "list the N most central authors instead")
+	damping := fs.Float64("damping", 0, "PageRank damping factor (0 = default 0.85)")
+	fs.Parse(args)
+
+	ix, err := open(withDamping(*damping))
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	switch {
+	case *author != "":
+		c, ok := ix.Centrality(*author)
+		if !ok {
+			return fmt.Errorf("no heading %q", *author)
+		}
+		cs := ix.Collaborators(*author)
+		shared := 0
+		for _, n := range cs {
+			shared += n.Works
+		}
+		fmt.Println(*author)
+		fmt.Printf("  co-authors:      %d (%d shared works)\n", len(cs), shared)
+		fmt.Printf("  centrality:      %.6f\n", c)
+		for _, n := range cs {
+			fmt.Printf("  with %-34s %d works\n", n.Heading, n.Works)
+		}
+	case *central > 0:
+		fmt.Printf("%-4s %-40s %s\n", "rank", "author", "centrality")
+		for i, c := range ix.TopCentral(*central) {
+			fmt.Printf("%-4d %-40s %.6f\n", i+1, c.Heading, c.Score)
+		}
+	default:
+		s := ix.GraphSummary()
+		fmt.Printf("authors:           %d\n", s.Nodes)
+		fmt.Printf("collab pairs:      %d\n", s.Edges)
+		fmt.Printf("components:        %d\n", s.Components)
+		fmt.Printf("largest component: %d\n", s.LargestComponent)
+		fmt.Printf("density:           %.6f\n", s.Density)
+		fmt.Printf("damping:           %.2f\n", s.Damping)
+		for _, c := range s.TopCentral {
+			fmt.Printf("  central: %-34s %.6f\n", c.Heading, c.Score)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	authorindex "repro"
+)
+
+// ---- HTTP surface ----
+
+func TestServeGraphSummary(t *testing.T) {
+	ts, _ := testServer(t)
+	var s authorindex.GraphSummary
+	if code := getJSON(t, ts.URL+"/graph", &s); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// Fixture: Cardi solo, Lewin+Peng shared, Filed solo.
+	if s.Nodes != 4 || s.Edges != 1 || s.Components != 3 || s.LargestComponent != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if len(s.TopCentral) == 0 {
+		t.Error("no central authors in summary")
+	}
+}
+
+func TestServeGraphPath(t *testing.T) {
+	ts, _ := testServer(t)
+	var p wirePath
+	url := ts.URL + "/graph/path?from=Lewin,+Jeff+L.&to=Peng,+Syd+S."
+	if code := getJSON(t, url, &p); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if p.Distance != 1 || len(p.Path) != 2 || p.Path[1] != "Peng, Syd S." {
+		t.Errorf("path = %+v", p)
+	}
+	if code := getJSON(t, ts.URL+"/graph/path?from=Lewin,+Jeff+L.&to=Cardi,+Vincent+P.", nil); code != 404 {
+		t.Errorf("disconnected pair gave %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/graph/path?from=Lewin,+Jeff+L.", nil); code != 400 {
+		t.Errorf("missing to gave %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/graph/path?from=Nobody,+X.&to=Peng,+Syd+S.", nil); code != 404 {
+		t.Errorf("unknown heading gave %d, want 404", code)
+	}
+}
+
+func TestServeGraphCentral(t *testing.T) {
+	ts, _ := testServer(t)
+	var cs []authorindex.CentralAuthor
+	if code := getJSON(t, ts.URL+"/graph/central?limit=2", &cs); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d central authors, want 2", len(cs))
+	}
+	// The collaborating pair outranks the isolated authors.
+	for _, c := range cs {
+		if c.Heading != "Lewin, Jeff L." && c.Heading != "Peng, Syd S." {
+			t.Errorf("unexpected central author %q", c.Heading)
+		}
+	}
+}
+
+func TestServeRankByCentral(t *testing.T) {
+	ts, _ := testServer(t)
+	var ms []authorindex.AuthorMetrics
+	if code := getJSON(t, ts.URL+"/rank?by=central&limit=1", &ms); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("rank returned %d entries", len(ms))
+	}
+	if h := ms[0].Heading; h != "Lewin, Jeff L." && h != "Peng, Syd S." {
+		t.Errorf("top central = %q", h)
+	}
+}
+
+// ---- CLI surface ----
+
+func TestCLIGraphCommands(t *testing.T) {
+	idx := t.TempDir()
+	add := func(title, cite string, headings ...string) {
+		args := []string{"-dir", idx, "-nosync", "-title", title, "-cite", cite}
+		for _, h := range headings {
+			args = append(args, "-author", h)
+		}
+		captureStdout(t, func() error { return cmdAdd(args) })
+	}
+	add("One", "90:1 (1988)", "Lewin, Jeff L.", "Peng, Syd S.")
+	add("Two", "90:50 (1988)", "Peng, Syd S.", "Cardi, Vincent P.")
+	add("Three", "90:99 (1988)", "Adler, Mortimer J.")
+
+	out := captureStdout(t, func() error {
+		return cmdPath([]string{"-dir", idx, "-nosync", "-from", "Lewin, Jeff L.", "-to", "Cardi, Vincent P."})
+	})
+	if !strings.Contains(out, "2 hop(s)") || !strings.Contains(out, "Peng, Syd S.") {
+		t.Errorf("path output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdGraph([]string{"-dir", idx, "-nosync"})
+	})
+	for _, want := range []string{"authors:           4", "collab pairs:      2", "components:        2", "largest component: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph summary output lacks %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdGraph([]string{"-dir", idx, "-nosync", "-central", "2", "-damping", "0.5"})
+	})
+	if !strings.Contains(out, "Peng, Syd S.") || !strings.Contains(strings.SplitN(out, "\n", 2)[0], "centrality") {
+		t.Errorf("graph -central output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdGraph([]string{"-dir", idx, "-nosync", "-author", "Peng, Syd S."})
+	})
+	if !strings.Contains(out, "co-authors:      2") {
+		t.Errorf("graph -author output: %q", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "central", "-limit", "1"})
+	})
+	if !strings.Contains(out, "Peng, Syd S.") {
+		t.Errorf("rank -by central output: %q", out)
+	}
+}
+
+func TestCLIGraphErrors(t *testing.T) {
+	if err := cmdPath([]string{"-dir", t.TempDir(), "-nosync", "-from", "A, B."}); err == nil {
+		t.Error("path without -to succeeded")
+	}
+	if err := cmdPath([]string{"-dir", t.TempDir(), "-nosync", "-from", "A, B.", "-to", "C, D."}); err == nil {
+		t.Error("path between unknown headings succeeded")
+	}
+	if err := cmdGraph([]string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
+		t.Error("graph for missing author succeeded")
+	}
+	if err := cmdGraph([]string{"-dir", t.TempDir(), "-nosync", "-damping", "1.5"}); err == nil {
+		t.Error("graph with invalid damping succeeded")
+	}
+}

@@ -17,8 +17,10 @@
 //	authdex stats   -dir ./idx
 //	authdex metrics -dir ./idx [-author "Lewin, Jeff L."] [-scheme harmonic]
 //	authdex rank    -dir ./idx [-by weighted] [-limit 10] [-scheme harmonic]
+//	authdex path    -dir ./idx -from "Lewin, Jeff L." -to "Cardi, Vincent P."
+//	authdex graph   -dir ./idx [-author "Lewin, Jeff L."] [-central 10] [-damping 0.85]
 //	authdex compact -dir ./idx
-//	authdex serve   -dir ./idx -addr :8377
+//	authdex serve   -dir ./idx -addr :8377 [-damping 0.85]
 package main
 
 import (
@@ -47,6 +49,8 @@ var commands = []command{
 	{"stats", "print index statistics", cmdStats},
 	{"metrics", "per-author bibliometrics or the corpus summary", cmdMetrics},
 	{"rank", "top contributors by works/credit/h-index/collaboration", cmdRank},
+	{"path", "shortest collaboration chain between two headings", cmdPath},
+	{"graph", "coauthorship-network summary, author position or top central", cmdGraph},
 	{"report", "editorial summary: per-letter histogram, top authors, volumes", cmdReport},
 	{"verify", "cross-check store and index invariants", cmdVerify},
 	{"dupes", "suggest headings that may be the same person", cmdDupes},

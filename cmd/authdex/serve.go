@@ -26,19 +26,23 @@ import (
 //	GET /metrics                       corpus bibliometrics summary
 //	GET /rank?by=weighted&limit=10     top contributors by rank key
 //	GET /authors/{heading}/metrics     one heading's bibliometrics
+//	GET /graph                         coauthorship-network summary
+//	GET /graph/path?from=A&to=B        shortest collaboration chain
+//	GET /graph/central?limit=10        most central authors (PageRank)
 //	POST /works                        add a work (JSON body)
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
 	addr := fs.String("addr", ":8377", "listen address")
 	scheme := fs.String("scheme", "harmonic", "metrics credit scheme: harmonic, arithmetic, geometric or fractional")
+	damping := fs.Float64("damping", 0, "PageRank damping factor for /graph endpoints (0 = default 0.85)")
 	fs.Parse(args)
 
 	s, err := authorindex.ParseScheme(*scheme)
 	if err != nil {
 		return err
 	}
-	ix, err := open(withScheme(s))
+	ix, err := open(withScheme(s), withDamping(*damping))
 	if err != nil {
 		return err
 	}
@@ -68,6 +72,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /subjects/{subject}", s.bySubject)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /rank", s.rank)
+	mux.HandleFunc("GET /graph", s.graph)
+	mux.HandleFunc("GET /graph/path", s.graphPath)
+	mux.HandleFunc("GET /graph/central", s.graphCentral)
 	mux.HandleFunc("POST /works", s.addWork)
 	return mux
 }
@@ -294,6 +301,37 @@ func (s *server) rank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.ix.TopAuthors(by, limitParam(r)))
+}
+
+func (s *server) graph(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.GraphSummary())
+}
+
+// wirePath is the /graph/path response: the chain plus its hop count.
+type wirePath struct {
+	From     string   `json:"from"`
+	To       string   `json:"to"`
+	Distance int      `json:"distance"`
+	Path     []string `json:"path"`
+}
+
+func (s *server) graphPath(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	to := r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		httpErr(w, http.StatusBadRequest, "from and to parameters are required")
+		return
+	}
+	path, ok := s.ix.CollaborationPath(from, to)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no collaboration path from %q to %q", from, to)
+		return
+	}
+	writeJSON(w, wirePath{From: from, To: to, Distance: len(path) - 1, Path: path})
+}
+
+func (s *server) graphCentral(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.TopCentral(limitParam(r)))
 }
 
 func (s *server) authorMetrics(w http.ResponseWriter, r *http.Request) {

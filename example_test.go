@@ -77,6 +77,36 @@ func ExampleIndex_Render() {
 	// Output: Adler, Mortimer J.       Ideas of Relevance to Law                 84:1 (1981)
 }
 
+// ExampleIndex_CollaborationPath walks the coauthorship network: who
+// connects two authors, and how central is the connector?
+func ExampleIndex_CollaborationPath() {
+	ix := must(authorindex.Open("", nil))
+	defer ix.Close()
+	add := func(page int, headings ...string) {
+		w := authorindex.Work{
+			Title:    "Joint Work",
+			Citation: authorindex.Citation{Volume: 94, Page: page, Year: 1992},
+		}
+		for _, h := range headings {
+			w.Authors = append(w.Authors, must(authorindex.ParseAuthor(h)))
+		}
+		must(ix.Add(w))
+	}
+	add(100, "Lewin, Jeff L.", "Peng, Syd S.")
+	add(200, "Peng, Syd S.", "Cardi, Vincent P.")
+
+	path, _ := ix.CollaborationPath("Lewin, Jeff L.", "Cardi, Vincent P.")
+	fmt.Printf("%d hops: %s\n", len(path)-1, strings.Join(path, " → "))
+
+	s := ix.GraphSummary()
+	fmt.Printf("network: %d authors, %d pairs, %d component(s)\n", s.Nodes, s.Edges, s.Components)
+	fmt.Printf("most central: %s\n", s.TopCentral[0].Heading)
+	// Output:
+	// 2 hops: Lewin, Jeff L. → Peng, Syd S. → Cardi, Vincent P.
+	// network: 3 authors, 2 pairs, 1 component(s)
+	// most central: Peng, Syd S.
+}
+
 // ExampleParseAuthor shows heading-string parsing.
 func ExampleParseAuthor() {
 	a := must(authorindex.ParseAuthor("Van Tol, Joan E."))

@@ -83,6 +83,11 @@ const (
 	ByHIndex
 	ByCollaborators
 	ByFirstAuthored
+	// ByCentrality ranks by coauthorship-network PageRank. The score
+	// lives in the graph engine, not this tracker, so the query layer
+	// resolves this key against its graph; a bare metrics Engine falls
+	// back to ByWorks ordering for it.
+	ByCentrality
 )
 
 var rankNames = [...]string{
@@ -92,6 +97,7 @@ var rankNames = [...]string{
 	ByHIndex:        "h",
 	ByCollaborators: "collabs",
 	ByFirstAuthored: "first",
+	ByCentrality:    "central",
 }
 
 // String names the rank key.
@@ -103,13 +109,15 @@ func (k RankKey) String() string {
 }
 
 // ParseRankKey converts a rank-key name ("works", "weighted",
-// "fractional", "h", "collabs", "first") into a RankKey.
+// "fractional", "h", "collabs", "first", "central") into a RankKey.
 func ParseRankKey(name string) (RankKey, error) {
 	switch strings.ToLower(name) {
 	case "collaborators":
 		return ByCollaborators, nil
 	case "h-index", "hindex":
 		return ByHIndex, nil
+	case "centrality", "pagerank":
+		return ByCentrality, nil
 	}
 	for i, n := range rankNames {
 		if n == strings.ToLower(name) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/collate"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/inverted"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -53,7 +54,10 @@ type Engine struct {
 	// met maintains per-author bibliometrics incrementally; every Add
 	// and Remove feeds it. Behind the Tracker interface so later layers
 	// (caching, sharding) can swap the implementation.
-	met  metrics.Tracker
+	met metrics.Tracker
+	// gr maintains the coauthorship network incrementally; every Add and
+	// Remove feeds it alongside the metrics tracker.
+	gr   *graph.Graph
 	coll collate.Options
 }
 
@@ -79,6 +83,7 @@ func NewWithScheme(opts collate.Options, scheme metrics.Scheme) *Engine {
 		byVolume:  btree.New[model.WorkID](),
 		bySubject: btree.New[*subjectPosting](),
 		met:       metrics.NewEngine(scheme),
+		gr:        graph.New(0),
 		coll:      opts,
 	}
 }
@@ -118,6 +123,7 @@ func (e *Engine) Add(w *model.Work) error {
 		p.insert(cp.ID)
 	}
 	e.met.Add(cp)
+	e.gr.Add(cp)
 	e.works[cp.ID] = cp
 	return nil
 }
@@ -142,6 +148,7 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 		}
 	}
 	e.met.Remove(w)
+	e.gr.Remove(w)
 	delete(e.works, id)
 	return w.Clone(), true
 }
@@ -321,9 +328,74 @@ func (e *Engine) AuthorMetrics(heading string) (metrics.AuthorMetrics, bool) {
 }
 
 // TopAuthors returns up to limit author snapshots ranked by the given
-// key, best first.
+// key, best first. ByCentrality is resolved against the coauthorship
+// graph (the metrics tracker has no network view); every other key goes
+// straight to the tracker.
 func (e *Engine) TopAuthors(by metrics.RankKey, limit int) []metrics.AuthorMetrics {
-	return e.met.TopAuthors(by, ClampLimit(limit, 10))
+	limit = ClampLimit(limit, 10)
+	if by == metrics.ByCentrality {
+		central := e.gr.TopCentral(limit)
+		out := make([]metrics.AuthorMetrics, 0, len(central))
+		for _, c := range central {
+			if m, ok := e.met.Author(c.Heading); ok {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	return e.met.TopAuthors(by, limit)
+}
+
+// Graph exposes the coauthorship network (for stats, rendering and the
+// graph query surfaces).
+func (e *Engine) Graph() *graph.Graph { return e.gr }
+
+// CollaborationPath returns the shortest coauthorship chain between two
+// headings given in index-order form, endpoints included. false when
+// either heading is unknown or they are in different components.
+func (e *Engine) CollaborationPath(from, to string) ([]string, bool) {
+	fa, err := names.Parse(from)
+	if err != nil {
+		return nil, false
+	}
+	ta, err := names.Parse(to)
+	if err != nil {
+		return nil, false
+	}
+	return e.gr.Path(fa.Display(), ta.Display())
+}
+
+// Centrality returns a heading's PageRank score in the coauthorship
+// network.
+func (e *Engine) Centrality(heading string) (float64, bool) {
+	a, err := names.Parse(heading)
+	if err != nil {
+		return 0, false
+	}
+	return e.gr.Centrality(a.Display())
+}
+
+// GraphConsistent reports whether the incremental coauthorship graph is
+// byte-identical to one rebuilt from scratch over the indexed corpus.
+// It reads the corpus in place (graph construction retains nothing), so
+// verification costs no work copies.
+func (e *Engine) GraphConsistent() bool {
+	fresh := graph.New(e.gr.Damping())
+	for _, w := range e.works {
+		fresh.Add(w)
+	}
+	return fresh.Fingerprint() == e.gr.Fingerprint()
+}
+
+// RebuildGraph discards the incremental graph state and recomputes it
+// from the indexed corpus — the recovery path when incremental state is
+// suspect.
+func (e *Engine) RebuildGraph() {
+	works := make([]*model.Work, 0, len(e.works))
+	for _, w := range e.works {
+		works = append(works, w)
+	}
+	e.gr.Rebuild(works)
 }
 
 // SetMetricsScheme swaps the credit-weighting scheme, rebuilding the

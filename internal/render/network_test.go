@@ -1,0 +1,112 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func networkFixture(t *testing.T) (*core.Index, *graph.Graph) {
+	t.Helper()
+	works := []*model.Work{
+		{ID: 1, Title: "Joint Work", Citation: model.Citation{Volume: 1, Page: 1, Year: 1990},
+			Authors: []model.Author{{Family: "Lewin", Given: "Jeff L."}, {Family: "Peng", Given: "Syd S."}}},
+		{ID: 2, Title: "Solo Work", Citation: model.Citation{Volume: 1, Page: 9, Year: 1991},
+			Authors: []model.Author{{Family: "Adler", Given: "Mortimer J."}}},
+	}
+	ix, err := core.Rebuild(collate.Default(), works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, graph.NewFromWorks(0, works)
+}
+
+func TestNetworkAppendixText(t *testing.T) {
+	ix, g := networkFixture(t)
+	var buf bytes.Buffer
+	err := Render(&buf, ix, Options{Format: Text, NetworkAppendix: BuildNetwork(g, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "— COLLABORATION NETWORK —") {
+		t.Errorf("no network rule in:\n%s", out)
+	}
+	if !strings.Contains(out, "3 authors · 1 collaborating pairs · 2 components (largest 2)") {
+		t.Errorf("summary line missing in:\n%s", out)
+	}
+	if !strings.Contains(out, "Lewin, Jeff L.") {
+		t.Errorf("centrality table missing in:\n%s", out)
+	}
+}
+
+func TestNetworkAppendixMarkdown(t *testing.T) {
+	ix, g := networkFixture(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: Markdown, NetworkAppendix: BuildNetwork(g, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## Collaboration Network") {
+		t.Errorf("no section in:\n%s", out)
+	}
+	if strings.Count(out, "| ") < 3 { // header + separator + at least one row
+		t.Errorf("no table in:\n%s", out)
+	}
+	// The limit caps the table (the index body above still lists Adler).
+	_, table, _ := strings.Cut(out, "## Collaboration Network")
+	if strings.Contains(table, "Adler") {
+		t.Errorf("limit 2 still lists the 3rd author:\n%s", table)
+	}
+}
+
+func TestNetworkAppendixJSON(t *testing.T) {
+	ix, g := networkFixture(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: JSON, NetworkAppendix: BuildNetwork(g, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Network *NetworkStats `json:"network"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Network == nil {
+		t.Fatal("no network member")
+	}
+	if doc.Network.Nodes != 3 || doc.Network.Edges != 1 || len(doc.Network.Top) != 3 {
+		t.Errorf("network = %+v", doc.Network)
+	}
+}
+
+func TestNetworkUnsupportedFormats(t *testing.T) {
+	for _, f := range []Format{TSV, CSV, HTMLPage} {
+		if NetworkSupported(f) {
+			t.Errorf("%s claims network support", f)
+		}
+	}
+	if BuildNetwork(nil, 5) != nil {
+		t.Error("BuildNetwork(nil) != nil")
+	}
+}
+
+func TestNetworkAppendixEmptyGraph(t *testing.T) {
+	ix, err := core.Rebuild(collate.Default(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, ix, Options{Format: Text, NetworkAppendix: BuildNetwork(graph.New(0), 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no authors)") {
+		t.Errorf("empty-graph appendix:\n%s", buf.String())
+	}
+}

@@ -89,6 +89,15 @@ type Options struct {
 	// this; direct render callers supply it themselves (see
 	// BuildStatistics).
 	Appendix *Statistics
+	// Network appends the collaboration-network appendix (Text, Markdown
+	// and JSON formats). The facade fills NetworkAppendix from its
+	// coauthorship graph when this is set.
+	Network bool
+	// NetworkLimit caps the ranked centrality table (default 10).
+	NetworkLimit int
+	// NetworkAppendix is the network payload rendered when non-nil;
+	// direct render callers supply it themselves (see BuildNetwork).
+	NetworkAppendix *NetworkStats
 }
 
 func (o Options) runningHead() string {
@@ -223,6 +232,9 @@ func renderText(w io.Writer, sections []core.Section, opts Options) error {
 	if opts.Appendix != nil {
 		appendTextStats(p, opts.Appendix)
 	}
+	if opts.NetworkAppendix != nil {
+		appendTextNetwork(p, opts.NetworkAppendix)
+	}
 	if p.err != nil {
 		return fmt.Errorf("render: text: %w", p.err)
 	}
@@ -335,6 +347,9 @@ func renderMarkdown(w io.Writer, sections []core.Section, opts Options) error {
 	if opts.Appendix != nil {
 		appendMarkdownStats(&b, opts.Appendix)
 	}
+	if opts.NetworkAppendix != nil {
+		appendMarkdownNetwork(&b, opts.NetworkAppendix)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -391,6 +406,8 @@ type jsonDoc struct {
 	Sections []jsonSection `json:"sections"`
 	// Statistics carries the contributor appendix when requested.
 	Statistics *Statistics `json:"statistics,omitempty"`
+	// Network carries the collaboration-network appendix when requested.
+	Network *NetworkStats `json:"network,omitempty"`
 }
 
 type jsonSection struct {
@@ -419,7 +436,11 @@ type jsonWork struct {
 }
 
 func renderJSON(w io.Writer, sections []core.Section, opts Options) error {
-	doc := jsonDoc{Sections: make([]jsonSection, 0, len(sections)), Statistics: opts.Appendix}
+	doc := jsonDoc{
+		Sections:   make([]jsonSection, 0, len(sections)),
+		Statistics: opts.Appendix,
+		Network:    opts.NetworkAppendix,
+	}
 	for _, sec := range sections {
 		js := jsonSection{Letter: string(sec.Letter)}
 		for _, e := range sec.Entries {
