@@ -227,6 +227,9 @@ type Stats struct {
 	GraphNodes      int    // authors in the coauthorship network
 	GraphEdges      int    // distinct collaborating pairs
 	GraphComponents int    // connected components (isolated authors included)
+	QueriesServed   uint64 // ordered read queries answered since open
+	WorksCloned     uint64 // result works deep-copied for callers
+	PostingsScanned uint64 // bytes of posting entries examined by queries
 	WALBytes        int64  // current write-ahead-log size
 	SnapshotBytes   int64  // last snapshot size
 	InMemory        bool   // true when opened without a directory
@@ -313,11 +316,17 @@ func (ix *Index) Delete(id WorkID) error {
 	return nil
 }
 
-// Get returns a copy of the stored work.
+// Get returns a copy of the stored work. The copy is made after the
+// read lock is released: indexed works are immutable, so the reference
+// captured under the lock stays valid even across a concurrent delete.
 func (ix *Index) Get(id WorkID) (*Work, bool) {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Work(id)
+	w, ok := ix.eng.WorkView(id)
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return ix.eng.CloneWork(w), true
 }
 
 // Len returns the number of stored works.
@@ -354,24 +363,33 @@ func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
 // Search evaluates a boolean title query: space-separated terms AND,
 // "a or b" OR, "-term" NOT, "term*" prefix. Results are in citation
 // order, capped at limit (<=0: no cap).
+//
+// Search and the other ordered reads (YearRange, VolumeWorks,
+// BySubject) hold the read lock only while collecting live references —
+// already ordered by the engine's precomputed citation keys and
+// truncated to limit — and deep-copy the survivors after the lock is
+// released, so result cloning never extends writer stall time.
 func (ix *Index) Search(q string, limit int) []*Work {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.TitleSearch(q, limit)
+	view := ix.eng.TitleSearchView(q, limit)
+	ix.mu.RUnlock()
+	return ix.eng.CloneWorks(view)
 }
 
 // YearRange returns works published in [from, to], citation order.
 func (ix *Index) YearRange(from, to, limit int) []*Work {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.YearRange(from, to, limit)
+	view := ix.eng.YearRangeView(from, to, limit)
+	ix.mu.RUnlock()
+	return ix.eng.CloneWorks(view)
 }
 
 // VolumeWorks returns every work in the given volume, citation order.
 func (ix *Index) VolumeWorks(v, limit int) []*Work {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Volume(v, limit)
+	view := ix.eng.VolumeView(v, limit)
+	ix.mu.RUnlock()
+	return ix.eng.CloneWorks(view)
 }
 
 // Subjects returns every subject heading in collation order with its
@@ -386,16 +404,18 @@ func (ix *Index) Subjects() []SubjectCount {
 // case- and diacritic-insensitively, in citation order.
 func (ix *Index) BySubject(subject string, limit int) []*Work {
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.BySubject(subject, limit)
+	view := ix.eng.BySubjectView(subject, limit)
+	ix.mu.RUnlock()
+	return ix.eng.CloneWorks(view)
 }
 
 // RenderSubjectIndex writes the subject-index artifact: works grouped
 // under their subject headings. Text, TSV and Markdown formats are
-// supported.
+// supported. Rendering reads a zero-copy view: the lock is held only to
+// collect references, and the renderer never mutates works.
 func (ix *Index) RenderSubjectIndex(w io.Writer, opts RenderOptions) error {
 	ix.mu.RLock()
-	works := ix.eng.AllWorks()
+	works := ix.eng.AllWorksView()
 	coll := ix.coll
 	ix.mu.RUnlock()
 	return render.SubjectIndex(w, works, coll, opts)
@@ -553,10 +573,11 @@ func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 
 // RenderTitleIndex writes the companion title-index artifact: works
 // alphabetized by title (leading articles ignored) with authors and
-// citations. Text, TSV and Markdown formats are supported.
+// citations. Text, TSV and Markdown formats are supported. Like
+// RenderSubjectIndex, it renders from a zero-copy view.
 func (ix *Index) RenderTitleIndex(w io.Writer, opts RenderOptions) error {
 	ix.mu.RLock()
-	works := ix.eng.AllWorks()
+	works := ix.eng.AllWorksView()
 	coll := ix.coll
 	ix.mu.RUnlock()
 	return render.TitleIndex(w, works, coll, opts)
@@ -651,7 +672,7 @@ func (ix *Index) Verify() error {
 	storeCount := 0
 	err := ix.store.ForEach(func(w *model.Work) error {
 		storeCount++
-		got, ok := ix.eng.Work(w.ID)
+		got, ok := ix.eng.WorkView(w.ID)
 		if !ok {
 			return fmt.Errorf("authorindex: verify: stored work %d missing from engine", w.ID)
 		}
@@ -730,6 +751,9 @@ func (ix *Index) Stats() Stats {
 		GraphNodes:      g.Nodes(),
 		GraphEdges:      g.Edges(),
 		GraphComponents: g.Components(),
+		QueriesServed:   es.Query.Queries,
+		WorksCloned:     es.Query.WorksCloned,
+		PostingsScanned: es.Query.PostingsBytes,
 		WALBytes:        ss.WALBytes,
 		SnapshotBytes:   ss.SnapshotBytes,
 		InMemory:        ss.InMemory,

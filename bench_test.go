@@ -380,6 +380,83 @@ func graphEndpoints(works []*model.Work) []string {
 	return out
 }
 
+// E12 — the concurrent ordered-query read path through the facade:
+// mixed title/year/subject/rank queries under b.RunParallel at three
+// corpus sizes. The family exists to keep the zero-copy read path
+// honest — precomputed citation keys, galloping intersection, and
+// clone-after-unlock should hold allocs/op near the result size, not
+// the match count. cmd/authdex-bench -run E12 prints the same workload
+// with p50/p95 latencies.
+func BenchmarkQueryParallel(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		// Corpus construction is lazy and shared across the size's
+		// sub-benchmarks, so a -bench filter that excludes a size never
+		// pays for indexing it.
+		var ix *Index
+		var subject string
+		setup := func(b *testing.B) {
+			if ix != nil {
+				return
+			}
+			works := corpus(b, n)
+			var err error
+			if ix, err = Open("", nil); err != nil {
+				b.Fatal(err)
+			}
+			for _, w := range works {
+				if _, err := ix.Add(*w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			subject = ix.Subjects()[0].Subject
+		}
+		classes := []struct {
+			name string
+			run  func(i int) int
+		}{
+			{"title", func(i int) int { return len(ix.Search("surface mining", 20)) }},
+			{"year", func(i int) int { return len(ix.YearRange(1970, 1980, 20)) }},
+			{"subject", func(i int) int { return len(ix.BySubject(subject, 20)) }},
+			{"rank", func(i int) int { return len(ix.TopAuthors(ByWeighted, 10)) }},
+		}
+		for _, cl := range classes {
+			b.Run(fmt.Sprintf("%s/works=%d", cl.name, n), func(b *testing.B) {
+				setup(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if cl.run(i) == 0 {
+							b.Errorf("%s query matched nothing", cl.name)
+							return
+						}
+						i++
+					}
+				})
+			})
+		}
+		b.Run(fmt.Sprintf("mixed/works=%d", n), func(b *testing.B) {
+			setup(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if classes[i%len(classes)].run(i) == 0 {
+						b.Error("mixed query matched nothing")
+						return
+					}
+					i++
+				}
+			})
+		})
+		if ix != nil {
+			ix.Close()
+		}
+	}
+}
+
 // E9 / end-to-end facade benchmark: the cost one Add pays through the
 // full stack (validation, WAL append, every index) under each
 // durability policy.

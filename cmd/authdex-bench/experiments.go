@@ -5,9 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	authorindex "repro"
 
 	"repro/internal/btree"
 	"repro/internal/collate"
@@ -595,4 +599,93 @@ func runE8(c config) {
 	t.add(fmt.Sprint(postings), fmt.Sprint(tsv.Len()),
 		d.Round(time.Millisecond).String(), persec(d, postings), fidelity)
 	t.print()
+}
+
+// E12: the concurrent ordered-query read path through the public facade.
+// Each query class runs solo first — recording p50/p95 latency and
+// allocations per operation — then every class together under
+// GOMAXPROCS goroutines for aggregate throughput. The allocs/op column
+// is the experiment's point: with precomputed citation keys, galloping
+// intersection and clone-after-unlock, it stays near the result size
+// (limit) instead of the match count, flat across corpus sizes.
+func runE12(c config) {
+	sizes := []int{1_000, 10_000, 100_000}
+	if c.quick {
+		sizes = []int{1_000, 10_000}
+	}
+	const limit = 20
+	for _, n := range sizes {
+		ix, err := authorindex.Open("", nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, w := range gen.Generate(gen.Config{Seed: c.seed, Works: n, ZipfS: 1.1}) {
+			if _, err := ix.Add(*w); err != nil {
+				panic(err)
+			}
+		}
+		subject := ix.Subjects()[0].Subject
+		classes := []struct {
+			name string
+			run  func() int
+		}{
+			{"title", func() int { return len(ix.Search("surface mining", limit)) }},
+			{"year", func() int { return len(ix.YearRange(1970, 1980, limit)) }},
+			{"subject", func() int { return len(ix.BySubject(subject, limit)) }},
+			{"rank", func() int { return len(ix.TopAuthors(authorindex.ByWeighted, 10)) }},
+		}
+		t := &table{header: []string{"class", "hits", "ops", "p50 µs", "p95 µs", "allocs/op", "KB/op"}}
+		budget := 400 * time.Millisecond
+		if c.quick {
+			budget = 150 * time.Millisecond
+		}
+		for _, cl := range classes {
+			var lat []time.Duration
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			hits := 0
+			for start := time.Now(); time.Since(start) < budget; {
+				t0 := time.Now()
+				hits = cl.run()
+				lat = append(lat, time.Since(t0))
+			}
+			runtime.ReadMemStats(&m1)
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			ops := len(lat)
+			p := func(q float64) string {
+				return fmt.Sprintf("%.1f", float64(lat[int(q*float64(ops-1))].Nanoseconds())/1e3)
+			}
+			t.add(cl.name, fmt.Sprint(hits), fmt.Sprint(ops), p(0.50), p(0.95),
+				fmt.Sprintf("%.0f", float64(m1.Mallocs-m0.Mallocs)/float64(ops)),
+				fmt.Sprintf("%.1f", float64(m1.TotalAlloc-m0.TotalAlloc)/float64(ops)/1024))
+		}
+		// Mixed classes, all cores: aggregate throughput.
+		workers := runtime.GOMAXPROCS(0)
+		perWorker := 400
+		if c.quick {
+			perWorker = 100
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					classes[(w+i)%len(classes)].run()
+				}
+			}(w)
+		}
+		wg.Wait()
+		par := time.Since(start)
+		parOps := workers * perWorker
+		st := ix.Stats()
+		fmt.Printf("   corpus=%d works\n", n)
+		t.print()
+		fmt.Printf("   mixed x%d goroutines: %d ops in %s (%s ops/s)\n",
+			workers, parOps, par.Round(time.Millisecond), persec(par, parOps))
+		fmt.Printf("   read-path counters: %d queries, %d works cloned, %s MiB postings scanned\n",
+			st.QueriesServed, st.WorksCloned, mib(int64(st.PostingsScanned)))
+		ix.Close()
+	}
 }

@@ -1,0 +1,136 @@
+// Concurrency hammer for the zero-copy read path: parallel facade reads
+// must stay consistent — and race-free under `go test -race` — while
+// writers add and delete works. The read methods deliberately clone
+// results after releasing the read lock, so this test is the guard that
+// the works those views reference really are immutable.
+package authorindex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelReadsDuringMutation(t *testing.T) {
+	ix, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	const seedWorks = 200
+	mkWork := func(i int) Work {
+		return Work{
+			Title:    fmt.Sprintf("Surface Mining Study %d", i),
+			Kind:     KindArticle,
+			Authors:  []Author{{Family: fmt.Sprintf("Family%d", i%23), Given: "A."}},
+			Citation: Citation{Volume: 1 + i%40, Page: 1 + i, Year: 1970 + i%30},
+			Subjects: []string{"Surface Mining Reclamation"},
+		}
+	}
+	ids := make([]WorkID, seedWorks)
+	for i := range ids {
+		id, err := ix.Add(mkWork(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	var (
+		wg    sync.WaitGroup
+		stop  atomic.Bool
+		fails atomic.Int32
+	)
+	check := func(ok bool, format string, args ...any) {
+		if !ok && fails.Add(1) < 5 {
+			t.Errorf(format, args...)
+		}
+	}
+
+	// Writers: churn the upper half of the corpus with delete+re-add,
+	// each writer on its own quarter so the ids slots stay disjoint.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				n := seedWorks/2 + w*(seedWorks/4) + i%(seedWorks/4)
+				if err := ix.Delete(ids[n]); err != nil {
+					check(false, "writer %d: Delete: %v", w, err)
+					return
+				}
+				id, err := ix.Add(mkWork(n))
+				if err != nil {
+					check(false, "writer %d: Add: %v", w, err)
+					return
+				}
+				ids[n] = id // only this writer's partition index is touched concurrently
+			}
+		}(w)
+	}
+
+	// Readers: every ordered read plus stats, validating what comes back.
+	reader := func(read func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				read(i)
+			}
+		}()
+	}
+	reader(func(i int) {
+		works := ix.Search("surface mining", 20)
+		check(len(works) > 0, "Search returned nothing")
+		for j := 1; j < len(works); j++ {
+			check(works[j-1].Citation.Compare(works[j].Citation) <= 0,
+				"Search results out of citation order: %v before %v", works[j-1].Citation, works[j].Citation)
+		}
+		for _, w := range works {
+			check(w.Validate() == nil, "Search returned invalid work: %v", w)
+		}
+	})
+	reader(func(i int) {
+		works := ix.YearRange(1970, 1999, 15)
+		check(len(works) > 0, "YearRange returned nothing")
+		for j := 1; j < len(works); j++ {
+			check(works[j-1].Citation.Compare(works[j].Citation) <= 0,
+				"YearRange results out of citation order")
+		}
+	})
+	reader(func(i int) {
+		works := ix.BySubject("Surface Mining Reclamation", 10)
+		check(len(works) > 0, "BySubject returned nothing")
+	})
+	reader(func(i int) {
+		// The lower half is never deleted, so Get must always succeed and
+		// the clone must survive mutation of everything around it.
+		w, ok := ix.Get(ids[i%(seedWorks/2)])
+		check(ok && w.Validate() == nil, "Get lost a stable work")
+	})
+	reader(func(i int) {
+		st := ix.Stats()
+		check(st.Works > 0, "Stats went dark: %+v", st)
+		ix.VolumeWorks(1+i%40, 5)
+	})
+
+	// Let the hammer run briefly; -race needs iterations, not wall time.
+	for i := 0; i < 50; i++ {
+		ix.Search("mining", 5)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify after hammer: %v", err)
+	}
+	st := ix.Stats()
+	if st.Works != seedWorks {
+		t.Fatalf("works = %d, want %d", st.Works, seedWorks)
+	}
+	if st.WorksCloned == 0 || st.PostingsScanned == 0 {
+		t.Fatalf("query counters did not move: %+v", st)
+	}
+}

@@ -29,6 +29,11 @@ type Entry struct {
 	SeeAlso []model.Author
 }
 
+// Clone returns a deep copy so readers can hold results across
+// mutations. Ascend callbacks receive live entries; cloning the visited
+// entry directly avoids re-searching the tree with Lookup.
+func (e *Entry) Clone() *Entry { return e.clone() }
+
 // clone returns a deep copy so readers can hold results across mutations.
 func (e *Entry) clone() *Entry {
 	c := &Entry{Author: e.Author}

@@ -124,16 +124,36 @@ func (ix *Index) Postings(term string) []model.WorkID {
 }
 
 // ExpandPrefix returns the union of postings for every term starting
-// with prefix, capped at limit terms (0 = no cap).
+// with prefix, capped at limit terms (0 = no cap). Matching lists are
+// gathered first and merged in one sort+compact pass, instead of paying
+// a reallocating pairwise union per term.
 func (ix *Index) ExpandPrefix(prefix string, limit int) []model.WorkID {
-	var acc []model.WorkID
-	n := 0
+	var lists [][]model.WorkID
+	total, n := 0, 0
 	ix.terms.AscendPrefix([]byte(names.Fold(prefix)), func(_ []byte, p *postings) bool {
-		acc = union(acc, p.ids)
+		lists = append(lists, p.ids)
+		total += len(p.ids)
 		n++
 		return limit == 0 || n < limit
 	})
-	return acc
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]model.WorkID(nil), lists[0]...)
+	}
+	acc := make([]model.WorkID, 0, total)
+	for _, l := range lists {
+		acc = append(acc, l...)
+	}
+	sort.Slice(acc, func(i, j int) bool { return acc[i] < acc[j] })
+	out := acc[:1]
+	for _, x := range acc[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func (p *postings) insert(id model.WorkID) bool {
@@ -230,58 +250,135 @@ func makeAtom(f string) (Atom, bool) {
 	return Atom{Term: toks[0], Prefix: prefix}, true
 }
 
+// ScanStats reports how much postings data one evaluation examined.
+type ScanStats struct {
+	// PostingsBytes counts 8 bytes per posting entry in every list the
+	// evaluator materialized or intersected against.
+	PostingsBytes int
+}
+
 // Eval runs the query and returns matching IDs in ascending order. An
 // empty query returns nil.
 func (ix *Index) Eval(q Query) []model.WorkID {
+	ids, _ := ix.EvalWithStats(q)
+	return ids
+}
+
+// EvalWithStats is Eval plus a report of the postings volume scanned.
+//
+// Positive lists are intersected smallest-first: exact-term postings are
+// borrowed from the index (zero copy), the running intersection lives in
+// one scratch buffer reused across terms, and when one list is much
+// longer than the accumulator the merge gallops (exponential search)
+// through it instead of stepping linearly.
+func (ix *Index) EvalWithStats(q Query) ([]model.WorkID, ScanStats) {
+	var st ScanStats
 	if q.IsEmpty() {
-		return nil
+		return nil, st
 	}
 	matchAtom := func(a Atom) []model.WorkID {
+		var ids []model.WorkID
 		if a.Prefix {
-			return ix.ExpandPrefix(a.Term, 0)
+			ids = ix.ExpandPrefix(a.Term, 0)
+		} else if p, ok := ix.terms.Get([]byte(names.Fold(a.Term))); ok {
+			ids = p.ids // borrowed: read-only until copied below
 		}
-		return ix.Postings(a.Term)
+		st.PostingsBytes += 8 * len(ids)
+		return ids
 	}
-	var acc []model.WorkID
-	first := true
+	lists := make([][]model.WorkID, 0, len(q.All)+1)
 	for _, a := range q.All {
 		ids := matchAtom(a)
-		if first {
-			acc, first = ids, false
-		} else {
-			acc = intersect(acc, ids)
+		if len(ids) == 0 {
+			return nil, st
 		}
-		if len(acc) == 0 {
-			return nil
-		}
+		lists = append(lists, ids)
 	}
 	if len(q.Any) > 0 {
 		var anyIDs []model.WorkID
 		for _, a := range q.Any {
 			anyIDs = union(anyIDs, matchAtom(a))
 		}
-		if first {
-			acc, first = anyIDs, false
-		} else {
-			acc = intersect(acc, anyIDs)
-		}
+		// The OR group behaves as one more AND operand, like the classic
+		// evaluator's trailing acc ∩ anyIDs step.
+		lists = append(lists, anyIDs)
 	}
-	if first {
+	if len(lists) == 0 {
 		// NOT-only queries match nothing: there is no universe to subtract
 		// from without a positive term.
-		return nil
+		return nil, st
+	}
+	// Smallest-first insertion sort: query atom counts are tiny, and
+	// sort.Slice's closure would be the hot path's only allocations.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	acc := lists[0]
+	owned := false // whether acc is a scratch buffer we may overwrite
+	for _, l := range lists[1:] {
+		if len(acc) == 0 {
+			break
+		}
+		if !owned {
+			acc = intersectInto(make([]model.WorkID, 0, len(acc)), acc, l)
+			owned = true
+		} else {
+			acc = intersectInto(acc, acc, l)
+		}
 	}
 	for _, a := range q.None {
-		acc = subtract(acc, matchAtom(a))
+		if len(acc) == 0 {
+			break
+		}
+		ex := matchAtom(a)
+		if len(ex) == 0 {
+			continue
+		}
+		if !owned {
+			acc = subtractInto(make([]model.WorkID, 0, len(acc)), acc, ex)
+			owned = true
+		} else {
+			acc = subtractInto(acc, acc, ex)
+		}
 	}
-	return acc
+	if !owned {
+		// Single positive term: hand out a copy, never the live postings.
+		acc = append([]model.WorkID(nil), acc...)
+	}
+	return acc, st
 }
 
 // Search parses and evaluates q in one step.
 func (ix *Index) Search(q string) []model.WorkID { return ix.Eval(ParseQuery(q)) }
 
-func intersect(a, b []model.WorkID) []model.WorkID {
-	out := a[:0]
+// gallopRatio is the size skew at which the intersection switches from
+// a linear merge to galloping through the longer list; near-equal lists
+// merge faster linearly.
+const gallopRatio = 8
+
+// intersectInto writes a ∩ b into dst[:0] and returns it. dst may alias
+// a or b: the write index never catches up with either read frontier.
+func intersectInto(dst, a, b []model.WorkID) []model.WorkID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := dst[:0]
+	if len(b) >= gallopRatio*len(a) {
+		j := 0
+		for _, x := range a {
+			j = seek(b, j, x)
+			if j >= len(b) {
+				break
+			}
+			if b[j] == x {
+				out = append(out, x)
+				j++
+			}
+		}
+		return out
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -296,6 +393,24 @@ func intersect(a, b []model.WorkID) []model.WorkID {
 		}
 	}
 	return out
+}
+
+// seek returns the smallest index >= from with b[index] >= x, galloping
+// forward exponentially and then binary-searching the final window.
+func seek(b []model.WorkID, from int, x model.WorkID) int {
+	if from >= len(b) || b[from] >= x {
+		return from
+	}
+	step := 1
+	for from+step < len(b) && b[from+step] < x {
+		step <<= 1
+	}
+	hi := from + step
+	if hi > len(b) {
+		hi = len(b)
+	}
+	lo := from + step>>1 // b[lo] < x: either b[from] or the last passed probe
+	return lo + sort.Search(hi-lo, func(i int) bool { return b[lo+i] >= x })
 }
 
 func union(a, b []model.WorkID) []model.WorkID {
@@ -320,13 +435,13 @@ func union(a, b []model.WorkID) []model.WorkID {
 	return out
 }
 
-func subtract(a, b []model.WorkID) []model.WorkID {
-	out := a[:0]
+// subtractInto writes a \ b into dst[:0] and returns it. dst may alias
+// a; b is galloped through like the intersection path.
+func subtractInto(dst, a, b []model.WorkID) []model.WorkID {
+	out := dst[:0]
 	j := 0
 	for _, x := range a {
-		for j < len(b) && b[j] < x {
-			j++
-		}
+		j = seek(b, j, x)
 		if j < len(b) && b[j] == x {
 			continue
 		}

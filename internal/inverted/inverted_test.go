@@ -296,16 +296,195 @@ func TestExpandPrefixLimit(t *testing.T) {
 func TestSetOps(t *testing.T) {
 	a := []model.WorkID{1, 3, 5, 7}
 	b := []model.WorkID{3, 4, 5, 8}
-	if got := intersect(append([]model.WorkID(nil), a...), b); !reflect.DeepEqual(got, []model.WorkID{3, 5}) {
+	if got := intersectInto(nil, a, b); !reflect.DeepEqual(got, []model.WorkID{3, 5}) {
 		t.Errorf("intersect = %v", got)
 	}
 	if got := union(a, b); !reflect.DeepEqual(got, []model.WorkID{1, 3, 4, 5, 7, 8}) {
 		t.Errorf("union = %v", got)
 	}
-	if got := subtract(append([]model.WorkID(nil), a...), b); !reflect.DeepEqual(got, []model.WorkID{1, 7}) {
+	if got := subtractInto(nil, a, b); !reflect.DeepEqual(got, []model.WorkID{1, 7}) {
 		t.Errorf("subtract = %v", got)
 	}
 	if got := union(nil, nil); len(got) != 0 {
 		t.Errorf("union(nil,nil) = %v", got)
+	}
+}
+
+// TestSeek pins down the galloping search: smallest index >= from whose
+// element is >= x, across window edges and overshoots.
+func TestSeek(t *testing.T) {
+	b := []model.WorkID{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	tests := []struct {
+		from int
+		x    model.WorkID
+		want int
+	}{
+		{0, 1, 0}, {0, 2, 0}, {0, 3, 1}, {0, 11, 5}, {0, 20, 9},
+		{0, 21, 10}, {3, 8, 3}, {3, 7, 3}, {5, 13, 6}, {9, 20, 9},
+		{10, 5, 10}, {0, 19, 9},
+	}
+	for _, tt := range tests {
+		if got := seek(b, tt.from, tt.x); got != tt.want {
+			t.Errorf("seek(b, %d, %d) = %d, want %d", tt.from, tt.x, got, tt.want)
+		}
+	}
+	if got := seek(nil, 0, 1); got != 0 {
+		t.Errorf("seek(nil) = %d", got)
+	}
+}
+
+// TestIntersectGallopEquivalence drives intersectInto through both the
+// linear and galloping regimes against a map-based reference, including
+// heavily skewed list sizes.
+func TestIntersectGallopEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	randList := func(n, max int) []model.WorkID {
+		seen := map[model.WorkID]bool{}
+		for len(seen) < n {
+			seen[model.WorkID(1+r.Intn(max))] = true
+		}
+		out := make([]model.WorkID, 0, n)
+		for id := range seen {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for round := 0; round < 200; round++ {
+		na, nb := 1+r.Intn(40), 1+r.Intn(2000)
+		a, b := randList(na, 500), randList(nb, 5000)
+		want := []model.WorkID{}
+		inB := map[model.WorkID]bool{}
+		for _, x := range b {
+			inB[x] = true
+		}
+		for _, x := range a {
+			if inB[x] {
+				want = append(want, x)
+			}
+		}
+		got := intersectInto(nil, a, b)
+		if !reflect.DeepEqual(append([]model.WorkID{}, got...), want) {
+			t.Fatalf("round %d: intersect(|%d|,|%d|) = %v, want %v", round, na, nb, got, want)
+		}
+		// In-place over the owned accumulator, both argument orders.
+		acc := append([]model.WorkID(nil), a...)
+		if got := intersectInto(acc, acc, b); !reflect.DeepEqual(append([]model.WorkID{}, got...), want) {
+			t.Fatalf("round %d: in-place intersect diverged", round)
+		}
+		acc = append([]model.WorkID(nil), b...)
+		if got := intersectInto(acc, acc, a); !reflect.DeepEqual(append([]model.WorkID{}, got...), want) {
+			t.Fatalf("round %d: in-place swapped intersect diverged", round)
+		}
+		// Subtract against the same reference.
+		wantSub := []model.WorkID{}
+		for _, x := range a {
+			if !inB[x] {
+				wantSub = append(wantSub, x)
+			}
+		}
+		if got := subtractInto(nil, a, b); !reflect.DeepEqual(append([]model.WorkID{}, got...), wantSub) {
+			t.Fatalf("round %d: subtract diverged", round)
+		}
+	}
+}
+
+// TestEvalMatchesNaive replays random boolean queries against a
+// tokenize-and-scan reference over a random corpus.
+func TestEvalMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	vocab := []string{"surface", "mining", "coal", "gas", "water", "law", "tax", "mine", "mineral", "rights"}
+	ix := New()
+	docs := map[model.WorkID][]string{}
+	for i := 1; i <= 300; i++ {
+		n := 1 + r.Intn(5)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = vocab[r.Intn(len(vocab))]
+		}
+		docs[model.WorkID(i)] = toks
+		ix.Add(model.WorkID(i), strings.Join(toks, " "))
+	}
+	queries := []string{
+		"surface mining", "coal", "mining -surface", "coal or gas",
+		"min* rights", "surface mining coal gas water", "law tax mine",
+		"coal or gas -water", "surface surface", "nosuchterm",
+		"nosuchterm mining", "-coal",
+	}
+	for _, qs := range queries {
+		q := ParseQuery(qs)
+		got, st := ix.EvalWithStats(q)
+		var want []model.WorkID
+		for id := model.WorkID(1); id <= 300; id++ {
+			if matchNaive(docs[id], q) {
+				want = append(want, id)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Eval(%q) = %d ids, want %d", qs, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Eval(%q)[%d] = %d, want %d", qs, i, got[i], want[i])
+			}
+		}
+		// An empty AND operand short-circuits before touching the other
+		// lists, so only non-empty results must report scan volume.
+		if len(got) > 0 && st.PostingsBytes == 0 {
+			t.Errorf("Eval(%q) matched %d ids but reported zero postings scanned", qs, len(got))
+		}
+	}
+}
+
+func matchNaive(toks []string, q Query) bool {
+	has := func(a Atom) bool {
+		for _, tok := range toks {
+			if a.Prefix && strings.HasPrefix(tok, a.Term) || !a.Prefix && tok == a.Term {
+				return true
+			}
+		}
+		return false
+	}
+	if len(q.All) == 0 && len(q.Any) == 0 {
+		return false
+	}
+	for _, a := range q.All {
+		if !has(a) {
+			return false
+		}
+	}
+	if len(q.Any) > 0 {
+		ok := false
+		for _, a := range q.Any {
+			if has(a) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, a := range q.None {
+		if has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEvalDoesNotAliasPostings: mutating a result must never corrupt the
+// index's internal postings.
+func TestEvalDoesNotAliasPostings(t *testing.T) {
+	ix := New()
+	ix.Add(1, "coal mining")
+	ix.Add(2, "coal washing")
+	got := ix.Eval(ParseQuery("coal"))
+	if len(got) != 2 {
+		t.Fatalf("Eval = %v", got)
+	}
+	got[0] = 999
+	if again := ix.Eval(ParseQuery("coal")); !reflect.DeepEqual(again, []model.WorkID{1, 2}) {
+		t.Fatalf("postings corrupted by caller mutation: %v", again)
 	}
 }

@@ -1,6 +1,13 @@
 // Package query combines the author index, the inverted title index and
 // secondary year/volume indexes into one lookup engine: exact and prefix
 // author lookups, boolean title search, and citation-range scans.
+//
+// The read path is allocation-light by design: every work gets a
+// precomputed citation sort key at Add time, the secondary indexes are
+// keyed on it so range scans stream out already in citation order, and
+// query methods come in two flavors — the classic clone-returning form,
+// and zero-copy *View variants that return live references so callers
+// (the public facade) can move deep-copy work outside their lock.
 package query
 
 import (
@@ -8,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/collate"
@@ -39,15 +47,25 @@ func ClampLimit(n, def int) int {
 }
 
 // Engine owns every in-memory index over a corpus. It is not safe for
-// concurrent mutation; the public facade serializes access.
+// concurrent mutation and reads must not run concurrently with a
+// mutation; the public facade serializes access. Reads may run
+// concurrently with each other (the query counters are atomic), and an
+// indexed work is never mutated in place — replacement swaps in a fresh
+// clone — so *View results remain safe to read after the facade's read
+// lock is released.
 type Engine struct {
 	idx   *core.Index
 	inv   *inverted.Index
-	works map[model.WorkID]*model.Work
-	// byYear and byVolume map fixed-width big-endian (key, id) pairs to
-	// the work ID for ordered range scans.
-	byYear   *btree.Tree[model.WorkID]
-	byVolume *btree.Tree[model.WorkID]
+	works map[model.WorkID]*workEntry
+	// byYear keys works on year ‖ citation key: a one-year scan streams
+	// out already in citation order, and a multi-year scan is a
+	// concatenation of citation-ordered runs.
+	byYear *btree.Tree[*workEntry]
+	// byCitation keys works on the citation key itself. The key leads
+	// with the volume, so a per-volume scan is a prefix range that is
+	// already in citation order — and a full ascent is the whole corpus
+	// in citation order.
+	byCitation *btree.Tree[*workEntry]
 	// bySubject maps collation keys of subject headings to their display
 	// form and posting list, for subject lookups and enumeration.
 	bySubject *btree.Tree[*subjectPosting]
@@ -59,11 +77,28 @@ type Engine struct {
 	// Remove feeds it alongside the metrics tracker.
 	gr   *graph.Graph
 	coll collate.Options
+	qs   queryCounters
+}
+
+// workEntry is what the engine stores per work: the (immutable) work
+// itself plus everything derived from it that Remove and the ordered
+// read path would otherwise recompute per query.
+type workEntry struct {
+	w *model.Work
+	// key is citationKey(w), computed once at Add. All ordered reads
+	// compare these keys with bytes.Compare instead of calling
+	// Citation.Compare and comparing titles per sort step.
+	key []byte
+	// subjKeys caches collate.KeyString for each of w.Subjects, so
+	// Remove does not pay for collation keys Add already built.
+	subjKeys [][]byte
 }
 
 type subjectPosting struct {
 	display string
-	ids     []model.WorkID // sorted
+	// refs is sorted by citation key, so subject lookups stream out
+	// pre-ordered and never sort.
+	refs []*workEntry
 }
 
 // New returns an empty engine with the given collation options and the
@@ -76,15 +111,15 @@ func New(opts collate.Options) *Engine {
 // authorship credit under the given scheme.
 func NewWithScheme(opts collate.Options, scheme metrics.Scheme) *Engine {
 	return &Engine{
-		idx:       core.New(opts),
-		inv:       inverted.New(),
-		works:     make(map[model.WorkID]*model.Work),
-		byYear:    btree.New[model.WorkID](),
-		byVolume:  btree.New[model.WorkID](),
-		bySubject: btree.New[*subjectPosting](),
-		met:       metrics.NewEngine(scheme),
-		gr:        graph.New(0),
-		coll:      opts,
+		idx:        core.New(opts),
+		inv:        inverted.New(),
+		works:      make(map[model.WorkID]*workEntry),
+		byYear:     btree.New[*workEntry](),
+		byCitation: btree.New[*workEntry](),
+		bySubject:  btree.New[*subjectPosting](),
+		met:        metrics.NewEngine(scheme),
+		gr:         graph.New(0),
+		coll:       opts,
 	}
 }
 
@@ -111,38 +146,43 @@ func (e *Engine) Add(w *model.Work) error {
 		return err
 	}
 	e.inv.Add(cp.ID, cp.Title)
-	e.byYear.Set(scopedKey(cp.Citation.Year, cp.ID), cp.ID)
-	e.byVolume.Set(scopedKey(cp.Citation.Volume, cp.ID), cp.ID)
-	for _, s := range cp.Subjects {
+	we := &workEntry{w: cp, key: citationKey(cp)}
+	e.byYear.Set(yearKey(cp.Citation.Year, we.key), we)
+	e.byCitation.Set(we.key, we)
+	if len(cp.Subjects) > 0 {
+		we.subjKeys = make([][]byte, len(cp.Subjects))
+	}
+	for i, s := range cp.Subjects {
 		key := collate.KeyString(s, e.coll)
+		we.subjKeys[i] = key
 		p, ok := e.bySubject.Get(key)
 		if !ok {
 			p = &subjectPosting{display: s}
 			e.bySubject.Set(key, p)
 		}
-		p.insert(cp.ID)
+		p.insert(we)
 	}
 	e.met.Add(cp)
 	e.gr.Add(cp)
-	e.works[cp.ID] = cp
+	e.works[cp.ID] = we
 	return nil
 }
 
 // Remove un-indexes the work with the given ID, returning it.
 func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
-	w, ok := e.works[id]
+	we, ok := e.works[id]
 	if !ok {
 		return nil, false
 	}
+	w := we.w
 	e.idx.Remove(w)
 	e.inv.Remove(id, w.Title)
-	e.byYear.Delete(scopedKey(w.Citation.Year, id))
-	e.byVolume.Delete(scopedKey(w.Citation.Volume, id))
-	for _, s := range w.Subjects {
-		key := collate.KeyString(s, e.coll)
+	e.byYear.Delete(yearKey(w.Citation.Year, we.key))
+	e.byCitation.Delete(we.key)
+	for _, key := range we.subjKeys {
 		if p, ok := e.bySubject.Get(key); ok {
-			p.remove(id)
-			if len(p.ids) == 0 {
+			p.remove(we)
+			if len(p.refs) == 0 {
 				e.bySubject.Delete(key)
 			}
 		}
@@ -153,20 +193,20 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	return w.Clone(), true
 }
 
-func (p *subjectPosting) insert(id model.WorkID) {
-	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
-	if i < len(p.ids) && p.ids[i] == id {
+func (p *subjectPosting) insert(we *workEntry) {
+	i := sort.Search(len(p.refs), func(i int) bool { return bytes.Compare(p.refs[i].key, we.key) >= 0 })
+	if i < len(p.refs) && bytes.Equal(p.refs[i].key, we.key) {
 		return
 	}
-	p.ids = append(p.ids, 0)
-	copy(p.ids[i+1:], p.ids[i:])
-	p.ids[i] = id
+	p.refs = append(p.refs, nil)
+	copy(p.refs[i+1:], p.refs[i:])
+	p.refs[i] = we
 }
 
-func (p *subjectPosting) remove(id model.WorkID) {
-	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
-	if i < len(p.ids) && p.ids[i] == id {
-		p.ids = append(p.ids[:i], p.ids[i+1:]...)
+func (p *subjectPosting) remove(we *workEntry) {
+	i := sort.Search(len(p.refs), func(i int) bool { return bytes.Compare(p.refs[i].key, we.key) >= 0 })
+	if i < len(p.refs) && p.refs[i] == we {
+		p.refs = append(p.refs[:i], p.refs[i+1:]...)
 	}
 }
 
@@ -175,7 +215,7 @@ func (p *subjectPosting) remove(id model.WorkID) {
 func (e *Engine) Subjects() []SubjectCount {
 	var out []SubjectCount
 	e.bySubject.Ascend(func(_ []byte, p *subjectPosting) bool {
-		out = append(out, SubjectCount{Subject: p.display, Works: len(p.ids)})
+		out = append(out, SubjectCount{Subject: p.display, Works: len(p.refs)})
 		return true
 	})
 	return out
@@ -187,10 +227,18 @@ type SubjectCount struct {
 	Works   int
 }
 
-// BySubject returns the works filed under a subject heading (matched
-// under the engine's collation: case- and diacritic-insensitive),
-// citation order, capped at limit (<=0: no cap).
+// BySubject returns copies of the works filed under a subject heading
+// (matched under the engine's collation: case- and diacritic-
+// insensitive), citation order, capped at limit (<=0: no cap).
 func (e *Engine) BySubject(subject string, limit int) []*model.Work {
+	return e.CloneWorks(e.BySubjectView(subject, limit))
+}
+
+// BySubjectView is BySubject without the deep copies: it returns live
+// references, already in citation order and truncated to limit, cloning
+// nothing. See TitleSearchView for the ownership rules.
+func (e *Engine) BySubjectView(subject string, limit int) []*model.Work {
+	e.qs.queries.Add(1)
 	p, ok := e.bySubject.Get(collate.KeyString(subject, e.coll))
 	if !ok {
 		// The collation key includes original bytes at lower tiers, so an
@@ -208,14 +256,21 @@ func (e *Engine) BySubject(subject string, limit int) []*model.Work {
 			return nil
 		}
 	}
-	return e.resolve(append([]model.WorkID(nil), p.ids...), limit)
+	e.qs.scanned.Add(uint64(8 * len(p.refs)))
+	return worksOf(truncateRefs(p.refs, limit))
 }
 
 // AllWorks returns copies of every indexed work, in ID order.
 func (e *Engine) AllWorks() []*model.Work {
+	return e.CloneWorks(e.AllWorksView())
+}
+
+// AllWorksView returns live references to every indexed work, in ID
+// order. See TitleSearchView for the ownership rules.
+func (e *Engine) AllWorksView() []*model.Work {
 	out := make([]*model.Work, 0, len(e.works))
-	for _, w := range e.works {
-		out = append(out, w.Clone())
+	for _, we := range e.works {
+		out = append(out, we.w)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -223,11 +278,21 @@ func (e *Engine) AllWorks() []*model.Work {
 
 // Work returns a copy of the work with the given ID.
 func (e *Engine) Work(id model.WorkID) (*model.Work, bool) {
-	w, ok := e.works[id]
+	w, ok := e.WorkView(id)
 	if !ok {
 		return nil, false
 	}
-	return w.Clone(), true
+	return e.CloneWork(w), true
+}
+
+// WorkView returns a live reference to the work with the given ID. See
+// TitleSearchView for the ownership rules.
+func (e *Engine) WorkView(id model.WorkID) (*model.Work, bool) {
+	we, ok := e.works[id]
+	if !ok {
+		return nil, false
+	}
+	return we.w, true
 }
 
 // AuthorExact looks up a heading by its index-order string, e.g.
@@ -245,11 +310,9 @@ func (e *Engine) AuthorExact(heading string) (*core.Entry, bool) {
 func (e *Engine) AuthorPrefix(prefix string, limit int) []*core.Entry {
 	var out []*core.Entry
 	e.idx.AscendPrefix(prefix, func(entry *core.Entry) bool {
-		a := entry.Author
-		got, ok := e.idx.Lookup(a) // deep copy for the caller
-		if ok {
-			out = append(out, got)
-		}
+		// Copy straight from the visited entry; a Lookup here would
+		// re-search the tree for an entry we are already holding.
+		out = append(out, entry.Clone())
 		return limit <= 0 || len(out) < limit
 	})
 	return out
@@ -273,45 +336,114 @@ func (e *Engine) AuthorPage(after string, limit int) []*core.Entry {
 	}
 	var out []*core.Entry
 	e.idx.AscendAfter(start, func(entry *core.Entry) bool {
-		got, ok := e.idx.Lookup(entry.Author)
-		if ok {
-			out = append(out, got)
-		}
+		out = append(out, entry.Clone())
 		return len(out) < limit
 	})
 	return out
 }
 
 // TitleSearch evaluates a boolean title query ("surface mining",
-// "coal or gas", "mining -surface", "reclam*") and returns matching
-// works in citation order, capped at limit (<=0: no cap).
+// "coal or gas", "mining -surface", "reclam*") and returns copies of
+// matching works in citation order, capped at limit (<=0: no cap).
 func (e *Engine) TitleSearch(q string, limit int) []*model.Work {
-	ids := e.inv.Search(q)
-	return e.resolve(ids, limit)
+	return e.CloneWorks(e.TitleSearchView(q, limit))
 }
 
-// YearRange returns works published in [from, to] (inclusive), in
-// citation order, capped at limit (<=0: no cap).
+// TitleSearchView is TitleSearch without the deep copies: the returned
+// works are live references owned by the engine, in citation order and
+// truncated to limit before anything is copied.
+//
+// Ownership rules for every *View method: callers must treat the works
+// as read-only and must deep-copy (CloneWorks) anything they hand out
+// or mutate. Indexed works are immutable — replacement swaps in a new
+// clone — so a view stays safe to read even after the caller's lock is
+// released and a concurrent mutation has removed the work.
+func (e *Engine) TitleSearchView(q string, limit int) []*model.Work {
+	e.qs.queries.Add(1)
+	ids, st := e.inv.EvalWithStats(inverted.ParseQuery(q))
+	e.qs.scanned.Add(uint64(st.PostingsBytes))
+	refs := make([]*workEntry, 0, len(ids))
+	for _, id := range ids {
+		if we, ok := e.works[id]; ok {
+			refs = append(refs, we)
+		}
+	}
+	sortRefs(refs)
+	return worksOf(truncateRefs(refs, limit))
+}
+
+// YearRange returns copies of works published in [from, to] (inclusive),
+// in citation order, capped at limit (<=0: no cap).
 func (e *Engine) YearRange(from, to int, limit int) []*model.Work {
+	return e.CloneWorks(e.YearRangeView(from, to, limit))
+}
+
+// YearRangeView is YearRange without the deep copies. See
+// TitleSearchView for the ownership rules.
+func (e *Engine) YearRangeView(from, to int, limit int) []*model.Work {
 	if from > to {
 		return nil
 	}
-	var ids []model.WorkID
-	e.byYear.AscendRange(scopedKeyMin(from), scopedKeyMin(to+1), func(_ []byte, id model.WorkID) bool {
-		ids = append(ids, id)
-		return true
+	e.qs.queries.Add(1)
+	// A single-year scan streams out of byYear already in citation
+	// order, so it can stop at limit; a multi-year scan concatenates
+	// per-year citation-ordered runs and may need one key sort (skipped
+	// when volumes track years, the common corpus shape).
+	single := from == to
+	var refs []*workEntry
+	scanned := 0
+	e.byYear.AscendRange(yearKeyMin(from), yearKeyMin(to+1), func(_ []byte, we *workEntry) bool {
+		refs = append(refs, we)
+		scanned += 8
+		return !(single && limit > 0 && len(refs) >= limit)
 	})
-	return e.resolve(ids, limit)
+	e.qs.scanned.Add(uint64(scanned))
+	if !single {
+		sortRefs(refs)
+	}
+	return worksOf(truncateRefs(refs, limit))
 }
 
-// Volume returns every work in the given volume, in citation order.
+// Volume returns copies of every work in the given volume, in citation
+// order.
 func (e *Engine) Volume(v int, limit int) []*model.Work {
-	var ids []model.WorkID
-	e.byVolume.AscendRange(scopedKeyMin(v), scopedKeyMin(v+1), func(_ []byte, id model.WorkID) bool {
-		ids = append(ids, id)
-		return true
+	return e.CloneWorks(e.VolumeView(v, limit))
+}
+
+// VolumeView is Volume without the deep copies. The byCitation tree
+// leads with the volume, so the scan is already in citation order and
+// stops as soon as limit works have been seen. See TitleSearchView for
+// the ownership rules.
+func (e *Engine) VolumeView(v, limit int) []*model.Work {
+	e.qs.queries.Add(1)
+	var refs []*workEntry
+	e.byCitation.AscendRange(volumeKeyMin(v), volumeKeyMin(v+1), func(_ []byte, we *workEntry) bool {
+		refs = append(refs, we)
+		return limit <= 0 || len(refs) < limit
 	})
-	return e.resolve(ids, limit)
+	e.qs.scanned.Add(uint64(8 * len(refs)))
+	return worksOf(refs)
+}
+
+// CloneWorks deep-copies a view into caller-owned works, counting the
+// clones. It takes no engine lock and reads only immutable works, so
+// the facade calls it after releasing its read lock.
+func (e *Engine) CloneWorks(view []*model.Work) []*model.Work {
+	if view == nil {
+		return nil
+	}
+	out := make([]*model.Work, len(view))
+	for i, w := range view {
+		out[i] = w.Clone()
+	}
+	e.qs.cloned.Add(uint64(len(view)))
+	return out
+}
+
+// CloneWork deep-copies one viewed work, counting the clone.
+func (e *Engine) CloneWork(w *model.Work) *model.Work {
+	e.qs.cloned.Add(1)
+	return w.Clone()
 }
 
 // Metrics exposes the bibliometrics tracker (for stats and rendering).
@@ -381,8 +513,8 @@ func (e *Engine) Centrality(heading string) (float64, bool) {
 // verification costs no work copies.
 func (e *Engine) GraphConsistent() bool {
 	fresh := graph.New(e.gr.Damping())
-	for _, w := range e.works {
-		fresh.Add(w)
+	for _, we := range e.works {
+		fresh.Add(we.w)
 	}
 	return fresh.Fingerprint() == e.gr.Fingerprint()
 }
@@ -392,8 +524,8 @@ func (e *Engine) GraphConsistent() bool {
 // suspect.
 func (e *Engine) RebuildGraph() {
 	works := make([]*model.Work, 0, len(e.works))
-	for _, w := range e.works {
-		works = append(works, w)
+	for _, we := range e.works {
+		works = append(works, we.w)
 	}
 	e.gr.Rebuild(works)
 }
@@ -405,8 +537,8 @@ func (e *Engine) SetMetricsScheme(scheme metrics.Scheme) {
 		return
 	}
 	e.met = metrics.NewEngine(scheme)
-	for _, w := range e.works {
-		e.met.Add(w)
+	for _, we := range e.works {
+		e.met.Add(we.w)
 	}
 }
 
@@ -414,58 +546,135 @@ func (e *Engine) SetMetricsScheme(scheme metrics.Scheme) {
 // it from the indexed corpus.
 func (e *Engine) RebuildMetrics() {
 	works := make([]*model.Work, 0, len(e.works))
-	for _, w := range e.works {
-		works = append(works, w)
+	for _, we := range e.works {
+		works = append(works, we.w)
 	}
 	e.met.Rebuild(works)
+}
+
+// queryCounters is the engine-internal mutable form of QueryStats.
+// Counters are atomic because facade reads run concurrently under a
+// shared read lock.
+type queryCounters struct {
+	queries atomic.Uint64
+	cloned  atomic.Uint64
+	scanned atomic.Uint64
+}
+
+// QueryStats counts read-path work since the engine was created.
+type QueryStats struct {
+	// Queries is the number of ordered read queries served (title
+	// search, year range, volume and subject lookups).
+	Queries uint64
+	// WorksCloned is the number of result works deep-copied for
+	// callers. The zero-copy read path keeps this near the number of
+	// works actually returned, not the number matched.
+	WorksCloned uint64
+	// PostingsBytes is the volume of posting entries examined while
+	// answering queries (8 bytes per posting visited).
+	PostingsBytes uint64
+}
+
+// QueryStats returns a snapshot of the read-path counters. Safe to call
+// concurrently with reads.
+func (e *Engine) QueryStats() QueryStats {
+	return QueryStats{
+		Queries:       e.qs.queries.Load(),
+		WorksCloned:   e.qs.cloned.Load(),
+		PostingsBytes: e.qs.scanned.Load(),
+	}
 }
 
 // Stats aggregates counters across all indexes.
 type Stats struct {
 	core.Stats
-	Terms int // distinct title terms in the inverted index
+	Terms int        // distinct title terms in the inverted index
+	Query QueryStats // read-path counters
 }
 
 // Stats returns current counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Stats: e.idx.Stats(), Terms: e.inv.Terms()}
+	return Stats{Stats: e.idx.Stats(), Terms: e.inv.Terms(), Query: e.QueryStats()}
 }
 
-// resolve maps IDs to work copies sorted by citation, then title, then ID.
-func (e *Engine) resolve(ids []model.WorkID, limit int) []*model.Work {
-	out := make([]*model.Work, 0, len(ids))
-	for _, id := range ids {
-		if w, ok := e.works[id]; ok {
-			out = append(out, w.Clone())
+// sortRefs orders refs by their precomputed citation keys. The check
+// pass makes already-ordered inputs (single-year scans, volume scans,
+// year ranges whose volumes track years) free; unordered inputs pay one
+// memcmp sort — no Citation.Compare calls, no clones.
+func sortRefs(refs []*workEntry) {
+	for i := 1; i < len(refs); i++ {
+		if bytes.Compare(refs[i-1].key, refs[i].key) > 0 {
+			sort.Slice(refs, func(a, b int) bool {
+				return bytes.Compare(refs[a].key, refs[b].key) < 0
+			})
+			return
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Citation.Compare(out[j].Citation); c != 0 {
-			return c < 0
-		}
-		if out[i].Title != out[j].Title {
-			return out[i].Title < out[j].Title
-		}
-		return out[i].ID < out[j].ID
-	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+}
+
+// truncateRefs caps refs at limit (<=0: no cap) without copying.
+func truncateRefs(refs []*workEntry, limit int) []*workEntry {
+	if limit > 0 && len(refs) > limit {
+		return refs[:limit]
+	}
+	return refs
+}
+
+// worksOf projects entries onto their works. The result is a fresh
+// slice (so posting arrays never escape) holding live references.
+func worksOf(refs []*workEntry) []*model.Work {
+	out := make([]*model.Work, len(refs))
+	for i, we := range refs {
+		out[i] = we.w
 	}
 	return out
 }
 
-// scopedKey packs (scope, id) into a fixed-width big-endian key so that
-// byte order equals numeric order.
-func scopedKey(scope int, id model.WorkID) []byte {
-	var k [12]byte
-	binary.BigEndian.PutUint32(k[:4], uint32(scope))
-	binary.BigEndian.PutUint64(k[4:], uint64(id))
+// citationKey builds the precomputed read-path sort key:
+//
+//	volume(8) ‖ page(8) ‖ year(4) ‖ title (NUL-escaped) ‖ 0x00 0x00 ‖ id(8)
+//
+// all big-endian, so bytes.Compare orders keys exactly as the classic
+// comparator did: Citation.Compare, then title, then ID. A 0x00 title
+// byte is escaped to 0x00 0x01 so the 0x00 0x00 terminator cannot be
+// confused with title content, keeping prefix titles ("abc" vs "abcd")
+// ordered correctly regardless of the ID bytes that follow.
+func citationKey(w *model.Work) []byte {
+	k := make([]byte, 20, 20+len(w.Title)+2+8)
+	binary.BigEndian.PutUint64(k[0:8], uint64(w.Citation.Volume))
+	binary.BigEndian.PutUint64(k[8:16], uint64(w.Citation.Page))
+	binary.BigEndian.PutUint32(k[16:20], uint32(w.Citation.Year))
+	for i := 0; i < len(w.Title); i++ {
+		b := w.Title[i]
+		k = append(k, b)
+		if b == 0 {
+			k = append(k, 1)
+		}
+	}
+	k = append(k, 0, 0)
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], uint64(w.ID))
+	return append(k, id[:]...)
+}
+
+// yearKey prefixes a citation key with the big-endian year so byYear
+// scans group by year and order by citation within each year.
+func yearKey(year int, citKey []byte) []byte {
+	k := make([]byte, 4, 4+len(citKey))
+	binary.BigEndian.PutUint32(k, uint32(year))
+	return append(k, citKey...)
+}
+
+// yearKeyMin is the smallest byYear key for the given year.
+func yearKeyMin(year int) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], uint32(year))
 	return k[:]
 }
 
-// scopedKeyMin is the smallest key with the given scope.
-func scopedKeyMin(scope int) []byte {
-	var k [12]byte
-	binary.BigEndian.PutUint32(k[:4], uint32(scope))
+// volumeKeyMin is the smallest citation key for the given volume.
+func volumeKeyMin(v int) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(v))
 	return k[:]
 }
