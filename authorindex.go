@@ -214,7 +214,16 @@ type Options struct {
 	// centrality. Zero means DefaultDamping (0.85); values outside
 	// (0, 1) are rejected by Open.
 	GraphDamping float64
+	// IngestBatchSize is the chunk size ImportTSV and ImportCSV feed to
+	// AddBatch: each chunk is one group commit (one WAL append, one
+	// fsync). Zero means the default of 256; negative values are
+	// rejected by Open.
+	IngestBatchSize int
 }
+
+// DefaultIngestBatchSize is the import chunk size used when Options
+// leaves IngestBatchSize zero.
+const DefaultIngestBatchSize = 256
 
 // Stats summarizes index contents and storage footprint.
 type Stats struct {
@@ -230,20 +239,39 @@ type Stats struct {
 	QueriesServed   uint64 // ordered read queries answered since open
 	WorksCloned     uint64 // result works deep-copied for callers
 	PostingsScanned uint64 // bytes of posting entries examined by queries
-	WALBytes        int64  // current write-ahead-log size
-	SnapshotBytes   int64  // last snapshot size
-	InMemory        bool   // true when opened without a directory
-	Collation       string // collation scheme name
+
+	// BatchesCommitted counts group commits applied (AddBatch,
+	// DeleteBatch and each import chunk).
+	BatchesCommitted int64
+	// FsyncsSaved counts WAL commits avoided by batching: a committed
+	// batch of N works costs one commit where N single Adds pay N.
+	FsyncsSaved int64
+	// WALSyncs is the number of fsyncs the WAL actually issued. Always
+	// zero in-memory; under NoSync appends stop syncing but segment
+	// rotation, explicit Sync and Close still count.
+	WALSyncs int64
+
+	WALBytes      int64  // current write-ahead-log size
+	SnapshotBytes int64  // last snapshot size
+	InMemory      bool   // true when opened without a directory
+	Collation     string // collation scheme name
 }
 
 // Index is an open author-index engine. All methods are safe for
 // concurrent use: writes are serialized, reads run in parallel.
 type Index struct {
-	mu    sync.RWMutex
-	store *storage.Store
-	eng   *query.Engine
-	coll  CollationOptions
+	mu          sync.RWMutex
+	store       *storage.Store
+	eng         *query.Engine
+	coll        CollationOptions
+	ingestBatch int
 }
+
+// engineAddFault, when non-nil, is consulted by the write path after
+// the store has durably accepted a work but before the engine indexes
+// it. Tests use it to force the store-succeeded/engine-failed window
+// and assert the rollback; production never sets it.
+var engineAddFault func(*Work) error
 
 // Open opens (creating if necessary) an index rooted at dir. An empty
 // dir gives a volatile in-memory index. opts may be nil for defaults.
@@ -264,6 +292,12 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if o.GraphDamping != 0 && !(o.GraphDamping > 0 && o.GraphDamping < 1) {
 		return nil, fmt.Errorf("authorindex: graph damping %g outside (0, 1)", o.GraphDamping)
 	}
+	if o.IngestBatchSize < 0 {
+		return nil, fmt.Errorf("authorindex: negative ingest batch size %d", o.IngestBatchSize)
+	}
+	if o.IngestBatchSize == 0 {
+		o.IngestBatchSize = DefaultIngestBatchSize
+	}
 	st, err := storage.Open(dir, storage.Options{
 		WAL:          wal.Options{NoSync: o.NoSync},
 		CompactEvery: o.CompactEvery,
@@ -271,7 +305,7 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{store: st, eng: query.NewWithScheme(coll, o.MetricsScheme), coll: coll}
+	ix := &Index{store: st, eng: query.NewWithScheme(coll, o.MetricsScheme), coll: coll, ingestBatch: o.IngestBatchSize}
 	if o.GraphDamping != 0 {
 		ix.eng.Graph().SetDamping(o.GraphDamping)
 	}
@@ -291,18 +325,176 @@ func Open(dir string, opts *Options) (*Index, error) {
 // Add validates and stores a work, files it in every index, and returns
 // its assigned ID. A zero w.ID gets the next free ID; a non-zero ID
 // inserts or replaces.
+//
+// If the engine rejects a work the store already accepted, the store
+// mutation is rolled back — a fresh work is deleted, an overwrite is
+// restored to the previous version — before the error returns, so
+// storage and indexes can never diverge. (The window is defensive: the
+// store and engine run the same validation, so an engine-only failure
+// should be impossible.)
 func (ix *Index) Add(w Work) (WorkID, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	// Capture the version an explicit ID would overwrite; the engine's
+	// copy is identical to the store's, and rollback must restore it.
+	var old *model.Work
+	if w.ID != 0 {
+		if prev, ok := ix.eng.WorkView(w.ID); ok {
+			old = prev
+		}
+	}
 	id, err := ix.store.Put(&w)
 	if err != nil {
 		return 0, err
 	}
 	w.ID = id
-	if err := ix.eng.Add(&w); err != nil {
+	if err := ix.engAdd(&w); err != nil {
+		var derr error
+		if old != nil {
+			_, derr = ix.store.Put(old)
+		} else {
+			derr = ix.store.Delete(id)
+		}
+		if derr != nil {
+			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
+		}
 		return 0, err
 	}
 	return id, nil
+}
+
+// engAdd indexes one stored work, honoring the test-only fault hook.
+func (ix *Index) engAdd(w *Work) error {
+	if engineAddFault != nil {
+		if err := engineAddFault(w); err != nil {
+			return err
+		}
+	}
+	return ix.eng.Add(w)
+}
+
+// AddBatch validates and stores N works under a single lock acquisition
+// and a single group commit: one WAL append, one fsync (under the
+// default durable configuration) for the whole batch, then one
+// amortized indexing pass. IDs are assigned exactly as N sequential
+// Adds would assign them and returned in input order.
+//
+// The batch is all-or-nothing: an invalid work anywhere in it, a WAL
+// error, or an engine failure leaves storage, indexes, metrics and the
+// coauthorship graph byte-identical to their pre-batch state — works
+// whose explicit IDs overwrote existing records are restored to the
+// previous version on rollback.
+func (ix *Index) AddBatch(works []Work) ([]WorkID, error) {
+	if len(works) == 0 {
+		return nil, nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	batch := make([]*model.Work, len(works))
+	for i := range works {
+		cp := works[i]
+		batch[i] = &cp
+	}
+	// Capture the versions that explicit IDs would overwrite; the
+	// engine's copies are identical to the store's, and a rollback must
+	// restore them rather than tombstone committed records.
+	prev := make(map[WorkID]*model.Work)
+	for _, w := range batch {
+		if w.ID == 0 {
+			continue
+		}
+		if _, seen := prev[w.ID]; seen {
+			continue
+		}
+		if old, ok := ix.eng.WorkView(w.ID); ok {
+			prev[w.ID] = old
+		}
+	}
+	ids, err := ix.store.PutBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	for i := range batch {
+		batch[i].ID = ids[i]
+	}
+	if err := ix.engAddBatch(batch); err != nil {
+		if derr := ix.rollbackStored(ids, prev); derr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
+		}
+		return nil, err
+	}
+	return ids, nil
+}
+
+// rollbackStored undoes a committed PutBatch after an engine failure:
+// fresh IDs are deleted, overwritten IDs are restored to the version
+// the engine still holds.
+func (ix *Index) rollbackStored(ids []WorkID, prev map[WorkID]*model.Work) error {
+	var drop []WorkID
+	var restore []*model.Work
+	for _, id := range uniqueIDs(ids) {
+		if old, ok := prev[id]; ok {
+			restore = append(restore, old)
+		} else {
+			drop = append(drop, id)
+		}
+	}
+	if len(drop) > 0 {
+		if err := ix.store.DeleteBatch(drop); err != nil {
+			return err
+		}
+	}
+	if len(restore) > 0 {
+		if _, err := ix.store.PutBatch(restore); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// engAddBatch indexes a stored batch, honoring the test-only fault hook.
+func (ix *Index) engAddBatch(batch []*model.Work) error {
+	if engineAddFault != nil {
+		for _, w := range batch {
+			if err := engineAddFault(w); err != nil {
+				return err
+			}
+		}
+	}
+	return ix.eng.AddBatch(batch)
+}
+
+// uniqueIDs drops duplicate IDs (a batch may legally carry the same
+// explicit ID twice) so a rollback DeleteBatch never double-deletes.
+func uniqueIDs(ids []WorkID) []WorkID {
+	seen := make(map[WorkID]struct{}, len(ids))
+	out := ids[:0:0]
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// DeleteBatch removes N works everywhere under a single lock
+// acquisition and a single group commit. Every ID must exist; a missing
+// ID or a WAL error leaves the index unchanged.
+func (ix *Index) DeleteBatch(ids []WorkID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.store.DeleteBatch(ids); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		ix.eng.Remove(id)
+	}
+	return nil
 }
 
 // Delete removes a work everywhere. ErrNotFound if the ID is unknown.
@@ -623,13 +815,32 @@ func (ix *Index) ImportCSV(r io.Reader, lenient bool) (*IngestResult, error) {
 	return res, ix.importResult(res)
 }
 
+// importResult feeds recovered works through the batched write
+// pipeline in IngestBatchSize chunks: each chunk is one lock
+// acquisition and one group commit, so a bulk import pays one fsync per
+// chunk instead of one per work.
 func (ix *Index) importResult(res *ingest.Result) error {
+	chunk := make([]Work, 0, min(ix.ingestBatch, len(res.Works)))
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		_, err := ix.AddBatch(chunk)
+		chunk = chunk[:0]
+		return err
+	}
 	for _, w := range res.Works {
 		cp := *w
 		cp.ID = 0 // allocate fresh IDs in this store
-		if _, err := ix.Add(cp); err != nil {
-			return err
+		chunk = append(chunk, cp)
+		if len(chunk) >= ix.ingestBatch {
+			if err := flush(); err != nil {
+				return err
+			}
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	for _, ref := range res.CrossRefs {
 		if err := ix.AddSeeAlso(ref.From.Display(), ref.To.Display()); err != nil {
@@ -754,10 +965,15 @@ func (ix *Index) Stats() Stats {
 		QueriesServed:   es.Query.Queries,
 		WorksCloned:     es.Query.WorksCloned,
 		PostingsScanned: es.Query.PostingsBytes,
-		WALBytes:        ss.WALBytes,
-		SnapshotBytes:   ss.SnapshotBytes,
-		InMemory:        ss.InMemory,
-		Collation:       ix.coll.Scheme.String(),
+
+		BatchesCommitted: ss.BatchesCommitted,
+		FsyncsSaved:      ss.FsyncsSaved,
+		WALSyncs:         ss.WALSyncs,
+
+		WALBytes:      ss.WALBytes,
+		SnapshotBytes: ss.SnapshotBytes,
+		InMemory:      ss.InMemory,
+		Collation:     ix.coll.Scheme.String(),
 	}
 }
 

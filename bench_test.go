@@ -457,6 +457,87 @@ func BenchmarkQueryParallel(b *testing.B) {
 	}
 }
 
+// E13 — the batched write pipeline: AddBatch throughput vs batch size
+// under both durability policies, against growing resident corpora.
+// Group commit amortizes the WAL append + fsync and the facade lock
+// over the whole batch, so works/s should climb steeply with batch size
+// when fsync is on, and per-work indexing cost should stay flat as the
+// corpus grows. cmd/authdex-bench -run E13 prints the same measurement
+// as a speedup table.
+func BenchmarkWriteBatch(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"fsync", false}, {"nosync", true}} {
+		for _, resident := range []int{1_000, 100_000} {
+			// One shared index per (mode, corpus) pair, preloaded in large
+			// batches; construction is lazy so -bench filters skip it.
+			// (os.MkdirTemp, not b.TempDir: the benchmark runner cleans
+			// b.TempDir between calibration runs, under the shared index.)
+			var ix *Index
+			var dir string
+			setup := func(b *testing.B) {
+				if ix != nil {
+					return
+				}
+				var err error
+				if dir, err = os.MkdirTemp("", "bench-writebatch-*"); err != nil {
+					b.Fatal(err)
+				}
+				if ix, err = Open(dir, &Options{NoSync: mode.noSync}); err != nil {
+					b.Fatal(err)
+				}
+				seed := corpus(b, resident)
+				for start := 0; start < len(seed); start += 4096 {
+					chunk := make([]Work, 0, 4096)
+					for _, w := range seed[start:min(start+4096, len(seed))] {
+						cp := *w
+						cp.ID = 0
+						chunk = append(chunk, cp)
+					}
+					if _, err := ix.AddBatch(chunk); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for _, batch := range []int{1, 16, 256, 4096} {
+				b.Run(fmt.Sprintf("%s/corpus=%d/batch=%d", mode.name, resident, batch), func(b *testing.B) {
+					setup(b)
+					fresh := func(i int) Work {
+						return Work{
+							Title:    fmt.Sprintf("Batched Work %d", i),
+							Citation: Citation{Volume: 99, Page: i + 1, Year: 1999},
+							Authors:  []Author{{Family: fmt.Sprintf("Writer%d", i%977), Given: "W."}},
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						works := make([]Work, batch)
+						for j := range works {
+							works[j] = fresh(i*batch + j)
+						}
+						ids, err := ix.AddBatch(works)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						if err := ix.DeleteBatch(ids); err != nil {
+							b.Fatal(err)
+						}
+						b.StartTimer()
+					}
+					b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "works/s")
+				})
+			}
+			if ix != nil {
+				ix.Close()
+				os.RemoveAll(dir)
+			}
+		}
+	}
+}
+
 // E9 / end-to-end facade benchmark: the cost one Add pays through the
 // full stack (validation, WAL append, every index) under each
 // durability policy.

@@ -689,3 +689,91 @@ func runE12(c config) {
 		ix.Close()
 	}
 }
+
+// E13: the batched write pipeline — durable ingest throughput vs batch
+// size. Every run ingests the same corpus into a fresh fsync-on index
+// through AddBatch at one batch size; batch=1 is the per-work baseline
+// (one WAL append + one fsync per work). Group commit amortizes the
+// fsync, the WAL append and the facade lock across the batch, so the
+// speedup column should clear 10x by batch=256 on any hardware where
+// fsync is not free.
+func runE13(c config) {
+	n := 4_096
+	if c.quick {
+		n = 512
+	}
+	works := gen.Generate(gen.Config{Seed: c.seed, Works: n, ZipfS: 1.1})
+	t := &table{header: []string{"batch", "works", "total", "works/s", "fsyncs", "saved", "speedup"}}
+	var baseline time.Duration
+	for _, batch := range []int{1, 16, 256, 4096} {
+		dir, err := os.MkdirTemp("", "authdex-e13-*")
+		if err != nil {
+			panic(err)
+		}
+		ix, err := authorindex.Open(dir, &authorindex.Options{}) // durability on
+		if err != nil {
+			panic(err)
+		}
+		// Warm the allocator and page cache outside the timed region so
+		// the batch=1 baseline is not inflated by first-touch costs.
+		warm := make([]authorindex.Work, 0, 64)
+		for _, w := range works[:64] {
+			cp := *w
+			cp.ID = 0
+			warm = append(warm, cp)
+		}
+		warmIDs, err := ix.AddBatch(warm)
+		if err != nil {
+			panic(err)
+		}
+		if err := ix.DeleteBatch(warmIDs); err != nil {
+			panic(err)
+		}
+		st0 := ix.Stats()
+		start := time.Now()
+		if batch == 1 {
+			// The literal per-work path: one Add, one WAL commit per work.
+			for _, w := range works {
+				cp := *w
+				cp.ID = 0
+				if _, err := ix.Add(cp); err != nil {
+					panic(err)
+				}
+			}
+		} else {
+			for s := 0; s < len(works); s += batch {
+				end := s + batch
+				if end > len(works) {
+					end = len(works)
+				}
+				chunk := make([]authorindex.Work, 0, end-s)
+				for _, w := range works[s:end] {
+					cp := *w
+					cp.ID = 0
+					chunk = append(chunk, cp)
+				}
+				if _, err := ix.AddBatch(chunk); err != nil {
+					panic(err)
+				}
+			}
+		}
+		d := time.Since(start)
+		st := ix.Stats()
+		if err := ix.Verify(); err != nil {
+			panic(err)
+		}
+		ix.Close()
+		os.RemoveAll(dir)
+		if batch == 1 {
+			baseline = d
+		}
+		speedup := "-"
+		if batch > 1 && d > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(baseline)/float64(d))
+		}
+		t.add(fmt.Sprint(batch), fmt.Sprint(n), d.Round(time.Millisecond).String(),
+			persec(d, n), fmt.Sprint(st.WALSyncs-st0.WALSyncs), fmt.Sprint(st.FsyncsSaved-st0.FsyncsSaved), speedup)
+	}
+	t.print()
+	fmt.Println("   (batch=1 is the per-work path: one WAL commit per work)")
+}

@@ -1,4 +1,4 @@
-// Command authdex-bench runs the evaluation suite (experiments E1–E12
+// Command authdex-bench runs the evaluation suite (experiments E1–E13
 // from EXPERIMENTS.md) and prints one result table per experiment.
 //
 // The source paper ("Author Index", VLDB 2000) is front matter with no
@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"E10", "author metrics: incremental update and top-k ranking", runE10},
 	{"E11", "coauthorship graph: incremental update, paths, centrality", runE11},
 	{"E12", "concurrent ordered queries: latency, allocs, zero-copy read path", runE12},
+	{"E13", "batched write pipeline: durable ingest throughput vs batch size", runE13},
 }
 
 func main() {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	authdex gen     -works 1000 -seed 1 -format tsv -out corpus.tsv
-//	authdex build   -dir ./idx -in corpus.tsv [-format tsv] [-lenient]
+//	authdex build   -dir ./idx -in corpus.tsv [-format tsv] [-lenient] [-batch 256]
 //	authdex add     -dir ./idx -title T -cite "95:1365 (1993)" -author "Lewin, Jeff L." [-author ...]
 //	authdex lookup  -dir ./idx -author "Lewin, Jeff L."
 //	authdex prefix  -dir ./idx -p abr [-n 10]

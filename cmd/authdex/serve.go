@@ -30,6 +30,7 @@ import (
 //	GET /graph/path?from=A&to=B        shortest collaboration chain
 //	GET /graph/central?limit=10        most central authors (PageRank)
 //	POST /works                        add a work (JSON body)
+//	POST /works:batch                  add N works in one group commit (JSON array)
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
@@ -76,6 +77,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /graph/path", s.graphPath)
 	mux.HandleFunc("GET /graph/central", s.graphCentral)
 	mux.HandleFunc("POST /works", s.addWork)
+	mux.HandleFunc("POST /works:batch", s.addWorksBatch)
 	return mux
 }
 
@@ -362,6 +364,37 @@ func (s *server) addWork(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, map[string]authorindex.WorkID{"id": id})
+}
+
+// addWorksBatch accepts a JSON array of works and commits them as one
+// batch: a single WAL append and fsync however many works arrive, and
+// all-or-nothing visibility — one bad work rejects the whole request.
+func (s *server) addWorksBatch(w http.ResponseWriter, r *http.Request) {
+	var in []wireWork
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(in) == 0 {
+		httpErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	works := make([]authorindex.Work, len(in))
+	for i, ww := range in {
+		work, err := fromWireWork(ww)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "work %d: %v", i, err)
+			return
+		}
+		works[i] = work
+	}
+	ids, err := s.ix.AddBatch(works)
+	if err != nil {
+		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string][]authorindex.WorkID{"ids": ids})
 }
 
 func fromWireWork(in wireWork) (authorindex.Work, error) {

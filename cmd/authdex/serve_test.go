@@ -342,3 +342,70 @@ func TestServeAddWork(t *testing.T) {
 		}
 	}
 }
+
+func TestServeAddWorksBatch(t *testing.T) {
+	ts, ix := testServer(t)
+	before := ix.Len()
+	body := `[
+		{"title":"Batched One","citation":"91:1 (1989)","authors":["Pipeline, Walter A."]},
+		{"title":"Batched Two","citation":"91:2 (1989)","authors":["Pipeline, Walter A.","Commit, Grace"]},
+		{"title":"Batched Three","citation":"91:3 (1989)","authors":["Commit, Grace"]}
+	]`
+	resp, err := http.Post(ts.URL+"/works:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string][]authorindex.WorkID
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	ids := out["ids"]
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, want := range []string{"Batched One", "Batched Two", "Batched Three"} {
+		if w, ok := ix.Get(ids[i]); !ok || w.Title != want {
+			t.Errorf("ids[%d]: got %v,%v want %q", i, w, ok, want)
+		}
+	}
+	if ix.Len() != before+3 {
+		t.Errorf("Len = %d, want %d", ix.Len(), before+3)
+	}
+	if st := ix.Stats(); st.BatchesCommitted == 0 {
+		t.Error("batch endpoint did not group-commit")
+	}
+
+	// One bad work rejects the whole batch, atomically.
+	mid := ix.Len()
+	bad := `[
+		{"title":"Fine","citation":"91:4 (1989)","authors":["Pipeline, Walter A."]},
+		{"title":"","citation":"91:5 (1989)","authors":["Pipeline, Walter A."]}
+	]`
+	resp, err = http.Post(ts.URL+"/works:batch", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated {
+		t.Error("batch with invalid work accepted")
+	}
+	if ix.Len() != mid {
+		t.Errorf("failed batch changed Len: %d -> %d", mid, ix.Len())
+	}
+
+	// Empty and malformed bodies.
+	for _, b := range []string{`[]`, `not json`, `{"title":"obj not array"}`} {
+		resp, err := http.Post(ts.URL+"/works:batch", "application/json", strings.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusCreated {
+			t.Errorf("bad batch body accepted: %s", b)
+		}
+	}
+}

@@ -71,6 +71,30 @@ func TestParallelReadsDuringMutation(t *testing.T) {
 		}(w)
 	}
 
+	// A batch writer: churn a dedicated slice of the corpus through
+	// DeleteBatch + AddBatch so group commits race the readers and the
+	// single-work writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const lo, width = seedWorks, 16 // ids beyond the seeded range are batch-owned
+		for i := 0; !stop.Load(); i++ {
+			works := make([]Work, width)
+			for j := range works {
+				works[j] = mkWork(lo + j)
+			}
+			newIDs, err := ix.AddBatch(works)
+			if err != nil {
+				check(false, "batch writer: AddBatch: %v", err)
+				return
+			}
+			if err := ix.DeleteBatch(newIDs); err != nil {
+				check(false, "batch writer: DeleteBatch: %v", err)
+				return
+			}
+		}
+	}()
+
 	// Readers: every ordered read plus stats, validating what comes back.
 	reader := func(read func(i int)) {
 		wg.Add(1)

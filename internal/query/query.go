@@ -168,6 +168,118 @@ func (e *Engine) Add(w *model.Work) error {
 	return nil
 }
 
+// AddBatch indexes a batch of works in one pass, amortizing the
+// per-work overhead Add cannot avoid: subject postings take unsorted
+// appends and are key-sorted once per touched posting instead of paying
+// one binary-search insertion per work, and the metrics, graph,
+// inverted and citation-key indexes are all fed inside a single loop.
+// Duplicate IDs within the batch behave like sequential Adds (the last
+// occurrence wins); IDs already indexed are replaced.
+//
+// Every work is validated before anything is touched, and no mutation
+// after that point can fail, so an invalid work anywhere in the batch
+// leaves the engine byte-identical to its pre-batch state.
+func (e *Engine) AddBatch(works []*model.Work) error {
+	if len(works) == 0 {
+		return nil
+	}
+	for _, w := range works {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		if w.ID == 0 {
+			return fmt.Errorf("query: work %q has no ID", w.Title)
+		}
+	}
+	// Sequential-Add semantics for duplicate IDs: only the last
+	// occurrence survives, so index exactly that one.
+	effective := works
+	if hasDuplicateIDs(works) {
+		last := make(map[model.WorkID]int, len(works))
+		for i, w := range works {
+			last[w.ID] = i
+		}
+		effective = make([]*model.Work, 0, len(last))
+		for i, w := range works {
+			if last[w.ID] == i {
+				effective = append(effective, w)
+			}
+		}
+	}
+	// Replacements first, while every posting list is still sorted:
+	// Remove binary-searches subject postings, which the unsorted
+	// appends below would break. Keep what was removed so the
+	// (unreachable) failure path below can reinstate it.
+	var replaced []*model.Work
+	for _, w := range effective {
+		if _, exists := e.works[w.ID]; exists {
+			if old, ok := e.Remove(w.ID); ok {
+				replaced = append(replaced, old)
+			}
+		}
+	}
+	touched := make(map[*subjectPosting]struct{})
+	var added []model.WorkID
+	for _, w := range effective {
+		cp := w.Clone()
+		if err := e.idx.Add(cp); err != nil {
+			// Unreachable: Add only rejects what the validation pass
+			// already accepted. Unwind anyway so the atomicity contract
+			// holds even if a new failure mode appears: restore posting
+			// order, remove this batch's works, reinstate the replaced
+			// versions (previously indexed, so re-adding cannot fail).
+			for p := range touched {
+				p.restore()
+			}
+			for _, id := range added {
+				e.Remove(id)
+			}
+			for _, old := range replaced {
+				e.Add(old)
+			}
+			return err
+		}
+		e.inv.Add(cp.ID, cp.Title)
+		we := &workEntry{w: cp, key: citationKey(cp)}
+		e.byYear.Set(yearKey(cp.Citation.Year, we.key), we)
+		e.byCitation.Set(we.key, we)
+		if len(cp.Subjects) > 0 {
+			we.subjKeys = make([][]byte, len(cp.Subjects))
+		}
+		for i, s := range cp.Subjects {
+			key := collate.KeyString(s, e.coll)
+			we.subjKeys[i] = key
+			p, ok := e.bySubject.Get(key)
+			if !ok {
+				p = &subjectPosting{display: s}
+				e.bySubject.Set(key, p)
+			}
+			p.refs = append(p.refs, we) // unsorted; restored below
+			touched[p] = struct{}{}
+		}
+		e.met.Add(cp)
+		e.gr.Add(cp)
+		e.works[cp.ID] = we
+		added = append(added, cp.ID)
+	}
+	for p := range touched {
+		p.restore()
+	}
+	return nil
+}
+
+// hasDuplicateIDs reports whether two works in the batch share an ID.
+func hasDuplicateIDs(works []*model.Work) bool {
+	seen := make(map[model.WorkID]struct{}, len(works))
+	for _, w := range works {
+		if _, dup := seen[w.ID]; dup {
+			return true
+		}
+		seen[w.ID] = struct{}{}
+	}
+	return false
+}
+
 // Remove un-indexes the work with the given ID, returning it.
 func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	we, ok := e.works[id]
@@ -201,6 +313,22 @@ func (p *subjectPosting) insert(we *workEntry) {
 	p.refs = append(p.refs, nil)
 	copy(p.refs[i+1:], p.refs[i:])
 	p.refs[i] = we
+}
+
+// restore re-establishes the sorted-by-key invariant after a batch of
+// unsorted appends: one sort per touched posting instead of one
+// insertion per work, plus a compaction that drops duplicate keys (a
+// work listing the same subject twice) exactly as insert would have.
+func (p *subjectPosting) restore() {
+	sort.Slice(p.refs, func(i, j int) bool { return bytes.Compare(p.refs[i].key, p.refs[j].key) < 0 })
+	out := p.refs[:0]
+	for i, we := range p.refs {
+		if i > 0 && bytes.Equal(we.key, out[len(out)-1].key) {
+			continue
+		}
+		out = append(out, we)
+	}
+	p.refs = out
 }
 
 func (p *subjectPosting) remove(we *workEntry) {

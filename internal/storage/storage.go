@@ -3,9 +3,13 @@
 // write-ahead log and periodic snapshots.
 //
 // Every mutation is appended to the WAL before being applied, so a crash
-// at any instant loses at most the in-flight operation. Compact writes a
-// CRC-protected snapshot (atomically, via rename) and resets the WAL;
-// recovery loads the newest snapshot and replays the WAL suffix.
+// at any instant loses at most the in-flight operation. Batched
+// mutations (PutBatch, DeleteBatch) group-commit: the whole batch is
+// encoded into one WAL frame, appended and fsynced once, and applied —
+// or replayed — atomically, so a torn tail can never surface half a
+// batch. Compact writes a CRC-protected snapshot (atomically, via
+// rename) and resets the WAL; recovery loads the newest snapshot and
+// replays the WAL suffix.
 //
 // A Store opened with an empty directory path is purely in-memory: same
 // API, no durability — useful for tests and benchmarks.
@@ -34,11 +38,22 @@ var (
 
 // WAL operation tags.
 const (
-	opPut     = 1
-	opDelete  = 2
-	opXRefAdd = 3
-	opXRefDel = 4
+	opPut      = 1
+	opDelete   = 2
+	opXRefAdd  = 3
+	opXRefDel  = 4
+	opPutBatch = 5 // work encodings, back to back until the frame ends
+	opDelBatch = 6 // uvarint IDs, back to back until the frame ends
 )
+
+// batchFrameBytes caps one batch's WAL frame. A batch is exactly one
+// frame — that is what makes crash recovery all-or-nothing, since a
+// frame applies atomically on replay — so a batch that encodes past the
+// cap is rejected outright rather than split into frames that a torn
+// tail could partially surface. The cap sits under the WAL's 64 MiB
+// record limit; callers with more data issue multiple batches. A var
+// so tests can exercise rejection without gigabyte corpora.
+var batchFrameBytes = 60 << 20
 
 // CrossRef is a persisted "see also" reference between author headings.
 type CrossRef struct {
@@ -79,6 +94,9 @@ type Store struct {
 	nextID   model.WorkID
 	opsSince int // operations logged since the last snapshot
 	scratch  []byte
+
+	batches     int64 // batch commits applied (PutBatch + DeleteBatch)
+	fsyncsSaved int64 // WAL commits avoided by batching (N records, 1 commit)
 }
 
 // Open opens (creating if necessary) a store rooted at dir. An empty dir
@@ -162,6 +180,119 @@ func (s *Store) Delete(id model.WorkID) error {
 	}
 	delete(s.works, id)
 	return s.maybeCompactLocked()
+}
+
+// PutBatch stores N validated works under one group commit: IDs are
+// assigned exactly as N sequential Puts would assign them, every record
+// is encoded into a single opPutBatch WAL frame, the frame is appended
+// and fsynced once, and only then is the in-memory map updated. One
+// frame is also the crash-atomicity unit: recovery replays the whole
+// batch or none of it, so a batch that would encode past the frame cap
+// (~60 MiB) is rejected — issue several batches instead. The ordering
+// is encode-then-commit-then-apply: any failure — a work that does not
+// validate, an oversize batch, a WAL error — leaves the store
+// byte-identical to its pre-batch state, next-ID counter included. The
+// assigned IDs are returned in input order.
+func (s *Store) PutBatch(works []*model.Work) ([]model.WorkID, error) {
+	if len(works) == 0 {
+		return nil, nil
+	}
+	for _, w := range works {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	clones := make([]*model.Work, len(works))
+	ids := make([]model.WorkID, len(works))
+	next := s.nextID // tentative: committed only after the WAL accepts the batch
+	for i, w := range works {
+		c := w.Clone()
+		if c.ID == 0 {
+			c.ID = next
+		}
+		if c.ID >= next {
+			next = c.ID + 1
+		}
+		clones[i] = c
+		ids[i] = c.ID
+	}
+	if s.log != nil {
+		frame, err := encodePutBatchFrame(clones)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.log.AppendBatch([][]byte{frame}); err != nil {
+			return nil, err
+		}
+		s.opsSince += len(clones)
+	}
+	for _, c := range clones {
+		s.applyPut(c)
+	}
+	s.batches++
+	s.fsyncsSaved += int64(len(clones) - 1)
+	return ids, s.maybeCompactLocked()
+}
+
+// DeleteBatch removes N works under one group commit. Every ID must be
+// present (duplicates in the slice are tolerated); a missing ID or a
+// WAL error leaves the store unchanged.
+func (s *Store) DeleteBatch(ids []model.WorkID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, id := range ids {
+		if _, ok := s.works[id]; !ok {
+			return fmt.Errorf("%w: id %d", ErrNotFound, id)
+		}
+	}
+	if s.log != nil {
+		payload := make([]byte, 0, 1+len(ids)*binary.MaxVarintLen64)
+		payload = append(payload, opDelBatch)
+		for _, id := range ids {
+			payload = binary.AppendUvarint(payload, uint64(id))
+		}
+		if len(payload) > batchFrameBytes {
+			return fmt.Errorf("storage: delete batch encodes to %d bytes, over the %d-byte frame cap; issue several batches", len(payload), batchFrameBytes)
+		}
+		if err := s.log.AppendBatch([][]byte{payload}); err != nil {
+			return err
+		}
+		s.opsSince += len(ids)
+	}
+	for _, id := range ids {
+		delete(s.works, id)
+	}
+	s.batches++
+	s.fsyncsSaved += int64(len(ids) - 1)
+	return s.maybeCompactLocked()
+}
+
+// encodePutBatchFrame encodes the whole batch into one opPutBatch
+// frame in a single streaming pass. Work encodings are self-delimiting,
+// so the frame is just the tag followed by works back to back. A batch
+// that encodes past the frame cap is an error: one frame is the
+// crash-atomicity unit, and splitting would let a torn tail surface
+// half a batch.
+func encodePutBatchFrame(works []*model.Work) ([]byte, error) {
+	frame := []byte{opPutBatch}
+	for _, w := range works {
+		frame = model.AppendWork(frame, w)
+	}
+	if len(frame) > batchFrameBytes {
+		return nil, fmt.Errorf("storage: batch of %d works encodes to %d bytes, over the %d-byte frame cap; issue several batches", len(works), len(frame), batchFrameBytes)
+	}
+	return frame, nil
 }
 
 // Len returns the number of stored works.
@@ -257,22 +388,38 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-// Stats describes the store's size on disk and in memory.
+// Stats describes the store's size on disk and in memory, plus the
+// write-pipeline counters.
 type Stats struct {
 	Works         int
 	NextID        model.WorkID
 	WALBytes      int64
 	SnapshotBytes int64
 	InMemory      bool
+	// BatchesCommitted counts group commits applied (PutBatch and
+	// DeleteBatch calls that succeeded).
+	BatchesCommitted int64
+	// FsyncsSaved counts WAL commits avoided by batching: a committed
+	// batch of N records costs one commit where the per-work path would
+	// have paid N.
+	FsyncsSaved int64
+	// WALSyncs is the number of fsyncs the WAL actually issued. Always
+	// zero for in-memory stores; under NoSync appends stop syncing but
+	// segment rotation, explicit Sync and Close still count.
+	WALSyncs int64
 }
 
 // Stats returns current counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := Stats{Works: len(s.works), NextID: s.nextID, InMemory: s.dir == ""}
+	st := Stats{
+		Works: len(s.works), NextID: s.nextID, InMemory: s.dir == "",
+		BatchesCommitted: s.batches, FsyncsSaved: s.fsyncsSaved,
+	}
 	if s.log != nil {
 		st.WALBytes = s.log.Size()
+		st.WALSyncs = s.log.Stats().Syncs
 	}
 	if s.dir != "" {
 		if fi, err := os.Stat(filepath.Join(s.dir, snapshotFile)); err == nil {
@@ -395,6 +542,38 @@ func (s *Store) applyRecord(p []byte) error {
 		}
 		if i := s.findXRef(ref); i >= 0 {
 			s.xrefs = append(s.xrefs[:i], s.xrefs[i+1:]...)
+		}
+		return nil
+	case opPutBatch:
+		// Decode the whole frame before applying anything: a batch frame
+		// is atomic, so a decode failure must not leave half of it live.
+		body := p[1:]
+		var batch []*model.Work
+		for len(body) > 0 {
+			w, consumed, err := model.DecodeWork(body)
+			if err != nil {
+				return fmt.Errorf("%w: batch work %d: %v", ErrCorrupt, len(batch), err)
+			}
+			body = body[consumed:]
+			batch = append(batch, w)
+		}
+		for _, w := range batch {
+			s.applyPut(w)
+		}
+		return nil
+	case opDelBatch:
+		body := p[1:]
+		var ids []model.WorkID
+		for len(body) > 0 {
+			id, n := binary.Uvarint(body)
+			if n <= 0 {
+				return fmt.Errorf("%w: bad batch delete id", ErrCorrupt)
+			}
+			body = body[n:]
+			ids = append(ids, model.WorkID(id))
+		}
+		for _, id := range ids {
+			delete(s.works, id)
 		}
 		return nil
 	default:

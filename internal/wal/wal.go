@@ -13,6 +13,10 @@
 // A crash can leave a torn frame only at the very end of the newest
 // segment; Open truncates it and Replay tolerates it. A bad frame
 // anywhere else is real corruption and is reported as ErrCorrupt.
+//
+// AppendBatch is the group-commit primitive: N records in one buffered
+// write and one fsync. Stats counts appends, records and fsyncs so
+// callers can assert the amortization.
 package wal
 
 import (
@@ -78,6 +82,29 @@ type Log struct {
 	total   int64  // bytes across all segments
 	closed  bool
 	scratch []byte
+	st      Stats
+}
+
+// Stats counts write-path work since the log was opened. The group-
+// commit invariant — a batch of N records costs one append and at most
+// one fsync — is asserted against these counters by the storage and
+// facade test suites.
+type Stats struct {
+	// Appends is the number of append calls (Append and AppendBatch
+	// each count once, however many records they carry).
+	Appends int64
+	// Records is the number of records written.
+	Records int64
+	// Syncs is the number of fsyncs issued (appends, explicit Sync,
+	// segment rotation and Close all count).
+	Syncs int64
+}
+
+// Stats returns a snapshot of the write-path counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
 }
 
 // Open opens (creating if needed) the log in dir. The newest existing
@@ -150,23 +177,86 @@ func (l *Log) Append(p []byte) error {
 			return err
 		}
 	}
-	l.scratch = l.scratch[:0]
-	l.scratch = append(l.scratch, frameMagic)
-	l.scratch = binary.LittleEndian.AppendUint32(l.scratch, uint32(len(p)))
-	l.scratch = binary.LittleEndian.AppendUint32(l.scratch, crc32.Checksum(p, castagnoli))
-	l.scratch = append(l.scratch, p...)
+	l.scratch = appendFrame(l.scratch[:0], p)
 	if _, err := l.f.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	n := int64(len(l.scratch))
 	l.size += n
 	l.total += n
+	l.st.Appends++
+	l.st.Records++
 	if !l.opts.NoSync {
+		l.st.Syncs++
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	return nil
+}
+
+// AppendBatch writes N records as one group commit: every frame is
+// encoded into a single buffered write and made durable by a single
+// fsync (none under NoSync), so a batch of N records costs 1/N of the
+// per-record durability overhead. Frames are laid down contiguously in
+// append order; a crash mid-batch can tear the write at any byte, which
+// replay resolves to a prefix of the batch's frames — callers that need
+// all-or-nothing visibility must encode the batch as one record (the
+// storage layer does). An empty batch is a no-op.
+func (l *Log) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) == 0 {
+			return errors.New("wal: empty payload")
+		}
+		if len(p) > maxRecord {
+			return fmt.Errorf("wal: payload %d bytes exceeds frame limit", len(p))
+		}
+		total += headerSize + len(p)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size >= l.opts.segmentSize() {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if cap(l.scratch) < total {
+		l.scratch = make([]byte, 0, total)
+	}
+	l.scratch = l.scratch[:0]
+	for _, p := range payloads {
+		l.scratch = appendFrame(l.scratch, p)
+	}
+	if _, err := l.f.Write(l.scratch); err != nil {
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	n := int64(len(l.scratch))
+	l.size += n
+	l.total += n
+	l.st.Appends++
+	l.st.Records += int64(len(payloads))
+	if !l.opts.NoSync {
+		l.st.Syncs++
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// appendFrame encodes one record frame onto dst.
+func appendFrame(dst, p []byte) []byte {
+	dst = append(dst, frameMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(p, castagnoli))
+	return append(dst, p...)
 }
 
 // Sync forces buffered appends to stable storage. Only meaningful with
@@ -177,6 +267,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	l.st.Syncs++
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
@@ -222,6 +313,7 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
+	l.st.Syncs++
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: close: %w", err)
@@ -230,6 +322,7 @@ func (l *Log) Close() error {
 }
 
 func (l *Log) rotateLocked() error {
+	l.st.Syncs++
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}

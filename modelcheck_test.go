@@ -10,9 +10,13 @@ import (
 
 // TestFacadeModelCheck drives the full public API with a randomized
 // operation stream mirrored against plain in-memory reference state,
-// with periodic compaction and crash-free reopens. After every epoch the
-// index must agree with the model on membership, author filing, title
-// search and year ranges — and pass Verify.
+// with periodic compaction and crash-free reopens. Batched mutations
+// (AddBatch, DeleteBatch, and deliberately failing batches) interleave
+// with single-work ops, and every batched mutation is followed by a
+// full Verify — the metrics- and graph-fingerprint cross-check — so a
+// batch that diverges from N sequential ops dies immediately, not at
+// the epoch boundary. After every epoch the index must agree with the
+// model on membership, author filing, title search and year ranges.
 func TestFacadeModelCheck(t *testing.T) {
 	dir := t.TempDir()
 	ix := openT(t, dir)
@@ -119,9 +123,21 @@ func TestFacadeModelCheck(t *testing.T) {
 		}
 	}
 
+	// verifyBatched runs after every batched mutation: the full invariant
+	// sweep, including the metrics and graph fingerprint cross-checks.
+	verifyBatched := func(what string) {
+		t.Helper()
+		if ix.Len() != len(model) {
+			t.Fatalf("after %s: Len %d != model %d", what, ix.Len(), len(model))
+		}
+		if err := ix.Verify(); err != nil {
+			t.Fatalf("after %s: Verify: %v", what, err)
+		}
+	}
+
 	for epoch := 0; epoch < 6; epoch++ {
 		for op := 0; op < 120; op++ {
-			switch r.Intn(10) {
+			switch r.Intn(14) {
 			case 0, 1, 2, 3, 4, 5: // add
 				w := randomWork()
 				id, err := ix.Add(w)
@@ -155,6 +171,63 @@ func TestFacadeModelCheck(t *testing.T) {
 						t.Fatalf("Compact: %v", err)
 					}
 				}
+			case 10, 11: // add a batch, sometimes replacing live works in-flight
+				n := 1 + r.Intn(8)
+				batch := make([]Work, n)
+				for i := range batch {
+					batch[i] = randomWork()
+				}
+				if r.Intn(3) == 0 {
+					// Give one batch member an explicit live ID: the batch
+					// must replace it exactly as a sequential re-Add would.
+					for id := range model {
+						batch[r.Intn(n)].ID = id
+						break
+					}
+				}
+				ids, err := ix.AddBatch(batch)
+				if err != nil {
+					t.Fatalf("AddBatch(%d): %v", n, err)
+				}
+				if len(ids) != n {
+					t.Fatalf("AddBatch returned %d ids for %d works", len(ids), n)
+				}
+				for i, id := range ids {
+					w := batch[i]
+					w.ID = id
+					model[id] = w
+				}
+				verifyBatched(fmt.Sprintf("AddBatch(%d)", n))
+			case 12: // delete a batch of random live works
+				var ids []WorkID
+				want := 1 + r.Intn(6)
+				for id := range model {
+					ids = append(ids, id)
+					if len(ids) >= want {
+						break
+					}
+				}
+				if len(ids) == 0 {
+					continue
+				}
+				if err := ix.DeleteBatch(ids); err != nil {
+					t.Fatalf("DeleteBatch(%v): %v", ids, err)
+				}
+				for _, id := range ids {
+					delete(model, id)
+				}
+				verifyBatched(fmt.Sprintf("DeleteBatch(%d)", len(ids)))
+			case 13: // failing batch: one invalid member, nothing may change
+				n := 2 + r.Intn(5)
+				batch := make([]Work, n)
+				for i := range batch {
+					batch[i] = randomWork()
+				}
+				batch[r.Intn(n)].Title = "" // invalid
+				if _, err := ix.AddBatch(batch); err == nil {
+					t.Fatal("AddBatch accepted an invalid work")
+				}
+				verifyBatched("failed AddBatch")
 			}
 		}
 		checkEpoch(epoch)
