@@ -309,12 +309,21 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if o.GraphDamping != 0 {
 		ix.eng.Graph().SetDamping(o.GraphDamping)
 	}
-	if err := st.ForEach(func(w *model.Work) error { return ix.eng.Add(w) }); err != nil {
+	// Cold start is a bulk load, not a replay: the store hands the whole
+	// decoded corpus to the engine as shared read-only records (neither
+	// side ever mutates a stored work in place), and the engine builds
+	// every index bottom-up while the metrics and graph trackers rebuild
+	// in parallel.
+	if err := ix.eng.LoadAll(st.Works()); err != nil {
 		st.Close()
 		return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
 	}
-	for _, ref := range st.CrossRefs() {
-		if err := ix.eng.Index().AddSeeAlso(ref.From, ref.To); err != nil {
+	if refs := st.CrossRefs(); len(refs) > 0 {
+		batch := make([]core.SeeAlsoRef, len(refs))
+		for i, ref := range refs {
+			batch[i] = core.SeeAlsoRef{From: ref.From, To: ref.To}
+		}
+		if err := ix.eng.Index().AddSeeAlsoBatch(batch); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
 		}

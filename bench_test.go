@@ -538,6 +538,59 @@ func BenchmarkWriteBatch(b *testing.B) {
 	}
 }
 
+// E14 — cold start: Open over a compacted store of growing size. Open
+// bulk-loads the decoded corpus through every index bottom-up (with the
+// metrics and graph trackers rebuilding in parallel), so wall time per
+// work should stay near-flat as the corpus grows instead of paying
+// per-work tree descents. The 1M corpus is skipped under -short so the
+// CI smoke run stays cheap; cmd/authdex-bench -run E14 measures the
+// same path against the sequential-replay baseline.
+func BenchmarkOpen(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		if n > 100_000 && testing.Short() {
+			continue
+		}
+		b.Run(fmt.Sprintf("works=%d", n), func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "bench-open-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { os.RemoveAll(dir) })
+			st, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			works := corpus(b, n)
+			for start := 0; start < len(works); start += 8192 {
+				if _, err := st.PutBatch(works[start:min(start+8192, len(works))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix, err := Open(dir, &Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Len() != n {
+					b.Fatalf("opened %d works, want %d", ix.Len(), n)
+				}
+				b.StopTimer()
+				ix.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "works/s")
+		})
+	}
+}
+
 // E9 / end-to-end facade benchmark: the cost one Add pays through the
 // full stack (validation, WAL append, every index) under each
 // durability policy.

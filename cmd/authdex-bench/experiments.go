@@ -22,6 +22,7 @@ import (
 	"repro/internal/inverted"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -776,4 +777,111 @@ func runE13(c config) {
 	}
 	t.print()
 	fmt.Println("   (batch=1 is the per-work path: one WAL commit per work)")
+}
+
+// E14: cold start — bulk-load Open vs the sequential-replay baseline,
+// over compacted stores of growing size. The baseline is the cold start
+// this experiment retired: decode the snapshot, then replay the corpus
+// into the engine one Add at a time (per-work btree descents, per-work
+// posting insertion, incremental metrics and graph updates) and restore
+// cross-references one engine call each. Bulk-load Open hands the
+// engine the whole decoded corpus: citation keys are computed and
+// sorted once, every tree is built bottom-up, and the metrics tracker
+// and coauthorship graph rebuild on parallel goroutines. Both paths are
+// measured in the same run, on the same store; the largest corpus is
+// Verify-checked after the bulk open.
+func runE14(c config) {
+	sizes := []int{1_000, 10_000, 100_000}
+	if c.quick {
+		sizes = []int{1_000, 10_000}
+	}
+	t := &table{header: []string{"works", "baseline", "bulk open", "speedup", "base MB", "bulk MB", "verify"}}
+	for si, n := range sizes {
+		dir, err := os.MkdirTemp("", "authdex-e14-*")
+		if err != nil {
+			panic(err)
+		}
+		st, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+		if err != nil {
+			panic(err)
+		}
+		works := gen.Generate(gen.Config{Seed: c.seed, Works: n, ZipfS: 1.1})
+		for start := 0; start < len(works); start += 8192 {
+			if _, err := st.PutBatch(works[start:min(start+8192, len(works))]); err != nil {
+				panic(err)
+			}
+		}
+		// Cross-references exercise the batched restore path in Open.
+		for i := 0; i < 16; i++ {
+			from, to := works[i].Authors[0], works[i+20].Authors[0]
+			if from.Display() == to.Display() {
+				continue
+			}
+			if err := st.AddCrossRef(storage.CrossRef{From: from, To: to}); err != nil {
+				panic(err)
+			}
+		}
+		if err := st.Compact(); err != nil {
+			panic(err)
+		}
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+
+		// Baseline: the pre-bulk-load cold start, replayed verbatim.
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		bst, err := storage.Open(dir, storage.Options{WAL: wal.Options{NoSync: true}})
+		if err != nil {
+			panic(err)
+		}
+		eng := query.New(collate.Default())
+		if err := bst.ForEach(func(w *model.Work) error { return eng.Add(w) }); err != nil {
+			panic(err)
+		}
+		for _, ref := range bst.CrossRefs() {
+			if err := eng.Index().AddSeeAlso(ref.From, ref.To); err != nil {
+				panic(err)
+			}
+		}
+		base := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		baseAlloc := m1.TotalAlloc - m0.TotalAlloc
+		if eng.Len() != n {
+			panic(fmt.Sprintf("baseline replayed %d works, want %d", eng.Len(), n))
+		}
+		bst.Close()
+
+		// Bulk: the shipping Open.
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start = time.Now()
+		ix, err := authorindex.Open(dir, &authorindex.Options{NoSync: true})
+		if err != nil {
+			panic(err)
+		}
+		bulk := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		bulkAlloc := m1.TotalAlloc - m0.TotalAlloc
+		if ix.Len() != n {
+			panic(fmt.Sprintf("bulk open loaded %d works, want %d", ix.Len(), n))
+		}
+		verified := "-"
+		if si == len(sizes)-1 {
+			if err := ix.Verify(); err != nil {
+				panic(err)
+			}
+			verified = "ok"
+		}
+		ix.Close()
+		os.RemoveAll(dir)
+		t.add(fmt.Sprint(n), base.Round(time.Millisecond).String(),
+			bulk.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", float64(base)/float64(bulk)),
+			mib(int64(baseAlloc)), mib(int64(bulkAlloc)), verified)
+	}
+	t.print()
+	fmt.Println("   (baseline: the retired cold start — decode the snapshot, then one eng.Add per work)")
 }

@@ -1,4 +1,4 @@
-// Command authdex-bench runs the evaluation suite (experiments E1–E13
+// Command authdex-bench runs the evaluation suite (experiments E1–E14
 // from EXPERIMENTS.md) and prints one result table per experiment.
 //
 // The source paper ("Author Index", VLDB 2000) is front matter with no
@@ -8,13 +8,15 @@
 //
 // Usage:
 //
-//	authdex-bench [-quick] [-run E1,E3] [-seed 1]
+//	authdex-bench [-quick] [-run E1,E3] [-seed 1] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -43,13 +45,30 @@ var experiments = []experiment{
 	{"E11", "coauthorship graph: incremental update, paths, centrality", runE11},
 	{"E12", "concurrent ordered queries: latency, allocs, zero-copy read path", runE12},
 	{"E13", "batched write pipeline: durable ingest throughput vs batch size", runE13},
+	{"E14", "cold start: bulk-load Open vs sequential replay", runE14},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller corpora, faster run")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
@@ -70,8 +89,22 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
+		pprof.StopCPUProfile() // deferred handlers never run past os.Exit
 		fmt.Fprintf(os.Stderr, "no experiments matched -run=%s\n", *run)
 		os.Exit(2)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set before sampling
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

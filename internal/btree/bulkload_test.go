@@ -1,0 +1,242 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// checkInvariants walks the whole tree verifying the structural
+// invariants a split-grown tree maintains: sorted keys, node fill
+// between minKeys and maxKeys (root excepted), separators bounding their
+// subtrees, uniform leaf depth, and a leaf chain that visits every entry
+// in order.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	leafDepth := -1
+	var leavesSeen []*leaf[V]
+	var count int
+	var walk func(n node[V], depth int, lo, hi []byte)
+	walk = func(n node[V], depth int, lo, hi []byte) {
+		switch x := n.(type) {
+		case *leaf[V]:
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, want %d", depth, leafDepth)
+			}
+			if depth > 0 && len(x.keys) < minKeys {
+				t.Fatalf("non-root leaf holds %d keys, min %d", len(x.keys), minKeys)
+			}
+			if len(x.keys) > maxKeys {
+				t.Fatalf("leaf holds %d keys, max %d", len(x.keys), maxKeys)
+			}
+			for i, k := range x.keys {
+				if i > 0 && bytes.Compare(x.keys[i-1], k) >= 0 {
+					t.Fatalf("leaf keys out of order at %d", i)
+				}
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					t.Fatalf("leaf key %q below subtree bound %q", k, lo)
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					t.Fatalf("leaf key %q at or above subtree bound %q", k, hi)
+				}
+			}
+			count += len(x.keys)
+			leavesSeen = append(leavesSeen, x)
+		case *inner[V]:
+			if len(x.children) != len(x.keys)+1 {
+				t.Fatalf("inner node: %d children for %d keys", len(x.children), len(x.keys))
+			}
+			if depth > 0 && len(x.children) < minKeys {
+				t.Fatalf("non-root inner node holds %d children, min %d", len(x.children), minKeys)
+			}
+			if len(x.keys) > maxKeys {
+				t.Fatalf("inner node holds %d keys, max %d", len(x.keys), maxKeys)
+			}
+			for i, k := range x.keys {
+				if i > 0 && bytes.Compare(x.keys[i-1], k) >= 0 {
+					t.Fatalf("inner keys out of order at %d", i)
+				}
+			}
+			for i, c := range x.children {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = x.keys[i-1]
+				}
+				if i < len(x.keys) {
+					chi = x.keys[i]
+				}
+				walk(c, depth+1, clo, chi)
+			}
+		}
+	}
+	walk(tr.root, 0, nil, nil)
+	if count != tr.Len() {
+		t.Fatalf("tree walk found %d entries, Len() = %d", count, tr.Len())
+	}
+	// The leaf chain must visit exactly the leaves the walk found, in order.
+	i := 0
+	for lf := tr.firstLeaf(); lf != nil; lf = lf.next {
+		if i >= len(leavesSeen) || leavesSeen[i] != lf {
+			t.Fatalf("leaf chain diverges from tree structure at leaf %d", i)
+		}
+		i++
+	}
+	if i != len(leavesSeen) {
+		t.Fatalf("leaf chain visits %d leaves, tree holds %d", i, len(leavesSeen))
+	}
+}
+
+func sortedPairs(n int) []Pair[int] {
+	pairs := make([]Pair[int], n)
+	for i := range pairs {
+		pairs[i] = Pair[int]{Key: []byte(fmt.Sprintf("key-%08d", i*3)), Value: i}
+	}
+	return pairs
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad[int](nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	checkInvariants(t, tr)
+	// The empty tree must be fully usable.
+	if _, replaced := tr.Set([]byte("a"), 1); replaced {
+		t.Fatal("Set on empty bulk-loaded tree reported a replacement")
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	tr, err := BulkLoad([]Pair[int]{{Key: []byte("only"), Value: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Get([]byte("only")); !ok || v != 7 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestBulkLoadDuplicateKeysRejected(t *testing.T) {
+	_, err := BulkLoad([]Pair[int]{
+		{Key: []byte("a"), Value: 1},
+		{Key: []byte("b"), Value: 2},
+		{Key: []byte("b"), Value: 3},
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-key error, got %v", err)
+	}
+}
+
+func TestBulkLoadUnsortedRejected(t *testing.T) {
+	_, err := BulkLoad([]Pair[int]{
+		{Key: []byte("b"), Value: 1},
+		{Key: []byte("a"), Value: 2},
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("want out-of-order error, got %v", err)
+	}
+}
+
+// TestBulkLoadEquivalentToSet is the core property: for random corpora,
+// BulkLoad over sorted unique pairs produces a tree with the same
+// structural invariants and the same iteration output as sequential Set,
+// and the two trees keep agreeing after further mutations.
+func TestBulkLoadEquivalentToSet(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	sizes := []int{0, 1, 2, minKeys, maxKeys - 1, maxKeys, maxKeys + 1,
+		maxKeys*2 + minKeys - 1, 1000, 4097}
+	for round := 0; round < 8; round++ {
+		sizes = append(sizes, 1+r.Intn(20_000))
+	}
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			// Random unique keys of varying length, sorted.
+			seen := make(map[string]bool, n)
+			pairs := make([]Pair[int], 0, n)
+			for len(pairs) < n {
+				k := fmt.Sprintf("%0*x", 4+r.Intn(12), r.Int63())
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				pairs = append(pairs, Pair[int]{Key: []byte(k), Value: len(pairs)})
+			}
+			sortPairs(pairs)
+			bulk, err := BulkLoad(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc := New[int]()
+			for _, p := range rand.New(rand.NewSource(int64(n))).Perm(len(pairs)) {
+				inc.Set(pairs[p].Key, pairs[p].Value)
+			}
+			checkInvariants(t, bulk)
+			checkInvariants(t, inc)
+			compareTrees(t, bulk, inc)
+			// Both trees must stay equivalent under subsequent mutation.
+			for i := 0; i < 200; i++ {
+				if i%3 == 0 && len(pairs) > 0 {
+					k := pairs[r.Intn(len(pairs))].Key
+					bulk.Delete(k)
+					inc.Delete(k)
+				} else {
+					k := []byte(fmt.Sprintf("new-%06d", r.Intn(500)))
+					bulk.Set(k, i)
+					inc.Set(k, i)
+				}
+			}
+			checkInvariants(t, bulk)
+			compareTrees(t, bulk, inc)
+		})
+	}
+}
+
+func sortPairs(pairs []Pair[int]) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && bytes.Compare(pairs[j].Key, pairs[j-1].Key) < 0; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func compareTrees(t *testing.T, a, b *Tree[int]) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", a.Len(), b.Len())
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	collect := func(tr *Tree[int]) []kv {
+		var out []kv
+		tr.Ascend(func(k []byte, v int) bool {
+			out = append(out, kv{string(k), v})
+			return true
+		})
+		return out
+	}
+	av, bv := collect(a), collect(b)
+	if len(av) != len(bv) {
+		t.Fatalf("Ascend yields %d vs %d entries", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("Ascend diverges at %d: %v vs %v", i, av[i], bv[i])
+		}
+	}
+}

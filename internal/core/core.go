@@ -16,6 +16,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/collate"
 	"repro/internal/model"
+	"repro/internal/parallel"
 )
 
 // Entry is one author heading and the works filed under it. A heading
@@ -271,6 +272,181 @@ func Rebuild(opts collate.Options, works []*model.Work) (*Index, error) {
 	return ix, nil
 }
 
+// Load bulk-constructs an index over a complete corpus, bottom-up: the
+// works filed under each heading accumulate in a map, each entry's
+// postings are ordered with one stable pointer sort and materialized
+// with one allocation (entries sort and materialize on parallel
+// goroutines), and the heading tree is built with btree.BulkLoad from
+// one sorted pass — no per-posting tree descent, no binary-search
+// insertion, no node splits. For works with unique IDs the result is
+// identical to New followed by Add for every work, down to the order of
+// equal citation keys within an entry.
+//
+// Unlike Add, Load retains the given works read-only: entry postings
+// share their author and subject arrays rather than deep-copying one
+// clone per posting (nothing in the index ever mutates a filed work in
+// place — insertWork replaces whole elements). Callers hand the corpus
+// over and must not modify it afterwards.
+func Load(opts collate.Options, works []*model.Work) (*Index, error) {
+	ix := New(opts)
+	ix.workRefs = make(map[model.WorkID]int, len(works))
+	type accum struct {
+		e    *Entry
+		refs []*model.Work
+	}
+	entries := make(map[string]*accum)
+	keys := make([]string, 0, len(works))
+	// keyMemo caches each distinct author's collation key: in a whole
+	// corpus the same author recurs once per work, and key construction
+	// (folding, tiering) would otherwise dominate the accumulation pass.
+	keyMemo := make(map[model.Author]string)
+	var scratch []*accum // headings filed by the current work
+	for _, w := range works {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("core: load work %d: %w", w.ID, err)
+		}
+		if w.ID == 0 {
+			return nil, fmt.Errorf("core: work %q has no ID", w.Title)
+		}
+		scratch = scratch[:0]
+		for _, a := range w.Authors {
+			key, ok := keyMemo[a]
+			if !ok {
+				key = string(collate.KeyAuthor(a, opts))
+				keyMemo[a] = key
+			}
+			ac, ok := entries[key]
+			if !ok {
+				ac = &accum{e: &Entry{Author: a}}
+				entries[key] = ac
+				keys = append(keys, key)
+			}
+			// A second listing of the same heading on one work is the
+			// in-place replacement case for Add: the posting is filed once.
+			dup := false
+			for _, seen := range scratch {
+				if seen == ac {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			scratch = append(scratch, ac)
+			ac.refs = append(ac.refs, w)
+			ix.workRefs[w.ID]++
+			ix.postings++
+			if a.Student {
+				ix.students++
+			}
+		}
+	}
+	sort.Strings(keys)
+	// Order and materialize each entry: reverse then stable-sort the
+	// refs — insertWork files a new work before existing works with an
+	// equal (citation, title) key, so sequential Adds leave equal keys
+	// in reverse add order, and reverse-plus-stable-sort reproduces that
+	// byte for byte — then clone into an exactly-sized Works slice.
+	// Entries are independent, so the work fans out across cores.
+	if err := parallel.Ranges(len(keys), func(lo, hi int) error {
+		// Each entry gets its own exactly-sized Works slice (no shared
+		// backing array: a later Remove must let this entry's postings
+		// be collected without waiting for every sibling to go too).
+		for _, k := range keys[lo:hi] {
+			ac := entries[k]
+			refs := ac.refs
+			for i, j := 0, len(refs)-1; i < j; i, j = i+1, j-1 {
+				refs[i], refs[j] = refs[j], refs[i]
+			}
+			sort.SliceStable(refs, func(i, j int) bool {
+				if c := refs[i].Citation.Compare(refs[j].Citation); c != 0 {
+					return c < 0
+				}
+				return strings.Compare(refs[i].Title, refs[j].Title) < 0
+			})
+			ac.e.Works = make([]model.Work, len(refs))
+			for i, w := range refs {
+				ac.e.Works[i] = *w // shallow: shares the retained corpus
+			}
+		}
+		return nil
+	}); err != nil {
+		// Unreachable today (the callback never fails), but a fallible
+		// future materialization must not be swallowed.
+		return nil, err
+	}
+	pairs := make([]btree.Pair[*Entry], len(keys))
+	for i, k := range keys {
+		pairs[i] = btree.Pair[*Entry]{Key: []byte(k), Value: entries[k].e}
+	}
+	tree, err := btree.BulkLoad(pairs)
+	if err != nil {
+		// Unreachable: map keys are unique and just sorted.
+		return nil, err
+	}
+	ix.entries = tree
+	return ix, nil
+}
+
+// SeeAlsoRef is one cross-reference pair for AddSeeAlsoBatch.
+type SeeAlsoRef struct {
+	From, To model.Author
+}
+
+// AddSeeAlsoBatch records a batch of cross-references under one
+// validation pass and one SeeAlso sort per touched heading, instead of
+// the per-ref validate + linear-dedupe + re-sort that N sequential
+// AddSeeAlso calls pay. Every ref is validated before anything is
+// recorded, so an invalid ref anywhere in the batch leaves the index
+// unchanged. Duplicate refs (in the batch or already recorded) are
+// ignored, exactly like AddSeeAlso.
+func (ix *Index) AddSeeAlsoBatch(refs []SeeAlsoRef) error {
+	if len(refs) == 0 {
+		return nil
+	}
+	for _, ref := range refs {
+		if err := ref.From.Validate(); err != nil {
+			return err
+		}
+		if err := ref.To.Validate(); err != nil {
+			return err
+		}
+		if ref.From.Display() == ref.To.Display() {
+			return fmt.Errorf("core: see-also from %q to itself", ref.From.Display())
+		}
+	}
+	touched := make(map[*Entry]struct{})
+	for _, ref := range refs {
+		key := collate.KeyAuthor(ref.From, ix.opts)
+		e, ok := ix.entries.Get(key)
+		if !ok {
+			e = &Entry{Author: ref.From}
+			ix.entries.Set(key, e)
+		}
+		dup := false
+		for _, existing := range e.SeeAlso {
+			if existing == ref.To {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		e.SeeAlso = append(e.SeeAlso, ref.To)
+		touched[e] = struct{}{}
+		ix.crossRef++
+	}
+	for e := range touched {
+		sort.Slice(e.SeeAlso, func(i, j int) bool {
+			return string(collate.KeyAuthor(e.SeeAlso[i], ix.opts)) <
+				string(collate.KeyAuthor(e.SeeAlso[j], ix.opts))
+		})
+	}
+	return nil
+}
+
 // insertWork files w in citation order; returns false if the ID was
 // already present (the posting is replaced in place).
 func (e *Entry) insertWork(w *model.Work) bool {
@@ -297,6 +473,11 @@ func (e *Entry) removeWork(id model.WorkID) bool {
 	for i := range e.Works {
 		if e.Works[i].ID == id {
 			e.Works = append(e.Works[:i], e.Works[i+1:]...)
+			// Help the GC: clear the duplicated tail slot so the spliced
+			// work's pointers are not pinned by the slice's capacity.
+			if n := len(e.Works); n < cap(e.Works) {
+				e.Works[:cap(e.Works)][n] = model.Work{}
+			}
 			return true
 		}
 	}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/collate"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// TestLoadAllMatchesIncremental: the bulk-built index must be deeply
+// equal to the incrementally-built one — same sections, entries, work
+// order (including ties on equal citation keys), and counters — and the
+// two must stay equal under subsequent Add/Remove traffic.
+func TestLoadAllMatchesIncremental(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 4, Works: 900, ZipfS: 1.1})
+	// Exercise the tie-order path: clones sharing (citation, title) with
+	// distinct IDs, plus a work listing the same author twice.
+	tied := *works[0].Clone()
+	tied.ID = 9001
+	works = append(works, &tied)
+	doubled := *works[1].Clone()
+	doubled.ID = 9002
+	doubled.Authors = append(doubled.Authors, doubled.Authors[0])
+	works = append(works, &doubled)
+
+	inc := New(collate.Default())
+	for _, w := range works {
+		if err := inc.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := Load(collate.Default(), works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareCoreIndexes(t, bulk, inc)
+
+	// Subsequent mutations behave identically on both.
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			w := works[r.Intn(len(works))]
+			inc.Remove(w)
+			bulk.Remove(w)
+		} else {
+			w := &model.Work{
+				ID:       model.WorkID(20_000 + i),
+				Title:    fmt.Sprintf("Fresh Work %d", i),
+				Citation: model.Citation{Volume: 80, Page: i + 1, Year: 1977},
+				Authors:  []model.Author{{Family: fmt.Sprintf("New%d", i%37), Given: "Q."}},
+			}
+			if err := inc.Add(w); err != nil {
+				t.Fatal(err)
+			}
+			if err := bulk.Add(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	compareCoreIndexes(t, bulk, inc)
+}
+
+func TestLoadAllRejectsInvalidWork(t *testing.T) {
+	if _, err := Load(collate.Default(), []*model.Work{{ID: 1}}); err == nil {
+		t.Fatal("Load accepted a work with no title or authors")
+	}
+	if _, err := Load(collate.Default(), []*model.Work{{
+		Title:    "No ID",
+		Citation: model.Citation{Volume: 1, Page: 1, Year: 1990},
+		Authors:  []model.Author{{Family: "Smith", Given: "A."}},
+	}}); err == nil {
+		t.Fatal("Load accepted a work with no ID")
+	}
+}
+
+func TestAddSeeAlsoBatchMatchesSequential(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 12, Works: 60})
+	refs := make([]SeeAlsoRef, 0, 40)
+	for i := 0; i < 40; i++ {
+		from := works[i%len(works)].Authors[0]
+		to := works[(i*7+3)%len(works)].Authors[0]
+		if from.Display() == to.Display() {
+			continue
+		}
+		refs = append(refs, SeeAlsoRef{From: from, To: to})
+	}
+	refs = append(refs, refs[0]) // duplicate inside the batch: ignored
+
+	seq := New(collate.Default())
+	batch := New(collate.Default())
+	for _, w := range works {
+		if err := seq.Add(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ref := range refs {
+		if err := seq.AddSeeAlso(ref.From, ref.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.AddSeeAlsoBatch(refs); err != nil {
+		t.Fatal(err)
+	}
+	compareCoreIndexes(t, batch, seq)
+
+	// A self-reference anywhere in the batch leaves the index unchanged.
+	before := batch.Stats()
+	bad := append(append([]SeeAlsoRef(nil), refs[:3]...),
+		SeeAlsoRef{From: works[0].Authors[0], To: works[0].Authors[0]})
+	if err := batch.AddSeeAlsoBatch(bad); err == nil {
+		t.Fatal("batch with a self-reference was accepted")
+	}
+	if got := batch.Stats(); got != before {
+		t.Fatalf("failed batch mutated the index: %+v vs %+v", got, before)
+	}
+	compareCoreIndexes(t, batch, seq)
+}
+
+func compareCoreIndexes(t *testing.T, a, b *Index) {
+	t.Helper()
+	if as, bs := a.Stats(), b.Stats(); as != bs {
+		t.Fatalf("stats diverge: %+v vs %+v", as, bs)
+	}
+	av, bv := a.Sections(), b.Sections()
+	if !reflect.DeepEqual(av, bv) {
+		if len(av) != len(bv) {
+			t.Fatalf("section counts diverge: %d vs %d", len(av), len(bv))
+		}
+		for i := range av {
+			if !reflect.DeepEqual(av[i], bv[i]) {
+				t.Fatalf("section %c diverges", av[i].Letter)
+			}
+		}
+		t.Fatal("sections diverge")
+	}
+}

@@ -81,6 +81,14 @@ type Graph struct {
 	// pr caches the last PageRank vector; any mutation invalidates it.
 	pr      map[string]float64
 	prDirty bool
+
+	// display memoizes heading construction during Rebuild; nil (a
+	// plain Display pass-through) outside it.
+	display model.DisplayMemo
+	// hscratch is the reusable headings buffer. Mutations are serialized
+	// by the owning layer and no caller retains the slice past its call,
+	// so one buffer suffices.
+	hscratch []string
 }
 
 // New returns an empty graph. A damping factor outside (0, 1) — NaN
@@ -136,18 +144,27 @@ func (g *Graph) Works() int { return len(g.tracked) }
 // order — computed identically by Add and Remove so removal inverts
 // addition exactly. A heading listed at several positions (a
 // self-collaboration) counts once and earns no self-edge.
-func headings(w *model.Work) []string {
-	out := make([]string, 0, len(w.Authors))
-	seen := make(map[string]bool, len(w.Authors))
+func (g *Graph) headings(w *model.Work) []string {
+	out := g.hscratch[:0]
 	for _, a := range w.Authors {
-		h := a.Display()
-		if !seen[h] {
-			seen[h] = true
+		h := g.heading(a)
+		dup := false
+		for _, x := range out {
+			if x == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, h)
 		}
 	}
+	g.hscratch = out
 	return out
 }
+
+// heading returns a.Display(), memoized while a Rebuild is running.
+func (g *Graph) heading(a model.Author) string { return g.display.Display(a) }
 
 // Add folds w into the network in O(len(w.Authors)²) time (the
 // quadratic term is the pairwise edge update; author lists are short).
@@ -160,7 +177,7 @@ func (g *Graph) Add(w *model.Work) {
 		return
 	}
 	g.tracked[w.ID] = struct{}{}
-	hs := headings(w)
+	hs := g.headings(w)
 	for _, h := range hs {
 		n, ok := g.nodes[h]
 		if !ok {
@@ -202,7 +219,7 @@ func (g *Graph) Remove(w *model.Work) {
 		return
 	}
 	delete(g.tracked, w.ID)
-	hs := headings(w)
+	hs := g.headings(w)
 	for i := 0; i < len(hs); i++ {
 		for j := i + 1; j < len(hs); j++ {
 			a, b := g.nodes[hs[i]], g.nodes[hs[j]]
@@ -237,11 +254,15 @@ func (g *Graph) Remove(w *model.Work) {
 // Rebuild resets the graph and re-adds the corpus in one pass — the
 // recovery path when incremental state is suspect.
 func (g *Graph) Rebuild(works []*model.Work) {
-	g.nodes = make(map[string]*node, len(g.nodes))
+	// Presize for the common author-to-work ratio so a cold rebuild does
+	// not pay map growth rehashes all the way up.
+	g.nodes = make(map[string]*node, max(len(g.nodes), len(works)/3))
 	g.tracked = make(map[model.WorkID]struct{}, len(works))
-	g.comp = make(map[string]string)
+	g.comp = make(map[string]string, len(works)/3)
 	g.edges, g.compCount = 0, 0
 	g.compDirty, g.prDirty = false, true
+	g.display = make(model.DisplayMemo)
+	defer func() { g.display = nil }()
 	for _, w := range works {
 		g.Add(w)
 	}

@@ -26,9 +26,12 @@ var stopwords = map[string]bool{
 // Tokenize folds text and splits it into index terms: lower-cased,
 // diacritic-free, punctuation-separated, stopwords removed, duplicates
 // preserved (callers dedupe if needed).
-func Tokenize(text string) []string {
+func Tokenize(text string) []string { return appendTokens(nil, text) }
+
+// appendTokens is Tokenize into a caller-supplied buffer, so bulk
+// passes can reuse one slice across a whole corpus.
+func appendTokens(toks []string, text string) []string {
 	folded := names.Fold(text)
-	var toks []string
 	start := -1
 	flush := func(end int) {
 		if start < 0 {
@@ -65,6 +68,64 @@ type postings struct {
 
 // New returns an empty index.
 func New() *Index { return &Index{terms: btree.New[*postings]()} }
+
+// Doc is one (id, text) item for Load.
+type Doc struct {
+	ID   model.WorkID
+	Text string
+}
+
+// Load bulk-builds an index over a complete corpus: docs are ordered by
+// ID once so every postings list is sorted by construction, postings
+// accumulate in a map, and the term tree is constructed bottom-up — no
+// per-term tree descent, no per-ID binary-search insertion, no per-list
+// sort. For docs with unique IDs (the engine's cold-start contract) the
+// result is identical to Add-ing every doc to an empty index.
+//
+// Like the other bulk loaders, Load takes the slice over: it sorts docs
+// in place, so callers must not rely on their ordering afterwards.
+func Load(docs []Doc) *Index {
+	// One integer sort up front replaces a sort per postings list: IDs
+	// append in ascending order for every term.
+	sort.Sort(byDocID(docs))
+	terms := make(map[string][]model.WorkID)
+	n := 0
+	var scratch []string // one token buffer for the whole corpus
+	for _, d := range docs {
+		scratch = uniq(appendTokens(scratch[:0], d.Text))
+		if len(scratch) == 0 {
+			continue
+		}
+		n++
+		for _, tok := range scratch {
+			ids := terms[tok]
+			// Adjacent duplicates are the only possible ones (ascending
+			// IDs), mirroring Add's re-add idempotence.
+			if len(ids) > 0 && ids[len(ids)-1] == d.ID {
+				continue
+			}
+			terms[tok] = append(ids, d.ID)
+		}
+	}
+	pairs := make([]btree.Pair[*postings], 0, len(terms))
+	for tok, ids := range terms {
+		pairs = append(pairs, btree.Pair[*postings]{Key: []byte(tok), Value: &postings{ids: ids}})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return string(pairs[i].Key) < string(pairs[j].Key) })
+	tree, err := btree.BulkLoad(pairs)
+	if err != nil {
+		// Unreachable: map keys are unique and just sorted.
+		panic(err)
+	}
+	return &Index{terms: tree, docs: n}
+}
+
+// byDocID sorts docs ascending by work ID.
+type byDocID []Doc
+
+func (s byDocID) Len() int           { return len(s) }
+func (s byDocID) Less(i, j int) bool { return s[i].ID < s[j].ID }
+func (s byDocID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // Docs returns the number of documents added (and not yet removed).
 func (ix *Index) Docs() int { return ix.docs }
@@ -453,6 +514,24 @@ func subtractInto(dst, a, b []model.WorkID) []model.WorkID {
 func uniq(toks []string) []string {
 	if len(toks) < 2 {
 		return toks
+	}
+	// Titles carry a handful of terms; a linear scan dedupes without the
+	// per-call map a longer input would want.
+	if len(toks) <= 16 {
+		out := toks[:1]
+		for _, t := range toks[1:] {
+			dup := false
+			for _, x := range out {
+				if x == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, t)
+			}
+		}
+		return out
 	}
 	seen := make(map[string]bool, len(toks))
 	out := toks[:0]

@@ -223,7 +223,17 @@ type Engine struct {
 	tracked  map[model.WorkID]struct{}
 	postings int
 	solo     int
+	// display memoizes heading construction during Rebuild; nil (a
+	// plain Display pass-through) outside it.
+	display model.DisplayMemo
+	// dscratch is the reusable deltas buffer for the single-author fast
+	// path. Mutations are serialized by the owning layer and no caller
+	// retains the slice past its call, so one buffer suffices.
+	dscratch [1]delta
 }
+
+// heading returns a.Display(), memoized while a Rebuild is running.
+func (e *Engine) heading(a model.Author) string { return e.display.Display(a) }
 
 // NewEngine returns an empty tracker using the given counting scheme.
 // An invalid scheme falls back to Harmonic rather than silently zeroing
@@ -256,13 +266,24 @@ type delta struct {
 
 // deltas returns one entry per distinct heading on w, in first-position
 // order. A heading listed at several positions earns the credit of each
-// position but counts as one work.
+// position but counts as one work. Solo works — the bulk of any
+// bibliography — take an allocation-free fast path over a reusable
+// buffer; callers never retain the slice past their call.
 func (e *Engine) deltas(w *model.Work) []delta {
 	k := len(w.Authors)
+	if k == 1 {
+		e.dscratch[0] = delta{
+			author:    w.Authors[0],
+			first:     true,
+			fracMicro: microUnit,
+			wgtMicro:  positionMicro(e.scheme, 1, 1),
+		}
+		return e.dscratch[:]
+	}
 	index := make(map[string]int, k)
 	out := make([]delta, 0, k)
 	for i, a := range w.Authors {
-		h := a.Display()
+		h := e.heading(a)
 		j, ok := index[h]
 		if !ok {
 			j = len(out)
@@ -310,7 +331,7 @@ func (e *Engine) Add(w *model.Work) {
 	e.tracked[w.ID] = struct{}{}
 	ds := e.deltas(w)
 	for _, d := range ds {
-		h := d.author.Display()
+		h := e.heading(d.author)
 		st, ok := e.authors[h]
 		if !ok {
 			st = &authorStats{
@@ -337,10 +358,10 @@ func (e *Engine) Add(w *model.Work) {
 		e.solo++
 	}
 	for i := range ds {
-		hi := ds[i].author.Display()
+		hi := e.heading(ds[i].author)
 		for j := range ds {
 			if i != j {
-				e.authors[hi].coauthors[ds[j].author.Display()]++
+				e.authors[hi].coauthors[e.heading(ds[j].author)]++
 			}
 		}
 	}
@@ -403,11 +424,16 @@ func (e *Engine) Remove(w *model.Work) {
 	}
 }
 
-// Rebuild resets the engine and re-adds the corpus in one pass.
+// Rebuild resets the engine and re-adds the corpus in one pass, with
+// heading construction memoized across the whole corpus.
 func (e *Engine) Rebuild(works []*model.Work) {
-	e.authors = make(map[string]*authorStats, len(e.authors))
+	// Presize for the common author-to-work ratio so a cold rebuild does
+	// not pay map growth rehashes all the way up.
+	e.authors = make(map[string]*authorStats, max(len(e.authors), len(works)/3))
 	e.tracked = make(map[model.WorkID]struct{}, len(works))
 	e.postings, e.solo = 0, 0
+	e.display = make(model.DisplayMemo)
+	defer func() { e.display = nil }()
 	for _, w := range works {
 		e.Add(w)
 	}

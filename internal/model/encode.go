@@ -47,10 +47,42 @@ func AppendWork(dst []byte, w *Work) []byte {
 	return dst
 }
 
+// Interner deduplicates decoded strings across works, so a recovery
+// pass over a whole corpus shares one allocation per distinct author
+// name part or subject heading instead of one per occurrence. The zero
+// value is not usable; call NewInterner. Not safe for concurrent use.
+type Interner struct {
+	m map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner { return &Interner{m: make(map[string]string)} }
+
+func (in *Interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok { // no-copy map probe
+		return s
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
 // DecodeWork decodes one work from the front of p, returning the work and
 // the number of bytes consumed.
 func DecodeWork(p []byte) (*Work, int, error) {
-	d := decoder{p: p}
+	return DecodeWorkInterned(p, nil)
+}
+
+// DecodeWorkInterned is DecodeWork with repeated-string deduplication:
+// author name parts and subject headings — the fields that recur across
+// a corpus — are resolved through in, so bulk recovery allocates each
+// distinct string once. A nil interner decodes like DecodeWork. Titles
+// are never interned (they rarely repeat).
+func DecodeWorkInterned(p []byte, in *Interner) (*Work, int, error) {
+	d := decoder{p: p, in: in}
 	version := d.byte()
 	if d.err == nil && (version < 1 || version > encodeVersion) {
 		d.err = fmt.Errorf("%w: version %d", ErrBadEncoding, version)
@@ -75,10 +107,10 @@ func DecodeWork(p []byte) (*Work, int, error) {
 		w.Authors = make([]Author, 0, n)
 		for i := uint64(0); i < n && d.err == nil; i++ {
 			var a Author
-			a.Family = d.string()
-			a.Given = d.string()
-			a.Particle = d.string()
-			a.Suffix = d.string()
+			a.Family = d.internedString()
+			a.Given = d.internedString()
+			a.Particle = d.internedString()
+			a.Suffix = d.internedString()
 			a.Student = d.byte() != 0
 			w.Authors = append(w.Authors, a)
 		}
@@ -91,7 +123,7 @@ func DecodeWork(p []byte) (*Work, int, error) {
 		if d.err == nil && m > 0 {
 			w.Subjects = make([]string, 0, m)
 			for i := uint64(0); i < m && d.err == nil; i++ {
-				w.Subjects = append(w.Subjects, d.string())
+				w.Subjects = append(w.Subjects, d.internedString())
 			}
 		}
 	}
@@ -141,6 +173,7 @@ type decoder struct {
 	p   []byte
 	off int
 	err error
+	in  *Interner // nil: no string deduplication
 }
 
 func (d *decoder) fail(what string) {
@@ -175,16 +208,32 @@ func (d *decoder) uvarint() uint64 {
 	return v
 }
 
-func (d *decoder) string() string {
+// stringBytes decodes one length-prefixed string field and returns the
+// raw bytes, still aliasing the input buffer; string() and
+// internedString() differ only in how they materialize them.
+func (d *decoder) stringBytes() []byte {
 	n := d.uvarint()
 	if d.err != nil {
-		return ""
+		return nil
 	}
 	if n > uint64(len(d.p)-d.off) {
 		d.fail("string")
-		return ""
+		return nil
 	}
-	s := string(d.p[d.off : d.off+int(n)])
+	b := d.p[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	return b
+}
+
+func (d *decoder) string() string {
+	return string(d.stringBytes())
+}
+
+// internedString is string() resolved through the decoder's interner,
+// when one is attached.
+func (d *decoder) internedString() string {
+	if d.in == nil {
+		return d.string()
+	}
+	return d.in.intern(d.stringBytes())
 }

@@ -176,6 +176,26 @@ func (a Author) Display() string {
 	return b.String()
 }
 
+// DisplayMemo memoizes Author.Display across a whole-corpus pass, where
+// the same author recurs once per work and heading construction would
+// otherwise dominate. A nil memo passes through to Display; engines
+// attach one for the duration of a rebuild and drop it afterwards. Not
+// safe for concurrent use.
+type DisplayMemo map[Author]string
+
+// Display returns a.Display(), memoized when m is non-nil.
+func (m DisplayMemo) Display(a Author) string {
+	if m == nil {
+		return a.Display()
+	}
+	h, ok := m[a]
+	if !ok {
+		h = a.Display()
+		m[a] = h
+	}
+	return h
+}
+
 // NaturalOrder renders the author in reading order: "Joan E. Van Tol".
 func (a Author) NaturalOrder() string {
 	var parts []string

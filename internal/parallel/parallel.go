@@ -1,0 +1,44 @@
+// Package parallel provides the small fan-out helper the bulk-load
+// paths share: split an index range into one contiguous chunk per
+// worker and run them concurrently.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallel is the range size below which fanning out costs more than
+// it saves; smaller inputs run inline.
+const minParallel = 4096
+
+// Ranges splits [0, n) into one contiguous range per worker and runs fn
+// on each concurrently, returning the first error. Workers are capped
+// at min(GOMAXPROCS, 8); small inputs run fn(0, n) inline.
+func Ranges(n int, fn func(lo, hi int) error) error {
+	workers := min(runtime.GOMAXPROCS(0), 8)
+	if n < minParallel || workers == 1 {
+		return fn(0, n)
+	}
+	stride := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		if lo >= n {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, min(lo+stride, n))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,7 +14,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/btree"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/names"
+	"repro/internal/parallel"
 )
 
 // MaxLimit bounds every caller-supplied result limit so one request
@@ -268,6 +271,264 @@ func (e *Engine) AddBatch(works []*model.Work) error {
 	return nil
 }
 
+// LoadAll bulk-loads a complete corpus into an empty engine — the cold
+// start path Open uses instead of replaying the store one Add at a
+// time. Every work is validated up front, citation sort keys are
+// computed and sorted once, and each index is built bottom-up from the
+// sorted corpus (btree.BulkLoad for the author, year, citation and
+// subject trees; one sort per subject posting; the inverted index's map
+// accumulator) while the metrics tracker and the coauthorship graph —
+// both whole-corpus recomputations by definition — rebuild on parallel
+// goroutines. The result is indistinguishable from Add-ing every work
+// to a fresh engine, at a fraction of the cost.
+//
+// Works must carry unique non-zero IDs. Unlike Add, LoadAll retains
+// the given works instead of cloning them: callers hand them over as
+// shared read-only records (the store and the engine both guarantee a
+// work is never mutated in place) and must not modify them afterwards.
+// Any error leaves the engine empty and usable.
+func (e *Engine) LoadAll(works []*model.Work) error {
+	if len(e.works) > 0 || e.idx.Len() > 0 {
+		// idx.Len counts headings, so see-also-only entries (a
+		// cross-reference recorded before any work) block the load too
+		// rather than being silently discarded with the replaced index.
+		return fmt.Errorf("query: bulk load into an engine already holding %d works, %d headings",
+			len(e.works), e.idx.Len())
+	}
+	if len(works) == 0 {
+		return nil
+	}
+	// A bulk load's entire job is growing a large live heap; garbage
+	// collection during it re-marks that growing live set over and over
+	// for nothing, so relax the pacer for the duration (restored when
+	// the last concurrent load finishes). Peak memory during a big cold
+	// start rises accordingly.
+	if len(works) >= 10_000 {
+		defer relaxGC()()
+	}
+	// Per-work validation is core.Load's job below (it runs the same
+	// checks this engine's Add would); the only cross-work invariant is
+	// ID uniqueness. Citation-key computation is per-work independent
+	// and fans out across cores.
+	seen := make(map[model.WorkID]struct{}, len(works))
+	for _, w := range works {
+		if w.ID == 0 {
+			return fmt.Errorf("query: work %q has no ID", w.Title)
+		}
+		if _, dup := seen[w.ID]; dup {
+			return fmt.Errorf("query: duplicate work ID %d in bulk load", w.ID)
+		}
+		seen[w.ID] = struct{}{}
+	}
+	// One arena allocation for every entry: the structs are tiny, live
+	// together for the index's whole life, and number in the corpus size.
+	arena := make([]workEntry, len(works))
+	entries := make([]*workEntry, len(works))
+	if err := parallel.Ranges(len(works), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			arena[i] = workEntry{w: works[i], key: citationKey(works[i])}
+			entries[i] = &arena[i]
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// One citation-key sort: every ordered index below derives from this
+	// pass instead of paying a per-work tree descent.
+	sorted := append(make(byCitKey, 0, len(entries)), entries...)
+	sort.Sort(sorted)
+
+	// The index builds run concurrently: the author index (the most
+	// expensive — it clones one work per posting), the inverted title
+	// index, the ordered trees, the subject postings, and the two
+	// whole-corpus trackers. Each build is independent and writes only
+	// its own slot; errors (all unreachable after the validation pass
+	// above, since it mirrors every builder's checks) propagate and
+	// leave the engine empty.
+	var (
+		wg         sync.WaitGroup
+		idx        *core.Index
+		inv        *inverted.Index
+		byYear     *btree.Tree[*workEntry]
+		byCitation *btree.Tree[*workEntry]
+		bySubject  *btree.Tree[*subjectPosting]
+		errs       [4]error
+	)
+	wg.Add(6)
+	go func() {
+		defer wg.Done()
+		idx, errs[0] = core.Load(e.coll, works)
+	}()
+	go func() {
+		defer wg.Done()
+		docs := make([]inverted.Doc, len(works))
+		for i, w := range works {
+			docs[i] = inverted.Doc{ID: w.ID, Text: w.Title}
+		}
+		inv = inverted.Load(docs)
+	}()
+	go func() {
+		defer wg.Done()
+		byCitation, byYear, errs[1], errs[2] = loadCitationTrees(sorted)
+	}()
+	go func() {
+		defer wg.Done()
+		bySubject, errs[3] = e.loadSubjects(entries, sorted)
+	}()
+	go func() {
+		defer wg.Done()
+		e.met.Rebuild(works)
+	}()
+	go func() {
+		defer wg.Done()
+		e.gr.Rebuild(works)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Reset the trackers the parallel rebuilds touched so the
+			// engine is left exactly as empty as it started.
+			e.met.Rebuild(nil)
+			e.gr.Rebuild(nil)
+			return err
+		}
+	}
+	e.idx, e.inv = idx, inv
+	e.byYear, e.byCitation, e.bySubject = byYear, byCitation, bySubject
+	e.works = make(map[model.WorkID]*workEntry, len(entries))
+	for _, we := range entries {
+		e.works[we.w.ID] = we
+	}
+	return nil
+}
+
+// relaxGCState tracks how many bulk loads are in flight so the GC
+// pacer is raised once and restored exactly when the last one ends —
+// overlapping loads (several indexes opening in one process) must not
+// leave the raised setting behind.
+var relaxGCState struct {
+	mu    sync.Mutex
+	depth int
+	old   int
+}
+
+// relaxGC raises GOGC to 300 for the duration between the call and the
+// returned restore func. A pacer that is already laxer (GOGC off, or
+// above 300) is left untouched. Safe for concurrent and nested use.
+func relaxGC() func() {
+	s := &relaxGCState
+	s.mu.Lock()
+	if s.depth == 0 {
+		s.old = debug.SetGCPercent(300)
+		if s.old < 0 || s.old > 300 {
+			debug.SetGCPercent(s.old) // app already runs laxer; keep it
+		}
+	}
+	s.depth++
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		if s.depth--; s.depth == 0 {
+			debug.SetGCPercent(s.old)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// byCitKey sorts work entries by citation key bytes; a concrete
+// sort.Interface keeps the corpus-wide bulk-load sort free of
+// reflection-based swapping.
+type byCitKey []*workEntry
+
+func (s byCitKey) Len() int           { return len(s) }
+func (s byCitKey) Less(i, j int) bool { return bytes.Compare(s[i].key, s[j].key) < 0 }
+func (s byCitKey) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// loadCitationTrees bulk-builds byCitation and byYear from entries
+// sorted by citation key. The byYear key order (year ‖ citation key)
+// follows from one stable re-sort on the year alone — skipped entirely
+// when years already ascend in citation order, the common corpus shape
+// where volumes track years.
+func loadCitationTrees(sorted []*workEntry) (byCitation, byYear *btree.Tree[*workEntry], citErr, yearErr error) {
+	pairs := make([]btree.Pair[*workEntry], len(sorted))
+	for i, we := range sorted {
+		pairs[i] = btree.Pair[*workEntry]{Key: we.key, Value: we}
+	}
+	byCitation, citErr = btree.BulkLoad(pairs)
+	byYearEntries := sorted
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].w.Citation.Year > sorted[i].w.Citation.Year {
+			byYearEntries = append([]*workEntry(nil), sorted...)
+			sort.Stable(byYearOrder(byYearEntries))
+			break
+		}
+	}
+	yearPairs := make([]btree.Pair[*workEntry], len(byYearEntries))
+	for i, we := range byYearEntries {
+		yearPairs[i] = btree.Pair[*workEntry]{Key: yearKey(we.w.Citation.Year, we.key), Value: we}
+	}
+	byYear, yearErr = btree.BulkLoad(yearPairs)
+	return byCitation, byYear, citErr, yearErr
+}
+
+// byYearOrder stably re-sorts citation-ordered entries on the year
+// alone, yielding year ‖ citation-key order without reflection.
+type byYearOrder []*workEntry
+
+func (s byYearOrder) Len() int           { return len(s) }
+func (s byYearOrder) Less(i, j int) bool { return s[i].w.Citation.Year < s[j].w.Citation.Year }
+func (s byYearOrder) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// loadSubjects accumulates the subject postings in two passes: an
+// input-order pass creates each posting (so its display form comes from
+// the first work filing it, like sequential Adds) and caches the
+// per-work subject keys, then a pass over the citation-sorted entries
+// appends every ref already in key order — no per-posting sort at all,
+// only an adjacent-duplicate drop — before the tree is built bottom-up.
+func (e *Engine) loadSubjects(entries, sorted []*workEntry) (*btree.Tree[*subjectPosting], error) {
+	postings := make(map[string]*subjectPosting)
+	order := make([]string, 0, 64)
+	// Subject headings repeat across a corpus far more than they vary;
+	// memoize the collation key per distinct spelling. The shared key
+	// bytes are read-only everywhere (posting lookups and Remove).
+	keyMemo := make(map[string][]byte)
+	for _, we := range entries {
+		w := we.w
+		if len(w.Subjects) > 0 {
+			we.subjKeys = make([][]byte, len(w.Subjects))
+		}
+		for i, s := range w.Subjects {
+			key, ok := keyMemo[s]
+			if !ok {
+				key = collate.KeyString(s, e.coll)
+				keyMemo[s] = key
+			}
+			we.subjKeys[i] = key
+			if _, ok := postings[string(key)]; !ok {
+				postings[string(key)] = &subjectPosting{display: s}
+				order = append(order, string(key))
+			}
+		}
+	}
+	for _, we := range sorted {
+		for _, key := range we.subjKeys {
+			p := postings[string(key)]
+			// A work listing one subject twice arrives adjacent (same
+			// citation key); keep the first, exactly like insert would.
+			if n := len(p.refs); n > 0 && p.refs[n-1] == we {
+				continue
+			}
+			p.refs = append(p.refs, we)
+		}
+	}
+	sort.Strings(order)
+	pairs := make([]btree.Pair[*subjectPosting], len(order))
+	for i, k := range order {
+		pairs[i] = btree.Pair[*subjectPosting]{Key: []byte(k), Value: postings[k]}
+	}
+	return btree.BulkLoad(pairs)
+}
+
 // hasDuplicateIDs reports whether two works in the batch share an ID.
 func hasDuplicateIDs(works []*model.Work) bool {
 	seen := make(map[model.WorkID]struct{}, len(works))
@@ -302,6 +563,11 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	e.met.Remove(w)
 	e.gr.Remove(w)
 	delete(e.works, id)
+	// Clear the unlinked entry: bulk-loaded entries live in a shared
+	// arena that stays reachable while any sibling survives, and a
+	// zeroed slot must not pin the removed work, its citation key or its
+	// subject keys for the arena's lifetime.
+	*we = workEntry{}
 	return w.Clone(), true
 }
 

@@ -94,6 +94,10 @@ type Store struct {
 	nextID   model.WorkID
 	opsSince int // operations logged since the last snapshot
 	scratch  []byte
+	// interner deduplicates repeated strings (author name parts, subject
+	// headings) while the snapshot and WAL are decoded during Open; it is
+	// released once recovery finishes so steady-state writes pay nothing.
+	interner *model.Interner
 
 	batches     int64 // batch commits applied (PutBatch + DeleteBatch)
 	fsyncsSaved int64 // WAL commits avoided by batching (N records, 1 commit)
@@ -114,6 +118,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open: %w", err)
 	}
+	s.interner = model.NewInterner()
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -121,6 +126,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if _, err := wal.Replay(walDir, s.applyRecord); err != nil {
 		return nil, fmt.Errorf("storage: replay: %w", err)
 	}
+	s.interner = nil
 	log, err := wal.Open(walDir, opts.WAL)
 	if err != nil {
 		return nil, err
@@ -300,6 +306,24 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.works)
+}
+
+// Works returns every stored work as one slice, in unspecified order —
+// the bulk hand-off Open feeds to the engine's LoadAll, so a cold start
+// sees the whole decoded corpus at once instead of a per-work callback
+// chain. Unlike Get, the returned works are the store's own records,
+// shared on the immutability contract every layer already honors: a
+// stored work is never mutated in place (Put swaps in a fresh clone),
+// so callers may retain the references but must treat them as
+// read-only. Callers needing private copies should Clone them.
+func (s *Store) Works() []*model.Work {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*model.Work, 0, len(s.works))
+	for _, w := range s.works {
+		out = append(out, w)
+	}
+	return out
 }
 
 // ForEach calls fn with a copy of every stored work, in unspecified
@@ -513,7 +537,7 @@ func (s *Store) applyRecord(p []byte) error {
 	}
 	switch p[0] {
 	case opPut:
-		w, _, err := model.DecodeWork(p[1:])
+		w, _, err := model.DecodeWorkInterned(p[1:], s.interner)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
@@ -550,7 +574,7 @@ func (s *Store) applyRecord(p []byte) error {
 		body := p[1:]
 		var batch []*model.Work
 		for len(body) > 0 {
-			w, consumed, err := model.DecodeWork(body)
+			w, consumed, err := model.DecodeWorkInterned(body, s.interner)
 			if err != nil {
 				return fmt.Errorf("%w: batch work %d: %v", ErrCorrupt, len(batch), err)
 			}
@@ -679,7 +703,7 @@ func (s *Store) loadSnapshot() error {
 	}
 	body = body[n:]
 	for i := uint64(0); i < count; i++ {
-		w, consumed, err := model.DecodeWork(body)
+		w, consumed, err := model.DecodeWorkInterned(body, s.interner)
 		if err != nil {
 			return fmt.Errorf("%w: snapshot work %d: %v", ErrCorrupt, i, err)
 		}

@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestWorksBulkLoadHandOff: Works must return every stored work exactly
+// once, and the returned references must stay stable (read-only shared
+// records) across later store mutations — the hand-off contract the
+// engine's LoadAll relies on.
+func TestWorksBulkLoadHandOff(t *testing.T) {
+	s := openT(t, "")
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := s.Put(work("Bulk Title", 70, i+1, 1967, "Family")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Works()
+	if len(got) != 40 {
+		t.Fatalf("Works returned %d works, want 40", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	seen := map[uint64]bool{}
+	for _, w := range got {
+		if seen[uint64(w.ID)] {
+			t.Fatalf("duplicate ID %d in Works", w.ID)
+		}
+		seen[uint64(w.ID)] = true
+	}
+	// Replacing and deleting in the store must not disturb the handed-out
+	// references: Put swaps in a fresh record rather than mutating.
+	victim := got[0]
+	repl := work("Replacement", 71, 5, 1968, "Other")
+	repl.ID = victim.ID
+	if _, err := s.Put(repl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(got[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	if victim.Title != "Bulk Title" || got[1].Title != "Bulk Title" {
+		t.Fatal("store mutation changed a handed-out work in place")
+	}
+	fresh, ok := s.Get(victim.ID)
+	if !ok || fresh.Title != "Replacement" {
+		t.Fatalf("store did not apply the replacement: %+v", fresh)
+	}
+}

@@ -1,0 +1,184 @@
+package authorindex
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// buildDurable populates a durable index with a generated corpus plus
+// cross-references and returns the works it added.
+func buildDurable(t *testing.T, dir string, n int) []*Work {
+	t.Helper()
+	ix := openT(t, dir)
+	defer ix.Close()
+	works := gen.Generate(gen.Config{Seed: 31, Works: n, ZipfS: 1.1})
+	chunk := make([]Work, 0, 512)
+	for _, w := range works {
+		cp := *w.Clone()
+		chunk = append(chunk, cp)
+		if len(chunk) == cap(chunk) {
+			if _, err := ix.AddBatch(chunk); err != nil {
+				t.Fatal(err)
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		if _, err := ix.AddBatch(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		from := works[i].Authors[0]
+		to := works[i+40].Authors[0]
+		if from.Display() == to.Display() {
+			continue
+		}
+		if err := ix.AddSeeAlso(from.Display(), to.Display()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return works
+}
+
+// renderAll captures every rendered artifact of an index, as a deep
+// observable fingerprint for reopen comparisons.
+func renderAll(t *testing.T, ix *Index) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, opts := range []RenderOptions{
+		{Format: Text, Statistics: true, Network: true},
+		{Format: TSV},
+		{Format: JSON, Statistics: true},
+	} {
+		if err := ix.Render(&b, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.RenderSubjectIndex(&b, RenderOptions{Format: Text}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.RenderTitleIndex(&b, RenderOptions{Format: Text}); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestOpenLoadAllVerify: Open's bulk-load cold start must reproduce the
+// pre-shutdown index exactly — from a compacted snapshot and from a raw
+// WAL replay — and pass the full Verify cross-check after reopening.
+func TestOpenLoadAllVerify(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		compact bool
+	}{{"compacted", true}, {"wal-replay", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			works := buildDurable(t, dir, 1500)
+			ref := openT(t, dir)
+			if mode.compact {
+				if err := ref.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := renderAll(t, ref)
+			wantStats := ref.Stats()
+			if err := ref.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			ix := openT(t, dir)
+			defer ix.Close()
+			if err := ix.Verify(); err != nil {
+				t.Fatalf("Verify after bulk-load Open: %v", err)
+			}
+			if got := renderAll(t, ix); got != want {
+				t.Fatal("reopened index renders differently from the pre-close index")
+			}
+			st := ix.Stats()
+			if st.Works != wantStats.Works || st.Authors != wantStats.Authors ||
+				st.Postings != wantStats.Postings || st.CrossRefs != wantStats.CrossRefs ||
+				st.Terms != wantStats.Terms || st.GraphNodes != wantStats.GraphNodes ||
+				st.GraphEdges != wantStats.GraphEdges || st.GraphComponents != wantStats.GraphComponents {
+				t.Fatalf("stats diverge after reopen: %+v vs %+v", st, wantStats)
+			}
+
+			// The reopened index must keep working incrementally.
+			id, err := ix.Add(Work{
+				Title:    "Post-Reopen Work",
+				Citation: Citation{Volume: 96, Page: 10, Year: 1994},
+				Authors:  []Author{{Family: "Afterwards", Given: "A."}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Delete(works[3].ID); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := ix.Get(id); !ok {
+				t.Fatal("added work missing after bulk-load reopen")
+			}
+			if err := ix.Verify(); err != nil {
+				t.Fatalf("Verify after post-reopen mutations: %v", err)
+			}
+		})
+	}
+}
+
+// TestOpenLoadAllEmptyStore: a fresh directory and an in-memory open
+// both go through the bulk path with zero works.
+func TestOpenLoadAllEmptyStore(t *testing.T) {
+	ix := openT(t, t.TempDir())
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Add(Work{
+		Title:    "First",
+		Citation: Citation{Volume: 1, Page: 1, Year: 1990},
+		Authors:  []Author{{Family: "Smith", Given: "A."}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenLoadAllLarge reopens a compacted store at a size where the
+// bulk path's parallel rebuilds actually fan out. Kept moderate so the
+// suite stays fast; BenchmarkOpen and experiment E14 cover 100k+.
+func TestOpenLoadAllLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large reopen skipped under -short")
+	}
+	dir := t.TempDir()
+	buildDurable(t, dir, 5000)
+	func() {
+		ix := openT(t, dir)
+		defer ix.Close()
+		if err := ix.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	ix := openT(t, dir)
+	defer ix.Close()
+	if ix.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", ix.Len())
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check ordered reads stream in citation order after bulk load.
+	last := Citation{}
+	for i, w := range ix.YearRange(1966, 1992, 0) {
+		if i > 0 && w.Citation.Year < last.Year {
+			t.Fatalf("year range out of order at %d", i)
+		}
+		last = w.Citation
+	}
+}
