@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/citeparse"
 	"repro/internal/collate"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/names"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/storage"
@@ -191,6 +194,10 @@ func ParseCitation(s string) (Citation, error) { return citeparse.Parse(s) }
 // "json") into a Format.
 func ParseFormat(s string) (Format, error) { return render.ParseFormat(s) }
 
+// ParseKind converts a kind name (as produced by Kind.String, e.g.
+// "article" or "student-note") back into a Kind.
+func ParseKind(s string) (Kind, error) { return model.ParseKind(s) }
+
 // GenerateCorpus produces a deterministic synthetic corpus; see
 // CorpusConfig for the knobs. Useful for examples, benchmarks and tests.
 func GenerateCorpus(cfg CorpusConfig) []*Work { return gen.Generate(cfg) }
@@ -265,6 +272,89 @@ type Index struct {
 	eng         *query.Engine
 	coll        CollationOptions
 	ingestBatch int
+
+	// ops holds the per-operation latency histograms. Open points them
+	// at obs.Default; RegisterMetrics swaps in a set bound to another
+	// registry. Atomic so a swap never races with a recording read.
+	ops atomic.Pointer[opSet]
+}
+
+// Public operations timed into authdex_op_duration_seconds{op=...}.
+type op int
+
+const (
+	opSearch op = iota
+	opYearRange
+	opBySubject
+	opGet
+	opAdd
+	opAddBatch
+	opDelete
+	opRender
+	opVerify
+	opOpen
+	numOps
+)
+
+var opNames = [numOps]string{
+	"search", "year_range", "by_subject", "get", "add",
+	"add_batch", "delete", "render", "verify", "open",
+}
+
+type opSet [numOps]*obs.Histogram
+
+// timeOp starts a latency measurement for one public operation; the
+// returned func records it. Usage: defer ix.timeOp(opSearch)().
+func (ix *Index) timeOp(o op) func() {
+	h := ix.ops.Load()[o]
+	start := time.Now()
+	return func() { h.Since(start) }
+}
+
+// RegisterMetrics points the index's telemetry at r: per-operation
+// latency histograms (authdex_op_duration_seconds) plus callback
+// metrics promoting the Stats counters — queries served, works cloned,
+// postings scanned, batches committed, WAL fsyncs, fsyncs saved — and
+// corpus-size gauges. Open registers on obs.Default automatically;
+// call this only to target a different registry (servers and tests
+// do). Safe to call again: callbacks are replaced, histograms are
+// swapped atomically.
+func (ix *Index) RegisterMetrics(r *obs.Registry) {
+	var set opSet
+	for i := range set {
+		set[i] = r.Histogram("authdex_op_duration_seconds",
+			"Latency of public index operations.", "op", opNames[i])
+	}
+	ix.ops.Store(&set)
+
+	counter := func(name, help string, f func(Stats) float64) {
+		r.CounterFunc(name, help, func() float64 { return f(ix.Stats()) })
+	}
+	gauge := func(name, help string, f func(Stats) float64) {
+		r.GaugeFunc(name, help, func() float64 { return f(ix.Stats()) })
+	}
+	counter("authdex_queries_served_total", "Ordered read queries answered since open.",
+		func(s Stats) float64 { return float64(s.QueriesServed) })
+	counter("authdex_works_cloned_total", "Result works deep-copied for callers.",
+		func(s Stats) float64 { return float64(s.WorksCloned) })
+	counter("authdex_postings_scanned_total", "Bytes of posting entries examined by queries.",
+		func(s Stats) float64 { return float64(s.PostingsScanned) })
+	counter("authdex_batches_committed_total", "Group commits applied.",
+		func(s Stats) float64 { return float64(s.BatchesCommitted) })
+	counter("authdex_wal_syncs_total", "fsyncs the WAL issued.",
+		func(s Stats) float64 { return float64(s.WALSyncs) })
+	counter("authdex_fsyncs_saved_total", "WAL commits avoided by group commit.",
+		func(s Stats) float64 { return float64(s.FsyncsSaved) })
+	gauge("authdex_works", "Distinct works stored.",
+		func(s Stats) float64 { return float64(s.Works) })
+	gauge("authdex_authors", "Distinct author headings.",
+		func(s Stats) float64 { return float64(s.Authors) })
+	gauge("authdex_postings", "Author-work pairs indexed.",
+		func(s Stats) float64 { return float64(s.Postings) })
+	gauge("authdex_wal_bytes", "Current write-ahead-log size.",
+		func(s Stats) float64 { return float64(s.WALBytes) })
+	gauge("authdex_snapshot_bytes", "Last snapshot size.",
+		func(s Stats) float64 { return float64(s.SnapshotBytes) })
 }
 
 // engineAddFault, when non-nil, is consulted by the write path after
@@ -276,6 +366,7 @@ var engineAddFault func(*Work) error
 // Open opens (creating if necessary) an index rooted at dir. An empty
 // dir gives a volatile in-memory index. opts may be nil for defaults.
 func Open(dir string, opts *Options) (*Index, error) {
+	start := time.Now()
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -328,6 +419,8 @@ func Open(dir string, opts *Options) (*Index, error) {
 			return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
 		}
 	}
+	ix.RegisterMetrics(obs.Default)
+	ix.ops.Load()[opOpen].Since(start)
 	return ix, nil
 }
 
@@ -342,6 +435,7 @@ func Open(dir string, opts *Options) (*Index, error) {
 // store and engine run the same validation, so an engine-only failure
 // should be impossible.)
 func (ix *Index) Add(w Work) (WorkID, error) {
+	defer ix.timeOp(opAdd)()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	// Capture the version an explicit ID would overwrite; the engine's
@@ -397,6 +491,7 @@ func (ix *Index) AddBatch(works []Work) ([]WorkID, error) {
 	if len(works) == 0 {
 		return nil, nil
 	}
+	defer ix.timeOp(opAddBatch)()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	batch := make([]*model.Work, len(works))
@@ -508,6 +603,7 @@ func (ix *Index) DeleteBatch(ids []WorkID) error {
 
 // Delete removes a work everywhere. ErrNotFound if the ID is unknown.
 func (ix *Index) Delete(id WorkID) error {
+	defer ix.timeOp(opDelete)()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if err := ix.store.Delete(id); err != nil {
@@ -521,6 +617,7 @@ func (ix *Index) Delete(id WorkID) error {
 // read lock is released: indexed works are immutable, so the reference
 // captured under the lock stays valid even across a concurrent delete.
 func (ix *Index) Get(id WorkID) (*Work, bool) {
+	defer ix.timeOp(opGet)()
 	ix.mu.RLock()
 	w, ok := ix.eng.WorkView(id)
 	ix.mu.RUnlock()
@@ -571,6 +668,7 @@ func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
 // truncated to limit — and deep-copy the survivors after the lock is
 // released, so result cloning never extends writer stall time.
 func (ix *Index) Search(q string, limit int) []*Work {
+	defer ix.timeOp(opSearch)()
 	ix.mu.RLock()
 	view := ix.eng.TitleSearchView(q, limit)
 	ix.mu.RUnlock()
@@ -579,6 +677,7 @@ func (ix *Index) Search(q string, limit int) []*Work {
 
 // YearRange returns works published in [from, to], citation order.
 func (ix *Index) YearRange(from, to, limit int) []*Work {
+	defer ix.timeOp(opYearRange)()
 	ix.mu.RLock()
 	view := ix.eng.YearRangeView(from, to, limit)
 	ix.mu.RUnlock()
@@ -604,6 +703,7 @@ func (ix *Index) Subjects() []SubjectCount {
 // BySubject returns the works filed under a subject heading, matched
 // case- and diacritic-insensitively, in citation order.
 func (ix *Index) BySubject(subject string, limit int) []*Work {
+	defer ix.timeOp(opBySubject)()
 	ix.mu.RLock()
 	view := ix.eng.BySubjectView(subject, limit)
 	ix.mu.RUnlock()
@@ -759,6 +859,7 @@ func (ix *Index) Sections() []Section {
 // built from the coauthorship graph. Graph reads run under the read
 // lock: the graph's lazy caches carry their own internal mutex.
 func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
+	defer ix.timeOp(opRender)()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
@@ -887,6 +988,7 @@ func (ix *Index) DuplicateSuggestions() []Suggestion {
 // no index may reference a work the store does not hold. It returns nil
 // when the index is internally consistent.
 func (ix *Index) Verify() error {
+	defer ix.timeOp(opVerify)()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	storeCount := 0

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	authorindex "repro"
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+)
+
+// cmdLoadgen is the HTTP load harness: it replays a mixed query/ingest
+// workload against an authdex server at a fixed dispatch rate (open
+// loop — arrivals do not wait for completions), records client-side
+// latency per route, scrapes the server's /debug/metrics at the end,
+// and writes the whole run to a JSON report (BENCH_6.json by default).
+//
+// With no -target it self-hosts: an in-memory index is bulk-loaded
+// with a generated corpus and served over a loopback listener, so the
+// run measures the full HTTP stack without an external setup step.
+// Every request in the generated workload is valid against that corpus
+// (known IDs, well-formed bodies), so a healthy run reports 0 errors —
+// which CI asserts.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "", "base URL of a running authdex server (default: self-host an in-memory index)")
+	works := fs.Int("works", 10_000, "corpus size for the self-hosted index and workload synthesis")
+	seed := fs.Int64("seed", 1, "corpus and workload seed")
+	duration := fs.Duration("duration", 10*time.Second, "how long to dispatch load")
+	rate := fs.Int("rate", 2000, "dispatch rate, requests/second (open loop)")
+	inflight := fs.Int("max-inflight", 256, "backpressure cap on concurrent requests")
+	out := fs.String("out", "BENCH_6.json", "report path")
+	check := fs.Bool("check", false, "exit nonzero unless requests were sent and every one succeeded")
+	fs.Parse(args)
+
+	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{Seed: *seed, Works: *works, ZipfS: 1.1})
+	base := *target
+	if base == "" {
+		url, shutdown, err := selfHost(corpus)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		base = url
+	}
+	base = strings.TrimRight(base, "/")
+
+	plan := buildPlan(corpus, *seed)
+	res := runLoad(base, plan, *rate, *duration, *inflight)
+	res.ServerMetrics = scrapeMetrics(base)
+
+	res.Config = loadgenConfig{
+		Target: base, Works: *works, Seed: *seed,
+		DurationSec: duration.Seconds(), Rate: *rate,
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d requests in %.1fs (%.0f req/s), %d errors -> %s\n",
+		res.Requests, res.ElapsedSec, res.ThroughputRPS, res.Errors, *out)
+	for _, r := range res.Routes {
+		fmt.Printf("   %-22s %7d reqs  p50 %s  p95 %s  p99 %s  p999 %s\n",
+			r.Route, r.Count, fmtNs(r.P50Ns), fmtNs(r.P95Ns), fmtNs(r.P99Ns), fmtNs(r.P999Ns))
+	}
+	if *check {
+		if res.Requests == 0 {
+			return fmt.Errorf("loadgen check: no requests dispatched")
+		}
+		if res.Errors != 0 {
+			return fmt.Errorf("loadgen check: %d of %d requests failed", res.Errors, res.Requests)
+		}
+		if len(res.Routes) == 0 {
+			return fmt.Errorf("loadgen check: no per-route stats recorded")
+		}
+	}
+	return nil
+}
+
+// loadgenConfig echoes the run parameters into the report.
+type loadgenConfig struct {
+	Target      string  `json:"target"`
+	Works       int     `json:"works"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	Rate        int     `json:"rate_rps"`
+}
+
+// routeReport is the client-observed latency profile of one route.
+type routeReport struct {
+	Route  string `json:"route"`
+	Count  int64  `json:"count"`
+	Errors int64  `json:"errors"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P95Ns  int64  `json:"p95_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
+	MaxNs  int64  `json:"max_ns"`
+}
+
+// benchReport is the BENCH_6.json schema.
+type benchReport struct {
+	Experiment    string        `json:"experiment"`
+	Config        loadgenConfig `json:"config"`
+	ElapsedSec    float64       `json:"elapsed_sec"`
+	Requests      int64         `json:"requests"`
+	Errors        int64         `json:"errors"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	Routes        []routeReport `json:"routes"`
+	ServerMetrics []string      `json:"server_metrics,omitempty"`
+}
+
+// selfHost bulk-loads the corpus into an in-memory index and serves it
+// on a loopback listener through the same httpapi surface `authdex
+// serve` uses (process-wide registry, so /debug/metrics carries the
+// engine, WAL and runtime series too).
+func selfHost(corpus []*authorindex.Work) (string, func(), error) {
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		return "", nil, err
+	}
+	const chunk = 1024
+	for s := 0; s < len(corpus); s += chunk {
+		end := min(s+chunk, len(corpus))
+		batch := make([]authorindex.Work, 0, end-s)
+		for _, w := range corpus[s:end] {
+			batch = append(batch, *w) // keep generated IDs 1..N
+		}
+		if _, err := ix.AddBatch(batch); err != nil {
+			ix.Close()
+			return "", nil, err
+		}
+	}
+	api := httpapi.New(ix, httpapi.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ix.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		ix.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// wireOp is one planned request.
+type wireOp struct {
+	route  string // client-side label, matches the server's pattern
+	method string
+	path   string
+	body   string
+}
+
+// buildPlan synthesizes a deterministic mixed workload from the corpus:
+// title search, author prefix scans, point gets, year ranges, rankings,
+// subject listings and a write stream (single adds plus group-commit
+// batches). Everything is valid against the corpus, so a correct server
+// answers every request with 2xx.
+func buildPlan(corpus []*authorindex.Work, seed int64) []wireOp {
+	r := rand.New(rand.NewSource(seed + 42))
+
+	var terms, prefixes []string
+	for _, w := range corpus {
+		for _, f := range strings.Fields(w.Title) {
+			f = strings.Trim(strings.ToLower(f), ",.:;")
+			if len(f) > 4 {
+				terms = append(terms, f)
+			}
+		}
+		for _, a := range w.Authors {
+			if len(a.Family) >= 2 {
+				prefixes = append(prefixes, strings.ToLower(a.Family[:2]))
+			}
+		}
+	}
+	minYear, maxYear := corpus[0].Citation.Year, corpus[0].Citation.Year
+	for _, w := range corpus {
+		minYear = min(minYear, w.Citation.Year)
+		maxYear = max(maxYear, w.Citation.Year)
+	}
+
+	postBody := func(i int) string {
+		return fmt.Sprintf(`{"title":"Loadgen Work %d","citation":"998:%d (1997)","authors":["Loadgen, Author %c."]}`,
+			i, 1+i%1400, 'A'+i%26)
+	}
+	const planSize = 4096
+	plan := make([]wireOp, 0, planSize)
+	for i := 0; i < planSize; i++ {
+		switch p := r.Float64(); {
+		case p < 0.30:
+			plan = append(plan, wireOp{"GET /search", "GET", "/search?q=" + terms[r.Intn(len(terms))] + "&limit=20", ""})
+		case p < 0.50:
+			plan = append(plan, wireOp{"GET /authors", "GET", "/authors?prefix=" + prefixes[r.Intn(len(prefixes))] + "&limit=20", ""})
+		case p < 0.70:
+			plan = append(plan, wireOp{"GET /works/{id}", "GET", fmt.Sprintf("/works/%d", 1+r.Intn(len(corpus))), ""})
+		case p < 0.80:
+			from := minYear + r.Intn(maxYear-minYear+1)
+			plan = append(plan, wireOp{"GET /years", "GET", fmt.Sprintf("/years?from=%d&to=%d&limit=20", from, from+2), ""})
+		case p < 0.85:
+			plan = append(plan, wireOp{"GET /rank", "GET", "/rank?by=weighted&limit=10", ""})
+		case p < 0.90:
+			plan = append(plan, wireOp{"GET /subjects", "GET", "/subjects", ""})
+		case p < 0.98:
+			plan = append(plan, wireOp{"POST /works", "POST", "/works", postBody(i)})
+		default:
+			var sb strings.Builder
+			sb.WriteByte('[')
+			for j := 0; j < 5; j++ {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(postBody(i*8 + j))
+			}
+			sb.WriteByte(']')
+			plan = append(plan, wireOp{"POST /works:batch", "POST", "/works:batch", sb.String()})
+		}
+	}
+	return plan
+}
+
+// runLoad dispatches the plan open-loop at the target rate: arrivals
+// are scheduled by wall clock, not by completions, so server slowdowns
+// surface as latency (queueing) instead of silently shedding load. The
+// in-flight cap is the only backpressure, to keep socket counts sane.
+func runLoad(base string, plan []wireOp, rate int, duration time.Duration, maxInflight int) *benchReport {
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxInflight,
+			MaxIdleConnsPerHost: maxInflight,
+		},
+	}
+	reg := obs.NewRegistry()
+	var (
+		wg          sync.WaitGroup
+		requests    atomic.Int64
+		errs        atomic.Int64
+		routeErrs   sync.Map // route -> *atomic.Int64
+		sem         = make(chan struct{}, maxInflight)
+		start       = time.Now()
+		dispatched  int64
+		totalBudget = int64(float64(rate) * duration.Seconds())
+	)
+	hist := func(route string) *obs.Histogram {
+		return reg.Histogram("loadgen_request_duration_seconds",
+			"Client-observed request latency.", "route", route)
+	}
+	for time.Since(start) < duration {
+		elapsed := time.Since(start).Seconds()
+		want := min(int64(float64(rate)*elapsed), totalBudget)
+		for dispatched < want {
+			op := plan[dispatched%int64(len(plan))]
+			dispatched++
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(op wireOp) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var body io.Reader
+				if op.body != "" {
+					body = strings.NewReader(op.body)
+				}
+				req, err := http.NewRequest(op.method, base+op.path, body)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				if op.body != "" {
+					req.Header.Set("Content-Type", "application/json")
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				d := time.Since(t0)
+				requests.Add(1)
+				hist(op.route).Observe(d)
+				ok := err == nil && resp.StatusCode >= 200 && resp.StatusCode < 300
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if !ok {
+					errs.Add(1)
+					v, _ := routeErrs.LoadOrStore(op.route, new(atomic.Int64))
+					v.(*atomic.Int64).Add(1)
+				}
+			}(op)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &benchReport{
+		Experiment:    "bench_6_loadgen",
+		ElapsedSec:    elapsed.Seconds(),
+		Requests:      requests.Load(),
+		Errors:        errs.Load(),
+		ThroughputRPS: float64(requests.Load()) / elapsed.Seconds(),
+	}
+	seen := map[string]bool{}
+	for _, op := range plan {
+		if seen[op.route] {
+			continue
+		}
+		seen[op.route] = true
+		snap := hist(op.route).Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		var rerr int64
+		if v, ok := routeErrs.Load(op.route); ok {
+			rerr = v.(*atomic.Int64).Load()
+		}
+		res.Routes = append(res.Routes, routeReport{
+			Route:  op.route,
+			Count:  snap.Count,
+			Errors: rerr,
+			MeanNs: int64(snap.Mean()),
+			P50Ns:  snap.Quantile(0.50),
+			P95Ns:  snap.Quantile(0.95),
+			P99Ns:  snap.Quantile(0.99),
+			P999Ns: snap.Quantile(0.999),
+			MaxNs:  snap.Max,
+		})
+	}
+	sort.Slice(res.Routes, func(i, j int) bool { return res.Routes[i].Route < res.Routes[j].Route })
+	return res
+}
+
+// scrapeMetrics pulls the server's Prometheus exposition and keeps the
+// summary series (every line except the histogram bucket ladders, which
+// would dominate the report without adding readable signal).
+func scrapeMetrics(base string) []string {
+	resp, err := http.Get(base + "/debug/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	var kept []string
+	for _, line := range strings.Split(string(blob), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "_bucket{") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return kept
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadgenSmoke runs the full loadgen path — self-hosted server,
+// open-loop dispatch, metrics scrape, report write — at a tiny scale
+// and checks the report invariants CI relies on: requests were sent,
+// none failed, every route has quantiles, and the scrape is non-empty.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench6.json")
+	err := cmdLoadgen([]string{
+		"-works", "300", "-duration", "1s", "-rate", "300", "-out", out, "-check",
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Errorf("requests=%d errors=%d, want >0 and 0", rep.Requests, rep.Errors)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %f", rep.ThroughputRPS)
+	}
+	if len(rep.Routes) == 0 {
+		t.Fatal("no per-route stats")
+	}
+	for _, r := range rep.Routes {
+		if r.Count == 0 || r.P50Ns == 0 || r.P999Ns < r.P50Ns {
+			t.Errorf("route %s: count=%d p50=%d p999=%d", r.Route, r.Count, r.P50Ns, r.P999Ns)
+		}
+	}
+	if len(rep.ServerMetrics) == 0 {
+		t.Error("no server metrics scraped")
+	}
+}

@@ -9,6 +9,12 @@
 // Usage:
 //
 //	authdex-bench [-quick] [-run E1,E3] [-seed 1] [-cpuprofile f] [-memprofile f]
+//	authdex-bench loadgen [-works N] [-duration 10s] [-rate 2000] [-target URL] [-out BENCH_6.json] [-check]
+//
+// The loadgen subcommand is the HTTP load harness: it drives a mixed
+// query/ingest workload against a served index (self-hosted by default)
+// and writes per-route latency quantiles plus a /debug/metrics scrape
+// to a JSON report.
 package main
 
 import (
@@ -49,6 +55,13 @@ var experiments = []experiment{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := cmdLoadgen(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "smaller corpora, faster run")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 1, "corpus seed")

@@ -3,80 +3,10 @@ package main
 import (
 	"strings"
 	"testing"
-
-	authorindex "repro"
 )
 
-// ---- HTTP surface ----
-
-func TestServeGraphSummary(t *testing.T) {
-	ts, _ := testServer(t)
-	var s authorindex.GraphSummary
-	if code := getJSON(t, ts.URL+"/graph", &s); code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	// Fixture: Cardi solo, Lewin+Peng shared, Filed solo.
-	if s.Nodes != 4 || s.Edges != 1 || s.Components != 3 || s.LargestComponent != 2 {
-		t.Errorf("summary = %+v", s)
-	}
-	if len(s.TopCentral) == 0 {
-		t.Error("no central authors in summary")
-	}
-}
-
-func TestServeGraphPath(t *testing.T) {
-	ts, _ := testServer(t)
-	var p wirePath
-	url := ts.URL + "/graph/path?from=Lewin,+Jeff+L.&to=Peng,+Syd+S."
-	if code := getJSON(t, url, &p); code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	if p.Distance != 1 || len(p.Path) != 2 || p.Path[1] != "Peng, Syd S." {
-		t.Errorf("path = %+v", p)
-	}
-	if code := getJSON(t, ts.URL+"/graph/path?from=Lewin,+Jeff+L.&to=Cardi,+Vincent+P.", nil); code != 404 {
-		t.Errorf("disconnected pair gave %d, want 404", code)
-	}
-	if code := getJSON(t, ts.URL+"/graph/path?from=Lewin,+Jeff+L.", nil); code != 400 {
-		t.Errorf("missing to gave %d, want 400", code)
-	}
-	if code := getJSON(t, ts.URL+"/graph/path?from=Nobody,+X.&to=Peng,+Syd+S.", nil); code != 404 {
-		t.Errorf("unknown heading gave %d, want 404", code)
-	}
-}
-
-func TestServeGraphCentral(t *testing.T) {
-	ts, _ := testServer(t)
-	var cs []authorindex.CentralAuthor
-	if code := getJSON(t, ts.URL+"/graph/central?limit=2", &cs); code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	if len(cs) != 2 {
-		t.Fatalf("got %d central authors, want 2", len(cs))
-	}
-	// The collaborating pair outranks the isolated authors.
-	for _, c := range cs {
-		if c.Heading != "Lewin, Jeff L." && c.Heading != "Peng, Syd S." {
-			t.Errorf("unexpected central author %q", c.Heading)
-		}
-	}
-}
-
-func TestServeRankByCentral(t *testing.T) {
-	ts, _ := testServer(t)
-	var ms []authorindex.AuthorMetrics
-	if code := getJSON(t, ts.URL+"/rank?by=central&limit=1", &ms); code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	if len(ms) != 1 {
-		t.Fatalf("rank returned %d entries", len(ms))
-	}
-	if h := ms[0].Heading; h != "Lewin, Jeff L." && h != "Peng, Syd S." {
-		t.Errorf("top central = %q", h)
-	}
-}
-
-// ---- CLI surface ----
+// The HTTP graph endpoints are tested with the rest of the HTTP surface
+// in internal/httpapi; this file covers the CLI graph commands.
 
 func TestCLIGraphCommands(t *testing.T) {
 	idx := t.TempDir()

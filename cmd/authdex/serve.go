@@ -1,43 +1,116 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
-	"strconv"
+	"os"
 	"strings"
+	"time"
 
 	authorindex "repro"
+	"repro/internal/httpapi"
 )
 
-// cmdServe exposes a read-mostly HTTP API over an index directory:
-//
-//	GET /stats                         counters as JSON
-//	GET /authors?prefix=ab&n=20        headings by prefix
-//	GET /authors/{heading}             one heading with works
-//	GET /works/{id}                    one work
-//	GET /search?q=surface+mining&n=20  boolean title search
-//	GET /years?from=1980&to=1989&n=20  year-range scan
-//	GET /volume?v=95                   volume scan
-//	GET /index?format=text|tsv|md|csv|json   the rendered artifact
-//	GET /metrics                       corpus bibliometrics summary
-//	GET /rank?by=weighted&limit=10     top contributors by rank key
-//	GET /authors/{heading}/metrics     one heading's bibliometrics
-//	GET /graph                         coauthorship-network summary
-//	GET /graph/path?from=A&to=B        shortest collaboration chain
-//	GET /graph/central?limit=10        most central authors (PageRank)
-//	POST /works                        add a work (JSON body)
-//	POST /works:batch                  add N works in one group commit (JSON array)
+// Environment fallbacks for the serve flags. Precedence is strict:
+// an explicitly set flag wins over the variable, the variable wins
+// over the default.
+const (
+	envAddr        = "AUTHDEX_ADDR"
+	envLogLevel    = "AUTHDEX_LOG_LEVEL"
+	envReadTimeout = "AUTHDEX_READ_TIMEOUT"
+)
+
+// serveConfig is everything cmdServe needs beyond the index itself;
+// split out (with applyEnv separate from flag parsing) so the
+// precedence rules are testable without binding sockets.
+type serveConfig struct {
+	addr         string
+	logLevel     string
+	logFormat    string
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	debug        bool
+	verifyBoot   bool
+}
+
+func serveFlags(fs *flag.FlagSet) *serveConfig {
+	cfg := &serveConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8377", "listen address (env "+envAddr+")")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "access-log level: debug, info, warn or error (env "+envLogLevel+")")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "access-log encoding: text or json")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout (env "+envReadTimeout+")")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout; renders of large corpora need headroom")
+	fs.BoolVar(&cfg.debug, "debug", false, "mount net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&cfg.verifyBoot, "verify-boot", false, "run a full Verify pass before /readyz reports ready")
+	return cfg
+}
+
+// applyEnv fills unset flags from the environment. fs must already be
+// parsed; flags the command line set explicitly are left alone.
+func applyEnv(fs *flag.FlagSet, cfg *serveConfig, getenv func(string) string) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if v := getenv(envAddr); v != "" && !set["addr"] {
+		cfg.addr = v
+	}
+	if v := getenv(envLogLevel); v != "" && !set["log-level"] {
+		cfg.logLevel = v
+	}
+	if v := getenv(envReadTimeout); v != "" && !set["read-timeout"] {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", envReadTimeout, err)
+		}
+		cfg.readTimeout = d
+	}
+	return nil
+}
+
+// logger builds the slog access logger the config describes.
+func (cfg *serveConfig) logger() (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(cfg.logLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", cfg.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(cfg.logFormat) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", cfg.logFormat)
+	}
+}
+
+// cmdServe exposes the index over HTTP. The full route table lives in
+// internal/httpapi; this command only adds process concerns — flags,
+// environment fallbacks, logging, timeouts and the listener.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
-	addr := fs.String("addr", ":8377", "listen address")
+	cfg := serveFlags(fs)
 	scheme := fs.String("scheme", "harmonic", "metrics credit scheme: harmonic, arithmetic, geometric or fractional")
 	damping := fs.Float64("damping", 0, "PageRank damping factor for /graph endpoints (0 = default 0.85)")
 	fs.Parse(args)
+	if err := applyEnv(fs, cfg, os.Getenv); err != nil {
+		return err
+	}
+	logger, err := cfg.logger()
+	if err != nil {
+		return err
+	}
 
 	s, err := authorindex.ParseScheme(*scheme)
 	if err != nil {
@@ -49,376 +122,18 @@ func cmdServe(args []string) error {
 	}
 	defer ix.Close()
 
-	log.Printf("authdex: serving on %s", *addr)
-	return http.ListenAndServe(*addr, (&server{ix: ix}).routes())
-}
-
-type server struct{ ix *authorindex.Index }
-
-// routes registers every handler on a fresh mux; the serve command and
-// the test harness share it so the surfaces cannot drift.
-func (s *server) routes() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.stats)
-	mux.HandleFunc("GET /authors", s.authors)
-	mux.HandleFunc("GET /authors/{heading}", s.author)
-	mux.HandleFunc("GET /authors/{heading}/metrics", s.authorMetrics)
-	mux.HandleFunc("GET /works/{id}", s.work)
-	mux.HandleFunc("GET /search", s.search)
-	mux.HandleFunc("GET /years", s.years)
-	mux.HandleFunc("GET /volume", s.volume)
-	mux.HandleFunc("GET /index", s.index)
-	mux.HandleFunc("GET /titles", s.titles)
-	mux.HandleFunc("GET /subjects", s.subjects)
-	mux.HandleFunc("GET /subjects/{subject}", s.bySubject)
-	mux.HandleFunc("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /rank", s.rank)
-	mux.HandleFunc("GET /graph", s.graph)
-	mux.HandleFunc("GET /graph/path", s.graphPath)
-	mux.HandleFunc("GET /graph/central", s.graphCentral)
-	mux.HandleFunc("POST /works", s.addWork)
-	mux.HandleFunc("POST /works:batch", s.addWorksBatch)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	api := httpapi.New(ix, httpapi.Config{
+		Logger:       logger,
+		Debug:        cfg.debug,
+		VerifyOnBoot: cfg.verifyBoot,
+	})
+	srv := &http.Server{
+		Addr:         cfg.addr,
+		Handler:      api.Handler(),
+		ReadTimeout:  cfg.readTimeout,
+		WriteTimeout: cfg.writeTimeout,
+		IdleTimeout:  2 * time.Minute,
 	}
-}
-
-func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
-}
-
-// limitParam reads the result limit from ?limit= (or the legacy ?n=)
-// and clamps it with the helper every layer shares: missing, negative
-// or unparseable values fall back to 20, zero and absurd values clamp
-// to authorindex.MaxLimit.
-func limitParam(r *http.Request) int {
-	raw := r.URL.Query().Get("limit")
-	if raw == "" {
-		raw = r.URL.Query().Get("n")
-	}
-	if raw == "" {
-		return 20
-	}
-	n, err := strconv.Atoi(raw)
-	if err != nil {
-		return 20
-	}
-	return authorindex.ClampLimit(n, 20)
-}
-
-// wire representations -------------------------------------------------
-
-type wireWork struct {
-	ID       authorindex.WorkID `json:"id,omitempty"`
-	Title    string             `json:"title"`
-	Kind     string             `json:"kind"`
-	Authors  []string           `json:"authors"`
-	Citation string             `json:"citation"`
-}
-
-func toWireWork(w *authorindex.Work) wireWork {
-	out := wireWork{
-		ID:       w.ID,
-		Title:    w.Title,
-		Kind:     w.Kind.String(),
-		Citation: w.Citation.String(),
-	}
-	for _, a := range w.Authors {
-		out.Authors = append(out.Authors, authorindex.FormatAuthor(a))
-	}
-	return out
-}
-
-func toWireWorks(ws []*authorindex.Work) []wireWork {
-	out := make([]wireWork, len(ws))
-	for i, w := range ws {
-		out[i] = toWireWork(w)
-	}
-	return out
-}
-
-type wireEntry struct {
-	Heading string     `json:"heading"`
-	SeeAlso []string   `json:"seeAlso,omitempty"`
-	Works   []wireWork `json:"works"`
-}
-
-func toWireEntry(e *authorindex.Entry) wireEntry {
-	out := wireEntry{Heading: authorindex.FormatAuthor(e.Author)}
-	for _, ref := range e.SeeAlso {
-		out.SeeAlso = append(out.SeeAlso, authorindex.FormatAuthor(ref))
-	}
-	for i := range e.Works {
-		out.Works = append(out.Works, toWireWork(&e.Works[i]))
-	}
-	return out
-}
-
-// handlers --------------------------------------------------------------
-
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.Stats())
-}
-
-func (s *server) authors(w http.ResponseWriter, r *http.Request) {
-	var entries []*authorindex.Entry
-	if after := r.URL.Query().Get("after"); after != "" {
-		entries = s.ix.AuthorsPage(after, limitParam(r))
-	} else {
-		entries = s.ix.Authors(r.URL.Query().Get("prefix"), limitParam(r))
-	}
-	out := make([]wireEntry, len(entries))
-	for i, e := range entries {
-		out[i] = toWireEntry(e)
-	}
-	writeJSON(w, out)
-}
-
-func (s *server) author(w http.ResponseWriter, r *http.Request) {
-	heading := r.PathValue("heading")
-	entry, ok := s.ix.Author(heading)
-	if !ok {
-		httpErr(w, http.StatusNotFound, "no heading %q", heading)
-		return
-	}
-	writeJSON(w, toWireEntry(entry))
-}
-
-func (s *server) work(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "bad id: %v", err)
-		return
-	}
-	work, ok := s.ix.Get(authorindex.WorkID(id))
-	if !ok {
-		httpErr(w, http.StatusNotFound, "no work %d", id)
-		return
-	}
-	writeJSON(w, toWireWork(work))
-}
-
-func (s *server) search(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		httpErr(w, http.StatusBadRequest, "missing q parameter")
-		return
-	}
-	writeJSON(w, toWireWorks(s.ix.Search(q, limitParam(r))))
-}
-
-func (s *server) years(w http.ResponseWriter, r *http.Request) {
-	from, err1 := strconv.Atoi(r.URL.Query().Get("from"))
-	to, err2 := strconv.Atoi(r.URL.Query().Get("to"))
-	if err1 != nil || err2 != nil {
-		httpErr(w, http.StatusBadRequest, "from and to must be years")
-		return
-	}
-	writeJSON(w, toWireWorks(s.ix.YearRange(from, to, limitParam(r))))
-}
-
-func (s *server) volume(w http.ResponseWriter, r *http.Request) {
-	v, err := strconv.Atoi(r.URL.Query().Get("v"))
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "v must be a volume number")
-		return
-	}
-	writeJSON(w, toWireWorks(s.ix.VolumeWorks(v, limitParam(r))))
-}
-
-func (s *server) index(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("format")
-	if name == "" {
-		name = "text"
-	}
-	f, err := authorindex.ParseFormat(name)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	switch f {
-	case authorindex.JSON:
-		w.Header().Set("Content-Type", "application/json")
-	case authorindex.CSV:
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	case authorindex.HTMLPage:
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	}
-	if err := s.ix.Render(w, authorindex.RenderOptions{Format: f}); err != nil {
-		httpErr(w, http.StatusInternalServerError, "%v", err)
-	}
-}
-
-func (s *server) titles(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("format")
-	if name == "" {
-		name = "text"
-	}
-	f, err := authorindex.ParseFormat(name)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := s.ix.RenderTitleIndex(w, authorindex.RenderOptions{Format: f}); err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
-	}
-}
-
-func (s *server) subjects(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.Subjects())
-}
-
-func (s *server) bySubject(w http.ResponseWriter, r *http.Request) {
-	subject := r.PathValue("subject")
-	works := s.ix.BySubject(subject, limitParam(r))
-	if len(works) == 0 {
-		httpErr(w, http.StatusNotFound, "no works under subject %q", subject)
-		return
-	}
-	writeJSON(w, toWireWorks(works))
-}
-
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.MetricsSummary())
-}
-
-func (s *server) rank(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("by")
-	if name == "" {
-		name = "weighted"
-	}
-	by, err := authorindex.ParseRankKey(name)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, s.ix.TopAuthors(by, limitParam(r)))
-}
-
-func (s *server) graph(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.GraphSummary())
-}
-
-// wirePath is the /graph/path response: the chain plus its hop count.
-type wirePath struct {
-	From     string   `json:"from"`
-	To       string   `json:"to"`
-	Distance int      `json:"distance"`
-	Path     []string `json:"path"`
-}
-
-func (s *server) graphPath(w http.ResponseWriter, r *http.Request) {
-	from := r.URL.Query().Get("from")
-	to := r.URL.Query().Get("to")
-	if from == "" || to == "" {
-		httpErr(w, http.StatusBadRequest, "from and to parameters are required")
-		return
-	}
-	path, ok := s.ix.CollaborationPath(from, to)
-	if !ok {
-		httpErr(w, http.StatusNotFound, "no collaboration path from %q to %q", from, to)
-		return
-	}
-	writeJSON(w, wirePath{From: from, To: to, Distance: len(path) - 1, Path: path})
-}
-
-func (s *server) graphCentral(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.TopCentral(limitParam(r)))
-}
-
-func (s *server) authorMetrics(w http.ResponseWriter, r *http.Request) {
-	heading := r.PathValue("heading")
-	m, ok := s.ix.AuthorMetrics(heading)
-	if !ok {
-		httpErr(w, http.StatusNotFound, "no heading %q", heading)
-		return
-	}
-	writeJSON(w, m)
-}
-
-func (s *server) addWork(w http.ResponseWriter, r *http.Request) {
-	var in wireWork
-	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	work, err := fromWireWork(in)
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	id, err := s.ix.Add(work)
-	if err != nil {
-		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]authorindex.WorkID{"id": id})
-}
-
-// addWorksBatch accepts a JSON array of works and commits them as one
-// batch: a single WAL append and fsync however many works arrive, and
-// all-or-nothing visibility — one bad work rejects the whole request.
-func (s *server) addWorksBatch(w http.ResponseWriter, r *http.Request) {
-	var in []wireWork
-	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if len(in) == 0 {
-		httpErr(w, http.StatusBadRequest, "empty batch")
-		return
-	}
-	works := make([]authorindex.Work, len(in))
-	for i, ww := range in {
-		work, err := fromWireWork(ww)
-		if err != nil {
-			httpErr(w, http.StatusBadRequest, "work %d: %v", i, err)
-			return
-		}
-		works[i] = work
-	}
-	ids, err := s.ix.AddBatch(works)
-	if err != nil {
-		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string][]authorindex.WorkID{"ids": ids})
-}
-
-func fromWireWork(in wireWork) (authorindex.Work, error) {
-	work := authorindex.Work{ID: in.ID, Title: in.Title}
-	var err error
-	if work.Citation, err = authorindex.ParseCitation(in.Citation); err != nil {
-		return work, err
-	}
-	kindName := in.Kind
-	if kindName == "" {
-		kindName = "article"
-	}
-	if work.Kind, err = parseKind(strings.ToLower(kindName)); err != nil {
-		return work, err
-	}
-	if len(in.Authors) == 0 {
-		return work, errors.New("at least one author is required")
-	}
-	for _, h := range in.Authors {
-		a, err := authorindex.ParseAuthor(h)
-		if err != nil {
-			return work, err
-		}
-		work.Authors = append(work.Authors, a)
-	}
-	return work, nil
+	logger.Info("authdex serving", "addr", cfg.addr, "debug", cfg.debug, "verify_boot", cfg.verifyBoot)
+	return srv.ListenAndServe()
 }

@@ -1,0 +1,320 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	authorindex "repro"
+	"repro/internal/obs"
+)
+
+func openIndex(t *testing.T) *authorindex.Index {
+	t.Helper()
+	ix, err := authorindex.Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+// TestRequestIDGeneratedAndLogged: a request without an X-Request-ID
+// gets one generated, echoed in the response header, and written into
+// the structured access log; a client-supplied ID is propagated as-is.
+func TestRequestIDGeneratedAndLogged(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&syncWriter{w: &logBuf, mu: &mu}, nil))
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(openIndex(t), Config{Logger: logger, Registry: reg}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rid := resp.Header.Get(RequestIDHeader)
+	if rid == "" {
+		t.Fatal("no X-Request-ID in response")
+	}
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "request_id="+rid) {
+		t.Errorf("access log lacks request_id=%s:\n%s", rid, logged)
+	}
+	if !strings.Contains(logged, "route=\"GET /healthz\"") {
+		t.Errorf("access log lacks route pattern:\n%s", logged)
+	}
+
+	// Client-supplied IDs are honored.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "client-chose-this")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "client-chose-this" {
+		t.Errorf("client request ID not propagated: %q", got)
+	}
+
+	// Two generated IDs differ.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if rid2 := resp2.Header.Get(RequestIDHeader); rid2 == rid {
+		t.Errorf("two requests got the same generated ID %q", rid)
+	}
+}
+
+type syncWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestStatusCodesCountedPerRoute: 2xx, 4xx and 5xx land on the counter
+// series of the route that served them, and unrouted paths land on the
+// "unmatched" label.
+func TestStatusCodesCountedPerRoute(t *testing.T) {
+	ts, _, reg := testServerReg(t)
+
+	get := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	get("/works/1")         // 200 on GET /works/{id}
+	get("/works/999")       // 404 on GET /works/{id}
+	get("/works/abc")       // 400 on GET /works/{id}
+	get("/no/such/path")    // 404, unmatched
+	get("/search")          // 400 on GET /search (missing q)
+	get("/search?q=mining") // 200 on GET /search
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`authdex_http_requests_total{route="GET /works/{id}",code="200"} 1`,
+		`authdex_http_requests_total{route="GET /works/{id}",code="404"} 1`,
+		`authdex_http_requests_total{route="GET /works/{id}",code="400"} 1`,
+		`authdex_http_requests_total{route="unmatched",code="404"} 1`,
+		`authdex_http_requests_total{route="GET /search",code="400"} 1`,
+		`authdex_http_requests_total{route="GET /search",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	// Latency histograms exist per route too.
+	if !strings.Contains(out, `authdex_http_request_duration_seconds_count{route="GET /works/{id}"} 3`) {
+		t.Errorf("per-route duration count missing:\n%s", out)
+	}
+}
+
+// TestInFlightGauge: the gauge reads 1 while a handler is blocked
+// inside the middleware and 0 again once every request completes.
+func TestInFlightGauge(t *testing.T) {
+	ix := openIndex(t)
+	reg := obs.NewRegistry()
+	s := New(ix, Config{Registry: reg})
+	s.Handler() // builds the per-route histogram map the middleware reads
+
+	release := make(chan struct{})
+	observed := make(chan int64, 1)
+	blocked := s.telemetry(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		observed <- s.inflight.Value()
+		<-release
+	}))
+
+	srv := httptest.NewServer(blocked)
+	defer srv.Close()
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/slow")
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	if got := <-observed; got != 1 {
+		t.Errorf("in-flight during request = %d, want 1", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.inflight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight stuck at %d after completion", s.inflight.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHealthzReadyz(t *testing.T) {
+	ts, _, _ := testServerReg(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+	// Without verify-on-boot, readiness is immediate.
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 200 {
+		t.Errorf("readyz = %d", code)
+	}
+}
+
+func TestReadyzVerifyOnBoot(t *testing.T) {
+	ix := openIndex(t)
+	reg := obs.NewRegistry()
+	s := New(ix, Config{Registry: reg, VerifyOnBoot: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Verify on an empty in-memory index is fast; poll until ready.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == 200 {
+			break
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("readyz = %d while verifying", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDebugMetricsExposition: /debug/metrics serves the Prometheus
+// content type and, after traffic, a healthy number of series — the
+// request metrics, the op histograms, the Stats promotions and the
+// process gauges.
+func TestDebugMetricsExposition(t *testing.T) {
+	ts, _, reg := testServerReg(t)
+	for _, p := range []string{"/stats", "/search?q=mining", "/works/1", "/authors?prefix=le"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"authdex_http_request_duration_seconds",
+		"authdex_http_requests_total",
+		"authdex_http_in_flight_requests",
+		"authdex_op_duration_seconds",
+		"authdex_queries_served_total",
+		"authdex_works 3",
+		"authdex_go_goroutines",
+		"authdex_process_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if n := reg.SeriesCount(); n < 20 {
+		t.Errorf("only %d series exposed, want >= 20:\n%s", n, out)
+	}
+}
+
+// TestPprofGatedByDebug: pprof routes exist only with Config.Debug.
+func TestPprofGatedByDebug(t *testing.T) {
+	ix := openIndex(t)
+	off := httptest.NewServer(New(ix, Config{Registry: obs.NewRegistry()}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -debug = %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(New(ix, Config{Registry: obs.NewRegistry(), Debug: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -debug = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAccessLogStatus: the logged status matches what the client saw,
+// including error paths.
+func TestAccessLogStatus(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&syncWriter{w: &logBuf, mu: &mu}, nil))
+	ix := openIndex(t)
+	ts := httptest.NewServer(New(ix, Config{Logger: logger, Registry: obs.NewRegistry()}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/works/42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, `"status":404`) {
+		t.Errorf("access log lacks 404 status: %s", logged)
+	}
+	if !strings.Contains(logged, `"route":"GET /works/{id}"`) {
+		t.Errorf("access log lacks route: %s", logged)
+	}
+	if !strings.Contains(logged, `"path":"/works/42"`) {
+		t.Errorf("access log lacks path: %s", logged)
+	}
+}

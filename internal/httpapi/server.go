@@ -1,0 +1,550 @@
+// Package httpapi is the HTTP surface of the author-index engine: the
+// read-mostly query API, the write endpoints, and the operational
+// endpoints (health, readiness, Prometheus metrics, optional pprof).
+// `authdex serve` and the loadgen harness both build their servers
+// here, so the two surfaces cannot drift.
+//
+//	GET /stats                         counters as JSON
+//	GET /authors?prefix=ab&n=20        headings by prefix
+//	GET /authors/{heading}             one heading with works
+//	GET /works/{id}                    one work
+//	GET /search?q=surface+mining&n=20  boolean title search
+//	GET /years?from=1980&to=1989&n=20  year-range scan
+//	GET /volume?v=95                   volume scan
+//	GET /index?format=text|tsv|md|csv|json   the rendered artifact
+//	GET /metrics                       corpus bibliometrics summary
+//	GET /rank?by=weighted&limit=10     top contributors by rank key
+//	GET /authors/{heading}/metrics     one heading's bibliometrics
+//	GET /graph                         coauthorship-network summary
+//	GET /graph/path?from=A&to=B        shortest collaboration chain
+//	GET /graph/central?limit=10        most central authors (PageRank)
+//	POST /works                        add a work (JSON body)
+//	POST /works:batch                  add N works in one group commit (JSON array)
+//	GET /healthz                       liveness (always 200 while serving)
+//	GET /readyz                        readiness (503 until boot checks pass)
+//	GET /debug/metrics                 Prometheus text exposition
+//	GET /debug/pprof/...               net/http/pprof (only with Config.Debug)
+//
+// Note the deliberate split: GET /metrics keeps its original meaning —
+// corpus bibliometrics — while the Prometheus exposition lives at
+// /debug/metrics, so existing scrapers of either never collide.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	authorindex "repro"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves with a no-op logger,
+// the process-wide obs.Default registry, no pprof and instant
+// readiness.
+type Config struct {
+	// Logger receives one structured access-log record per request.
+	// Nil discards access logs.
+	Logger *slog.Logger
+	// Registry is where request metrics land and what /debug/metrics
+	// renders. Nil means obs.Default.
+	Registry *obs.Registry
+	// Debug mounts net/http/pprof under /debug/pprof/.
+	Debug bool
+	// VerifyOnBoot runs Index.Verify on a background goroutine at
+	// construction; /readyz reports 503 until it passes, and keeps
+	// reporting 503 (with the error) if it fails.
+	VerifyOnBoot bool
+}
+
+// Server serves one open Index over HTTP. Build with New, mount with
+// Handler.
+type Server struct {
+	ix  *authorindex.Index
+	log *slog.Logger
+	reg *obs.Registry
+	cfg Config
+
+	ready    atomic.Bool
+	readyErr atomic.Value // string
+
+	inflight *obs.Gauge
+	reqSeq   atomic.Uint64
+	ridOnce  sync.Once
+	ridSeed  string
+	routes   map[string]*obs.Histogram // per-pattern latency, built in Handler
+}
+
+// New builds a Server and starts its boot checks. The index's Stats
+// counters and the process runtime gauges are (re-)registered on the
+// configured registry so /debug/metrics exposes them.
+func New(ix *authorindex.Index, cfg Config) *Server {
+	s := &Server{ix: ix, log: cfg.Logger, reg: cfg.Registry, cfg: cfg}
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ix.RegisterMetrics(s.reg)
+	obs.RegisterProcess(s.reg)
+	s.inflight = s.reg.Gauge("authdex_http_in_flight_requests",
+		"Requests currently being served.")
+	if cfg.VerifyOnBoot {
+		go func() {
+			if err := ix.Verify(); err != nil {
+				s.readyErr.Store(err.Error())
+				s.log.Error("verify-on-boot failed", "error", err)
+				return
+			}
+			s.ready.Store(true)
+		}()
+	} else {
+		s.ready.Store(true)
+	}
+	return s
+}
+
+// Handler returns the fully wired handler: every route behind the
+// telemetry middleware (request IDs, per-route metrics, access logs),
+// plus the operational endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.routes = make(map[string]*obs.Histogram)
+	for _, r := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /stats", s.stats},
+		{"GET /authors", s.authors},
+		{"GET /authors/{heading}", s.author},
+		{"GET /authors/{heading}/metrics", s.authorMetrics},
+		{"GET /works/{id}", s.work},
+		{"GET /search", s.search},
+		{"GET /years", s.years},
+		{"GET /volume", s.volume},
+		{"GET /index", s.index},
+		{"GET /titles", s.titles},
+		{"GET /subjects", s.subjects},
+		{"GET /subjects/{subject}", s.bySubject},
+		{"GET /metrics", s.metrics},
+		{"GET /rank", s.rank},
+		{"GET /graph", s.graph},
+		{"GET /graph/path", s.graphPath},
+		{"GET /graph/central", s.graphCentral},
+		{"POST /works", s.addWork},
+		{"POST /works:batch", s.addWorksBatch},
+		{"GET /healthz", s.healthz},
+		{"GET /readyz", s.readyz},
+		{"GET /debug/metrics", s.debugMetrics},
+	} {
+		s.handle(mux, r.pattern, r.h)
+	}
+	if s.cfg.Debug {
+		// pprof routes bypass the per-route histogram map (they are
+		// operator tools, not workload) but still pass the middleware.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.routes[unmatchedRoute] = s.reg.Histogram(reqDurationMetric,
+		reqDurationHelp, "route", unmatchedRoute)
+	return s.telemetry(mux)
+}
+
+// handle registers pattern on mux with the route-stamping wrapper and
+// pre-creates the route's latency histogram.
+func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	s.routes[pattern] = s.reg.Histogram(reqDurationMetric, reqDurationHelp, "route", pattern)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		stampRoute(r, pattern)
+		h(w, r)
+	})
+}
+
+// ---- operational handlers ----
+
+// healthz is pure liveness: if the handler runs, the process is up.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// readyz is readiness: the index finished Open (a constructed Server
+// implies that) and the optional verify-on-boot pass succeeded.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ready.Load() {
+		io.WriteString(w, "ok\n")
+		return
+	}
+	if msg, ok := s.readyErr.Load().(string); ok {
+		http.Error(w, "verify failed: "+msg, http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, "starting: verify in progress", http.StatusServiceUnavailable)
+}
+
+func (s *Server) debugMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics exposition", "error", err)
+	}
+}
+
+// ---- shared helpers ----
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// limitParam reads the result limit from ?limit= (or the legacy ?n=)
+// and clamps it with the helper every layer shares: missing, negative
+// or unparseable values fall back to 20, zero and absurd values clamp
+// to authorindex.MaxLimit.
+func limitParam(r *http.Request) int {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		raw = r.URL.Query().Get("n")
+	}
+	if raw == "" {
+		return 20
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 20
+	}
+	return authorindex.ClampLimit(n, 20)
+}
+
+// wire representations -------------------------------------------------
+
+// Work is the wire form of one work, shared by responses and the POST
+// /works and /works:batch request bodies.
+type Work struct {
+	ID       authorindex.WorkID `json:"id,omitempty"`
+	Title    string             `json:"title"`
+	Kind     string             `json:"kind"`
+	Authors  []string           `json:"authors"`
+	Citation string             `json:"citation"`
+}
+
+func toWireWork(w *authorindex.Work) Work {
+	out := Work{
+		ID:       w.ID,
+		Title:    w.Title,
+		Kind:     w.Kind.String(),
+		Citation: w.Citation.String(),
+	}
+	for _, a := range w.Authors {
+		out.Authors = append(out.Authors, authorindex.FormatAuthor(a))
+	}
+	return out
+}
+
+func toWireWorks(ws []*authorindex.Work) []Work {
+	out := make([]Work, len(ws))
+	for i, w := range ws {
+		out[i] = toWireWork(w)
+	}
+	return out
+}
+
+// Entry is the wire form of one author heading.
+type Entry struct {
+	Heading string   `json:"heading"`
+	SeeAlso []string `json:"seeAlso,omitempty"`
+	Works   []Work   `json:"works"`
+}
+
+func toWireEntry(e *authorindex.Entry) Entry {
+	out := Entry{Heading: authorindex.FormatAuthor(e.Author)}
+	for _, ref := range e.SeeAlso {
+		out.SeeAlso = append(out.SeeAlso, authorindex.FormatAuthor(ref))
+	}
+	for i := range e.Works {
+		out.Works = append(out.Works, toWireWork(&e.Works[i]))
+	}
+	return out
+}
+
+// handlers --------------------------------------------------------------
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Stats())
+}
+
+func (s *Server) authors(w http.ResponseWriter, r *http.Request) {
+	var entries []*authorindex.Entry
+	if after := r.URL.Query().Get("after"); after != "" {
+		entries = s.ix.AuthorsPage(after, limitParam(r))
+	} else {
+		entries = s.ix.Authors(r.URL.Query().Get("prefix"), limitParam(r))
+	}
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = toWireEntry(e)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) author(w http.ResponseWriter, r *http.Request) {
+	heading := r.PathValue("heading")
+	entry, ok := s.ix.Author(heading)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no heading %q", heading)
+		return
+	}
+	writeJSON(w, toWireEntry(entry))
+}
+
+func (s *Server) work(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "bad id: %v", err)
+		return
+	}
+	work, ok := s.ix.Get(authorindex.WorkID(id))
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no work %d", id)
+		return
+	}
+	writeJSON(w, toWireWork(work))
+}
+
+func (s *Server) search(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.Search(q, limitParam(r))))
+}
+
+func (s *Server) years(w http.ResponseWriter, r *http.Request) {
+	from, err1 := strconv.Atoi(r.URL.Query().Get("from"))
+	to, err2 := strconv.Atoi(r.URL.Query().Get("to"))
+	if err1 != nil || err2 != nil {
+		httpErr(w, http.StatusBadRequest, "from and to must be years")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.YearRange(from, to, limitParam(r))))
+}
+
+func (s *Server) volume(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.URL.Query().Get("v"))
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "v must be a volume number")
+		return
+	}
+	writeJSON(w, toWireWorks(s.ix.VolumeWorks(v, limitParam(r))))
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		name = "text"
+	}
+	f, err := authorindex.ParseFormat(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch f {
+	case authorindex.JSON:
+		w.Header().Set("Content-Type", "application/json")
+	case authorindex.CSV:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	case authorindex.HTMLPage:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := s.ix.Render(w, authorindex.RenderOptions{Format: f}); err != nil {
+		httpErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) titles(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("format")
+	if name == "" {
+		name = "text"
+	}
+	f, err := authorindex.ParseFormat(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.ix.RenderTitleIndex(w, authorindex.RenderOptions{Format: f}); err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) subjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.Subjects())
+}
+
+func (s *Server) bySubject(w http.ResponseWriter, r *http.Request) {
+	subject := r.PathValue("subject")
+	works := s.ix.BySubject(subject, limitParam(r))
+	if len(works) == 0 {
+		httpErr(w, http.StatusNotFound, "no works under subject %q", subject)
+		return
+	}
+	writeJSON(w, toWireWorks(works))
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.MetricsSummary())
+}
+
+func (s *Server) rank(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("by")
+	if name == "" {
+		name = "weighted"
+	}
+	by, err := authorindex.ParseRankKey(name)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, s.ix.TopAuthors(by, limitParam(r)))
+}
+
+func (s *Server) graph(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.GraphSummary())
+}
+
+// Path is the /graph/path response: the chain plus its hop count.
+type Path struct {
+	From     string   `json:"from"`
+	To       string   `json:"to"`
+	Distance int      `json:"distance"`
+	Path     []string `json:"path"`
+}
+
+func (s *Server) graphPath(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	to := r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		httpErr(w, http.StatusBadRequest, "from and to parameters are required")
+		return
+	}
+	path, ok := s.ix.CollaborationPath(from, to)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no collaboration path from %q to %q", from, to)
+		return
+	}
+	writeJSON(w, Path{From: from, To: to, Distance: len(path) - 1, Path: path})
+}
+
+func (s *Server) graphCentral(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ix.TopCentral(limitParam(r)))
+}
+
+func (s *Server) authorMetrics(w http.ResponseWriter, r *http.Request) {
+	heading := r.PathValue("heading")
+	m, ok := s.ix.AuthorMetrics(heading)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no heading %q", heading)
+		return
+	}
+	writeJSON(w, m)
+}
+
+func (s *Server) addWork(w http.ResponseWriter, r *http.Request) {
+	var in Work
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	work, err := fromWireWork(in)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.ix.Add(work)
+	if err != nil {
+		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]authorindex.WorkID{"id": id})
+}
+
+// addWorksBatch accepts a JSON array of works and commits them as one
+// batch: a single WAL append and fsync however many works arrive, and
+// all-or-nothing visibility — one bad work rejects the whole request.
+func (s *Server) addWorksBatch(w http.ResponseWriter, r *http.Request) {
+	var in []Work
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(in) == 0 {
+		httpErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	works := make([]authorindex.Work, len(in))
+	for i, ww := range in {
+		work, err := fromWireWork(ww)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "work %d: %v", i, err)
+			return
+		}
+		works[i] = work
+	}
+	ids, err := s.ix.AddBatch(works)
+	if err != nil {
+		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string][]authorindex.WorkID{"ids": ids})
+}
+
+func fromWireWork(in Work) (authorindex.Work, error) {
+	work := authorindex.Work{ID: in.ID, Title: in.Title}
+	var err error
+	if work.Citation, err = authorindex.ParseCitation(in.Citation); err != nil {
+		return work, err
+	}
+	kindName := in.Kind
+	if kindName == "" {
+		kindName = "article"
+	}
+	if work.Kind, err = authorindex.ParseKind(strings.ToLower(kindName)); err != nil {
+		return work, err
+	}
+	if len(in.Authors) == 0 {
+		return work, errors.New("at least one author is required")
+	}
+	for _, h := range in.Authors {
+		a, err := authorindex.ParseAuthor(h)
+		if err != nil {
+			return work, err
+		}
+		work.Authors = append(work.Authors, a)
+	}
+	return work, nil
+}

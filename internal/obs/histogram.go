@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry. Values (nanoseconds) are filed into
+// log-scaled buckets: every power of two is split into 2^histSubBits
+// sub-buckets, so a bucket's width is at most 1/2^histSubBits of its
+// lower bound — a recorded value is reproducible from its bucket to
+// within 12.5% relative error, which is what makes the extracted
+// p50/p95/p99/p999 trustworthy without storing samples. Values below
+// 2^(histSubBits+1) get a bucket each (exact). The scheme is pure
+// integer math (one bits.Len64, one shift) so Observe stays in the
+// tens of nanoseconds.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits
+	// numBuckets covers every uint64: the top value 2^64-1 lands in
+	// bucket (64-histSubBits-1)*histSubCount + histSubCount*2 - 1.
+	numBuckets = (64-histSubBits-1)*histSubCount + 2*histSubCount
+)
+
+// bucketIndex files a non-negative value into its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	n := bits.Len64(u)
+	if n <= histSubBits+1 {
+		return int(u) // small values are exact
+	}
+	shift := uint(n - histSubBits - 1)
+	return int(shift)*histSubCount + int(u>>shift)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i — the
+// largest value that files into it.
+func bucketUpper(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	shift := uint(i/histSubCount - 1)
+	top := uint64(i%histSubCount + histSubCount)
+	upper := (top << shift) + (uint64(1) << shift) - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
+}
+
+// bucketLower returns the inclusive lower bound of bucket i.
+func bucketLower(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	shift := uint(i/histSubCount - 1)
+	return int64(uint64(i%histSubCount+histSubCount) << shift)
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// nanosecond durations; negative values clamp to zero. All fields are
+// atomics, so concurrent recording never blocks and a snapshot taken
+// during recording is a consistent-enough view for telemetry (bucket
+// counts and the total may momentarily disagree by in-flight
+// observations).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// Since records the time elapsed since start — `defer h.Since(time.Now())`
+// is the idiomatic one-line instrumentation of a method.
+func (h *Histogram) Since(start time.Time) { h.ObserveNs(int64(time.Since(start))) }
+
+// ObserveNs records one value in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram for quantile extraction and
+// exposition. The snapshot is immutable and self-consistent: quantiles
+// are computed against the sum of its own bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.buckets = append(s.buckets, bucketCount{index: i, n: n})
+			s.total += n
+		}
+	}
+	return s
+}
+
+type bucketCount struct {
+	index int
+	n     int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count int64 // observations recorded
+	Sum   int64 // total nanoseconds recorded
+	Max   int64 // largest value recorded
+	// buckets holds only the non-empty buckets in index order; total is
+	// the sum of their counts (used as the quantile denominator so a
+	// snapshot racing with writers stays self-consistent).
+	buckets []bucketCount
+	total   int64
+}
+
+// Quantile returns the value at quantile q in [0, 1] in nanoseconds:
+// the inclusive upper bound of the bucket holding the q-th ranked
+// observation, so the true sample quantile lies within the bucket's
+// width (≤ 12.5%) below the returned value. Returns 0 on an empty
+// snapshot; q outside [0, 1] clamps.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.total == 0 {
+		return 0
+	}
+	switch {
+	case q < 0 || math.IsNaN(q):
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.buckets {
+		cum += b.n
+		if cum >= rank {
+			return bucketUpper(b.index)
+		}
+	}
+	return bucketUpper(s.buckets[len(s.buckets)-1].index) // unreachable
+}
+
+// Cumulative calls fn for every non-empty bucket in ascending order
+// with the bucket's inclusive upper bound (ns) and the cumulative
+// observation count through it — the exact shape Prometheus histogram
+// exposition wants.
+func (s HistogramSnapshot) Cumulative(fn func(upperNs int64, cum int64)) {
+	var cum int64
+	for _, b := range s.buckets {
+		cum += b.n
+		fn(bucketUpper(b.index), cum)
+	}
+}
+
+// Mean returns the mean observation in nanoseconds, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket geometry: indexes are monotone,
+// contiguous, and every value files into a bucket whose [lower, upper]
+// range contains it, with upper-lower bounded by lower/8 (12.5%).
+func TestBucketBoundaries(t *testing.T) {
+	// Small values are exact.
+	for v := int64(0); v < 2*histSubCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if lo, up := bucketLower(int(v)), bucketUpper(int(v)); lo != v || up != v {
+			t.Fatalf("bucket %d bounds [%d, %d], want exact", v, lo, up)
+		}
+	}
+	// Bucket edges are contiguous: upper(i)+1 == lower(i+1).
+	for i := 0; i < numBuckets-1; i++ {
+		up, nextLo := bucketUpper(i), bucketLower(i+1)
+		if up == math.MaxInt64 {
+			continue // clamped top bucket
+		}
+		if up+1 != nextLo {
+			t.Fatalf("bucket %d upper %d, bucket %d lower %d: not contiguous", i, up, i+1, nextLo)
+		}
+	}
+	// Every probed value lands inside its bucket, and the bucket is
+	// narrow: width ≤ lower/8 for values past the exact range.
+	probe := []int64{16, 17, 100, 1023, 1024, 4095, 1e6, 123456789, 1e12, math.MaxInt64}
+	for _, v := range probe {
+		i := bucketIndex(v)
+		lo, up := bucketLower(i), bucketUpper(i)
+		if v < lo || v > up {
+			t.Fatalf("value %d filed into bucket %d [%d, %d]", v, i, lo, up)
+		}
+		if width := up - lo + 1; up != math.MaxInt64 && width > lo/histSubCount {
+			t.Errorf("bucket %d [%d, %d] width %d exceeds lower/%d", i, lo, up, width, histSubCount)
+		}
+	}
+	// Negative observations clamp to zero.
+	var h Histogram
+	h.ObserveNs(-5)
+	if got := h.Snapshot().Quantile(1); got != 0 {
+		t.Errorf("negative observation landed at %d, want 0", got)
+	}
+}
+
+// TestQuantileProperty is the property test against a sorted-sample
+// reference: for random workloads, the histogram quantile must be the
+// upper bound of exactly the bucket holding the reference sample
+// quantile — i.e. ref ≤ hist and both in the same bucket.
+func TestQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	quantiles := []float64{0, 0.5, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5000)
+		samples := make([]int64, n)
+		var h Histogram
+		for i := range samples {
+			var v int64
+			switch trial % 3 {
+			case 0: // uniform microseconds
+				v = rng.Int63n(1_000_000)
+			case 1: // log-uniform: ns to seconds
+				v = int64(math.Exp(rng.Float64() * math.Log(1e9)))
+			default: // heavy-tailed
+				v = int64(rng.ExpFloat64() * 50_000)
+			}
+			samples[i] = v
+			h.ObserveNs(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		for _, q := range quantiles {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			ref := samples[rank-1]
+			got := snap.Quantile(q)
+			if got < ref {
+				t.Fatalf("trial %d n=%d q=%g: hist %d below reference %d", trial, n, q, got, ref)
+			}
+			if bucketIndex(got) != bucketIndex(ref) {
+				t.Fatalf("trial %d n=%d q=%g: hist %d (bucket %d) and reference %d (bucket %d) disagree",
+					trial, n, q, got, bucketIndex(got), ref, bucketIndex(ref))
+			}
+		}
+	}
+}
+
+func TestHistogramEmptyAndCountSum(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d", got)
+	}
+	h.ObserveNs(100)
+	h.ObserveNs(300)
+	h.Observe(600 * time.Nanosecond)
+	snap := h.Snapshot()
+	if snap.Count != 3 || snap.Sum != 1000 || snap.Max != 600 {
+		t.Errorf("snapshot = count %d sum %d max %d", snap.Count, snap.Sum, snap.Max)
+	}
+	if m := snap.Mean(); m < 333 || m > 334 {
+		t.Errorf("mean = %g", m)
+	}
+	// NaN and out-of-range quantiles clamp instead of panicking.
+	if v := snap.Quantile(math.NaN()); v == 0 {
+		t.Error("NaN quantile returned 0 on a populated histogram")
+	}
+	if lo, hi := snap.Quantile(-1), snap.Quantile(2); lo == 0 || hi < lo {
+		t.Errorf("clamped quantiles = %d, %d", lo, hi)
+	}
+}
+
+// TestConcurrentRecording hammers one histogram and the counters from
+// many goroutines; run under -race this is the data-race proof, and the
+// final counts must balance exactly.
+func TestConcurrentRecording(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	var h Histogram
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < perG; j++ {
+				h.ObserveNs(rng.Int63n(1_000_000))
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	snap := h.Snapshot()
+	if snap.total != goroutines*perG {
+		t.Errorf("bucket total = %d, want %d", snap.total, goroutines*perG)
+	}
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestConcurrentRegistry exercises get-or-create and exposition racing
+// with recording.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("test_shared_total", "shared").Inc()
+				r.Histogram("test_shared_seconds", "shared", "op", "x").ObserveNs(int64(j))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var sink discard
+			if err := r.WritePrometheus(&sink); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("test_shared_total", "shared").Value(); got != 2000 {
+		t.Errorf("shared counter = %d, want 2000", got)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkHistogramObserve is the acceptance benchmark: recording one
+// observation must stay under 100ns.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i) * 37)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures the contended path every
+// HTTP request shares.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i += 37
+			h.ObserveNs(i)
+		}
+	})
+}
+
+// BenchmarkTimedSection measures the full `defer h.Since(time.Now())`
+// pattern the facade uses — two clock reads plus the observation.
+func BenchmarkTimedSection(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Since(time.Now())
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+var processStart = time.Now()
+
+// RegisterProcess registers Go runtime and process-level gauges on r:
+// goroutine count, heap in use, cumulative GC cycles and pauses, and
+// process uptime. Safe to call more than once (callbacks are replaced).
+func RegisterProcess(r *Registry) {
+	r.GaugeFunc("authdex_go_goroutines",
+		"Number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("authdex_go_heap_inuse_bytes",
+		"Heap bytes in use.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapInuse) })
+	r.CounterFunc("authdex_go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
+	r.CounterFunc("authdex_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.PauseTotalNs) / 1e9 })
+	r.CounterFunc("authdex_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

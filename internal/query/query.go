@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/collate"
@@ -27,8 +28,27 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/names"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
+
+// Index-mutation latency on the process-wide registry: what one work
+// costs to file (or replace, or unfile) across all six indexes.
+const mutHelp = "Latency of engine index mutations across all indexes."
+
+var (
+	mutAdd      = obs.Default.Histogram("authdex_index_mutation_duration_seconds", mutHelp, "op", "add")
+	mutAddBatch = obs.Default.Histogram("authdex_index_mutation_duration_seconds", mutHelp, "op", "add_batch")
+	mutRemove   = obs.Default.Histogram("authdex_index_mutation_duration_seconds", mutHelp, "op", "remove")
+)
+
+// loadPhase times one named phase of the LoadAll bulk build, so a slow
+// cold start can be attributed to a specific index rather than guessed
+// at from the total.
+func loadPhase(phase string) *obs.Histogram {
+	return obs.Default.Histogram("authdex_load_phase_duration_seconds",
+		"Latency of LoadAll bulk-load phases.", "phase", phase)
+}
 
 // MaxLimit bounds every caller-supplied result limit so one request
 // cannot ask for an unbounded result set.
@@ -135,6 +155,7 @@ func (e *Engine) Len() int { return len(e.works) }
 // Add indexes w everywhere. Re-adding an existing ID replaces the old
 // version atomically (remove + add).
 func (e *Engine) Add(w *model.Work) error {
+	defer mutAdd.Since(time.Now())
 	if err := w.Validate(); err != nil {
 		return err
 	}
@@ -186,6 +207,7 @@ func (e *Engine) AddBatch(works []*model.Work) error {
 	if len(works) == 0 {
 		return nil
 	}
+	defer mutAddBatch.Since(time.Now())
 	for _, w := range works {
 		if err := w.Validate(); err != nil {
 			return err
@@ -298,6 +320,7 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	if len(works) == 0 {
 		return nil
 	}
+	defer loadPhase("total").Since(time.Now())
 	// A bulk load's entire job is growing a large live heap; garbage
 	// collection during it re-marks that growing live set over and over
 	// for nothing, so relax the pacer for the duration (restored when
@@ -310,6 +333,7 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	// checks this engine's Add would); the only cross-work invariant is
 	// ID uniqueness. Citation-key computation is per-work independent
 	// and fans out across cores.
+	validateStart := time.Now()
 	seen := make(map[model.WorkID]struct{}, len(works))
 	for _, w := range works {
 		if w.ID == 0 {
@@ -320,8 +344,10 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 		}
 		seen[w.ID] = struct{}{}
 	}
+	loadPhase("validate").Since(validateStart)
 	// One arena allocation for every entry: the structs are tiny, live
 	// together for the index's whole life, and number in the corpus size.
+	keysStart := time.Now()
 	arena := make([]workEntry, len(works))
 	entries := make([]*workEntry, len(works))
 	if err := parallel.Ranges(len(works), func(lo, hi int) error {
@@ -337,6 +363,7 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	// pass instead of paying a per-work tree descent.
 	sorted := append(make(byCitKey, 0, len(entries)), entries...)
 	sort.Sort(sorted)
+	loadPhase("sort_keys").Since(keysStart)
 
 	// The index builds run concurrently: the author index (the most
 	// expensive — it clones one work per posting), the inverted title
@@ -357,10 +384,12 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	wg.Add(6)
 	go func() {
 		defer wg.Done()
+		defer loadPhase("author_index").Since(time.Now())
 		idx, errs[0] = core.Load(e.coll, works)
 	}()
 	go func() {
 		defer wg.Done()
+		defer loadPhase("inverted").Since(time.Now())
 		docs := make([]inverted.Doc, len(works))
 		for i, w := range works {
 			docs[i] = inverted.Doc{ID: w.ID, Text: w.Title}
@@ -369,18 +398,22 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	}()
 	go func() {
 		defer wg.Done()
+		defer loadPhase("citation_trees").Since(time.Now())
 		byCitation, byYear, errs[1], errs[2] = loadCitationTrees(sorted)
 	}()
 	go func() {
 		defer wg.Done()
+		defer loadPhase("subjects").Since(time.Now())
 		bySubject, errs[3] = e.loadSubjects(entries, sorted)
 	}()
 	go func() {
 		defer wg.Done()
+		defer loadPhase("metrics").Since(time.Now())
 		e.met.Rebuild(works)
 	}()
 	go func() {
 		defer wg.Done()
+		defer loadPhase("graph").Since(time.Now())
 		e.gr.Rebuild(works)
 	}()
 	wg.Wait()
@@ -547,6 +580,7 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	if !ok {
 		return nil, false
 	}
+	defer mutRemove.Since(time.Now())
 	w := we.w
 	e.idx.Remove(w)
 	e.inv.Remove(id, w.Title)

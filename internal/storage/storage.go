@@ -24,9 +24,21 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/wal"
+)
+
+// Record-encoding and compaction latency on the process-wide registry.
+// Encoding is the CPU cost a commit pays before the WAL's fsync;
+// compaction is the stop-the-world snapshot rewrite.
+var (
+	encodeHist = obs.Default.Histogram("authdex_storage_encode_duration_seconds",
+		"Latency of encoding works into WAL frames, one observation per put or batch.")
+	compactHist = obs.Default.Histogram("authdex_storage_compact_duration_seconds",
+		"Latency of snapshot compaction passes.")
 )
 
 // Errors reported by the package.
@@ -291,10 +303,12 @@ func (s *Store) DeleteBatch(ids []model.WorkID) error {
 // crash-atomicity unit, and splitting would let a torn tail surface
 // half a batch.
 func encodePutBatchFrame(works []*model.Work) ([]byte, error) {
+	start := time.Now()
 	frame := []byte{opPutBatch}
 	for _, w := range works {
 		frame = model.AppendWork(frame, w)
 	}
+	encodeHist.Since(start)
 	if len(frame) > batchFrameBytes {
 		return nil, fmt.Errorf("storage: batch of %d works encodes to %d bytes, over the %d-byte frame cap; issue several batches", len(works), len(frame), batchFrameBytes)
 	}
@@ -491,8 +505,10 @@ func (s *Store) maybeCompactLocked() error {
 }
 
 func (s *Store) encodePut(w *model.Work) []byte {
+	start := time.Now()
 	s.scratch = append(s.scratch[:0], opPut)
 	s.scratch = model.AppendWork(s.scratch, w)
+	encodeHist.Since(start)
 	return s.scratch
 }
 
@@ -611,6 +627,7 @@ func (s *Store) compactLocked() error {
 	if s.dir == "" || s.log == nil {
 		return nil // in-memory: nothing to compact
 	}
+	defer compactHist.Since(time.Now())
 	tmp := filepath.Join(s.dir, snapshotTmp)
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -31,6 +31,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Write-path latency, recorded on the process-wide registry: every
+// fsync the log issues and every frame-encode pass. fsync dominates
+// commit latency by orders of magnitude; exposing both makes the gap
+// visible in /debug/metrics.
+var (
+	fsyncHist = obs.Default.Histogram("authdex_wal_fsync_duration_seconds",
+		"Latency of WAL fsync calls.")
+	encodeHist = obs.Default.Histogram("authdex_wal_frame_encode_duration_seconds",
+		"Latency of WAL frame encoding, one observation per append.")
 )
 
 const (
@@ -177,7 +191,9 @@ func (l *Log) Append(p []byte) error {
 			return err
 		}
 	}
+	encStart := time.Now()
 	l.scratch = appendFrame(l.scratch[:0], p)
+	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -187,8 +203,7 @@ func (l *Log) Append(p []byte) error {
 	l.st.Appends++
 	l.st.Records++
 	if !l.opts.NoSync {
-		l.st.Syncs++
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncLocked(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -230,10 +245,12 @@ func (l *Log) AppendBatch(payloads [][]byte) error {
 	if cap(l.scratch) < total {
 		l.scratch = make([]byte, 0, total)
 	}
+	encStart := time.Now()
 	l.scratch = l.scratch[:0]
 	for _, p := range payloads {
 		l.scratch = appendFrame(l.scratch, p)
 	}
+	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
@@ -243,8 +260,7 @@ func (l *Log) AppendBatch(payloads [][]byte) error {
 	l.st.Appends++
 	l.st.Records += int64(len(payloads))
 	if !l.opts.NoSync {
-		l.st.Syncs++
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncLocked(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -259,6 +275,16 @@ func appendFrame(dst, p []byte) []byte {
 	return append(dst, p...)
 }
 
+// syncLocked issues one fsync on the open segment, counting it and
+// timing it. Every fsync the log performs funnels through here.
+func (l *Log) syncLocked() error {
+	l.st.Syncs++
+	start := time.Now()
+	err := l.f.Sync()
+	fsyncHist.Since(start)
+	return err
+}
+
 // Sync forces buffered appends to stable storage. Only meaningful with
 // NoSync; otherwise every Append already synced.
 func (l *Log) Sync() error {
@@ -267,8 +293,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	l.st.Syncs++
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncLocked(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -313,8 +338,7 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
-	l.st.Syncs++
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncLocked(); err != nil {
 		l.f.Close()
 		return fmt.Errorf("wal: close: %w", err)
 	}
@@ -322,8 +346,7 @@ func (l *Log) Close() error {
 }
 
 func (l *Log) rotateLocked() error {
-	l.st.Syncs++
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncLocked(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
