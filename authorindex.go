@@ -26,6 +26,7 @@
 package authorindex
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -435,35 +436,7 @@ func Open(dir string, opts *Options) (*Index, error) {
 // store and engine run the same validation, so an engine-only failure
 // should be impossible.)
 func (ix *Index) Add(w Work) (WorkID, error) {
-	defer ix.timeOp(opAdd)()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	// Capture the version an explicit ID would overwrite; the engine's
-	// copy is identical to the store's, and rollback must restore it.
-	var old *model.Work
-	if w.ID != 0 {
-		if prev, ok := ix.eng.WorkView(w.ID); ok {
-			old = prev
-		}
-	}
-	id, err := ix.store.Put(&w)
-	if err != nil {
-		return 0, err
-	}
-	w.ID = id
-	if err := ix.engAdd(&w); err != nil {
-		var derr error
-		if old != nil {
-			_, derr = ix.store.Put(old)
-		} else {
-			derr = ix.store.Delete(id)
-		}
-		if derr != nil {
-			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
-		}
-		return 0, err
-	}
-	return id, nil
+	return ix.AddCtx(context.Background(), w)
 }
 
 // engAdd indexes one stored work, honoring the test-only fault hook.
@@ -488,46 +461,7 @@ func (ix *Index) engAdd(w *Work) error {
 // whose explicit IDs overwrote existing records are restored to the
 // previous version on rollback.
 func (ix *Index) AddBatch(works []Work) ([]WorkID, error) {
-	if len(works) == 0 {
-		return nil, nil
-	}
-	defer ix.timeOp(opAddBatch)()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	batch := make([]*model.Work, len(works))
-	for i := range works {
-		cp := works[i]
-		batch[i] = &cp
-	}
-	// Capture the versions that explicit IDs would overwrite; the
-	// engine's copies are identical to the store's, and a rollback must
-	// restore them rather than tombstone committed records.
-	prev := make(map[WorkID]*model.Work)
-	for _, w := range batch {
-		if w.ID == 0 {
-			continue
-		}
-		if _, seen := prev[w.ID]; seen {
-			continue
-		}
-		if old, ok := ix.eng.WorkView(w.ID); ok {
-			prev[w.ID] = old
-		}
-	}
-	ids, err := ix.store.PutBatch(batch)
-	if err != nil {
-		return nil, err
-	}
-	for i := range batch {
-		batch[i].ID = ids[i]
-	}
-	if err := ix.engAddBatch(batch); err != nil {
-		if derr := ix.rollbackStored(ids, prev); derr != nil {
-			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
-		}
-		return nil, err
-	}
-	return ids, nil
+	return ix.AddBatchCtx(context.Background(), works)
 }
 
 // rollbackStored undoes a committed PutBatch after an engine failure:
@@ -587,44 +521,19 @@ func uniqueIDs(ids []WorkID) []WorkID {
 // acquisition and a single group commit. Every ID must exist; a missing
 // ID or a WAL error leaves the index unchanged.
 func (ix *Index) DeleteBatch(ids []WorkID) error {
-	if len(ids) == 0 {
-		return nil
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.store.DeleteBatch(ids); err != nil {
-		return err
-	}
-	for _, id := range ids {
-		ix.eng.Remove(id)
-	}
-	return nil
+	return ix.DeleteBatchCtx(context.Background(), ids)
 }
 
 // Delete removes a work everywhere. ErrNotFound if the ID is unknown.
 func (ix *Index) Delete(id WorkID) error {
-	defer ix.timeOp(opDelete)()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.store.Delete(id); err != nil {
-		return err
-	}
-	ix.eng.Remove(id)
-	return nil
+	return ix.DeleteCtx(context.Background(), id)
 }
 
 // Get returns a copy of the stored work. The copy is made after the
 // read lock is released: indexed works are immutable, so the reference
 // captured under the lock stays valid even across a concurrent delete.
 func (ix *Index) Get(id WorkID) (*Work, bool) {
-	defer ix.timeOp(opGet)()
-	ix.mu.RLock()
-	w, ok := ix.eng.WorkView(id)
-	ix.mu.RUnlock()
-	if !ok {
-		return nil, false
-	}
-	return ix.eng.CloneWork(w), true
+	return ix.GetCtx(context.Background(), id)
 }
 
 // Len returns the number of stored works.
@@ -644,18 +553,14 @@ func (ix *Index) Author(heading string) (*Entry, bool) {
 // Authors returns up to limit headings starting with prefix, in print
 // order (limit <= 0: all).
 func (ix *Index) Authors(prefix string, limit int) []*Entry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.AuthorPrefix(prefix, limit)
+	return ix.AuthorsCtx(context.Background(), prefix, limit)
 }
 
 // AuthorsPage returns up to limit headings strictly after `after` in
 // print order (empty after: from the start). Feed the last entry's
 // heading back in as the next cursor to page through the whole index.
 func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.AuthorPage(after, limit)
+	return ix.AuthorsPageCtx(context.Background(), after, limit)
 }
 
 // Search evaluates a boolean title query: space-separated terms AND,
@@ -668,28 +573,17 @@ func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
 // truncated to limit — and deep-copy the survivors after the lock is
 // released, so result cloning never extends writer stall time.
 func (ix *Index) Search(q string, limit int) []*Work {
-	defer ix.timeOp(opSearch)()
-	ix.mu.RLock()
-	view := ix.eng.TitleSearchView(q, limit)
-	ix.mu.RUnlock()
-	return ix.eng.CloneWorks(view)
+	return ix.SearchCtx(context.Background(), q, limit)
 }
 
 // YearRange returns works published in [from, to], citation order.
 func (ix *Index) YearRange(from, to, limit int) []*Work {
-	defer ix.timeOp(opYearRange)()
-	ix.mu.RLock()
-	view := ix.eng.YearRangeView(from, to, limit)
-	ix.mu.RUnlock()
-	return ix.eng.CloneWorks(view)
+	return ix.YearRangeCtx(context.Background(), from, to, limit)
 }
 
 // VolumeWorks returns every work in the given volume, citation order.
 func (ix *Index) VolumeWorks(v, limit int) []*Work {
-	ix.mu.RLock()
-	view := ix.eng.VolumeView(v, limit)
-	ix.mu.RUnlock()
-	return ix.eng.CloneWorks(view)
+	return ix.VolumeWorksCtx(context.Background(), v, limit)
 }
 
 // Subjects returns every subject heading in collation order with its
@@ -703,11 +597,7 @@ func (ix *Index) Subjects() []SubjectCount {
 // BySubject returns the works filed under a subject heading, matched
 // case- and diacritic-insensitively, in citation order.
 func (ix *Index) BySubject(subject string, limit int) []*Work {
-	defer ix.timeOp(opBySubject)()
-	ix.mu.RLock()
-	view := ix.eng.BySubjectView(subject, limit)
-	ix.mu.RUnlock()
-	return ix.eng.CloneWorks(view)
+	return ix.BySubjectCtx(context.Background(), subject, limit)
 }
 
 // RenderSubjectIndex writes the subject-index artifact: works grouped
@@ -754,9 +644,7 @@ func (ix *Index) AuthorMetrics(heading string) (AuthorMetrics, bool) {
 // TopAuthors returns up to limit author snapshots ranked by the given
 // key, best first. The limit is clamped like every query limit.
 func (ix *Index) TopAuthors(by RankKey, limit int) []AuthorMetrics {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.TopAuthors(by, limit)
+	return ix.TopAuthorsCtx(context.Background(), by, limit)
 }
 
 // MetricsSummary returns corpus-level collaboration statistics.
@@ -830,9 +718,7 @@ func (ix *Index) GraphSummary() GraphSummary {
 // TopCentral returns up to limit authors by network centrality, best
 // first. The limit is clamped like every query limit.
 func (ix *Index) TopCentral(limit int) []CentralAuthor {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Graph().TopCentral(ClampLimit(limit, 10))
+	return ix.TopCentralCtx(context.Background(), limit)
 }
 
 // RebuildGraph discards the incrementally maintained coauthorship graph
@@ -859,18 +745,7 @@ func (ix *Index) Sections() []Section {
 // built from the coauthorship graph. Graph reads run under the read
 // lock: the graph's lazy caches carry their own internal mutex.
 func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
-	defer ix.timeOp(opRender)()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
-		opts.NetworkAppendix = render.BuildNetwork(ix.eng.Graph(), min(opts.NetworkLimit, MaxLimit))
-	}
-	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
-		// BuildStatistics defaults non-positive limits to 10; the cap
-		// bounds explicit limits like every other query limit.
-		opts.Appendix = render.BuildStatistics(ix.eng.Metrics(), min(opts.StatsLimit, MaxLimit))
-	}
-	return render.Render(w, ix.eng.Index(), opts)
+	return ix.RenderCtx(context.Background(), w, opts)
 }
 
 // RenderTitleIndex writes the companion title-index artifact: works

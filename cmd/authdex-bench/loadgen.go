@@ -18,17 +18,28 @@ import (
 	authorindex "repro"
 	"repro/internal/httpapi"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
+
+// benchPR numbers the BENCH artifact this harness emits; bump it per
+// PR so each run's report lands beside its predecessors instead of
+// overwriting them.
+const benchPR = 7
 
 // cmdLoadgen is the HTTP load harness: it replays a mixed query/ingest
 // workload against an authdex server at a fixed dispatch rate (open
 // loop — arrivals do not wait for completions), records client-side
-// latency per route, scrapes the server's /debug/metrics at the end,
-// and writes the whole run to a JSON report (BENCH_6.json by default).
+// latency per route, scrapes the server's /debug/metrics and
+// /debug/traces at the end, and writes the whole run to a JSON report
+// (BENCH_<pr>.json by default) whose server_traces block carries the
+// slowest server-side span trees — the report explains its own tail.
 //
-// With no -target it self-hosts: an in-memory index is bulk-loaded
-// with a generated corpus and served over a loopback listener, so the
-// run measures the full HTTP stack without an external setup step.
+// With no -target it self-hosts: an index is bulk-loaded with a
+// generated corpus and served over a loopback listener, so the run
+// measures the full HTTP stack without an external setup step. The
+// self-hosted index is in-memory unless -dir points at a directory,
+// in which case writes pay real WAL fsyncs and the captured write
+// traces include the wal.encode/wal.fsync spans.
 // Every request in the generated workload is valid against that corpus
 // (known IDs, well-formed bodies), so a healthy run reports 0 errors —
 // which CI asserts.
@@ -40,14 +51,15 @@ func cmdLoadgen(args []string) error {
 	duration := fs.Duration("duration", 10*time.Second, "how long to dispatch load")
 	rate := fs.Int("rate", 2000, "dispatch rate, requests/second (open loop)")
 	inflight := fs.Int("max-inflight", 256, "backpressure cap on concurrent requests")
-	out := fs.String("out", "BENCH_6.json", "report path")
+	dir := fs.String("dir", "", "self-host on a durable index at this directory (default: in-memory, no WAL)")
+	out := fs.String("out", fmt.Sprintf("BENCH_%d.json", benchPR), "report path")
 	check := fs.Bool("check", false, "exit nonzero unless requests were sent and every one succeeded")
 	fs.Parse(args)
 
 	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{Seed: *seed, Works: *works, ZipfS: 1.1})
 	base := *target
 	if base == "" {
-		url, shutdown, err := selfHost(corpus)
+		url, shutdown, err := selfHost(corpus, *dir)
 		if err != nil {
 			return err
 		}
@@ -59,6 +71,7 @@ func cmdLoadgen(args []string) error {
 	plan := buildPlan(corpus, *seed)
 	res := runLoad(base, plan, *rate, *duration, *inflight)
 	res.ServerMetrics = scrapeMetrics(base)
+	res.ServerTraces = scrapeTraces(base)
 
 	res.Config = loadgenConfig{
 		Target: base, Works: *works, Seed: *seed,
@@ -113,7 +126,7 @@ type routeReport struct {
 	MaxNs  int64  `json:"max_ns"`
 }
 
-// benchReport is the BENCH_6.json schema.
+// benchReport is the BENCH_<pr>.json schema.
 type benchReport struct {
 	Experiment    string        `json:"experiment"`
 	Config        loadgenConfig `json:"config"`
@@ -123,14 +136,18 @@ type benchReport struct {
 	ThroughputRPS float64       `json:"throughput_rps"`
 	Routes        []routeReport `json:"routes"`
 	ServerMetrics []string      `json:"server_metrics,omitempty"`
+	// ServerTraces carries, per op family, the slowest server-side
+	// span trees captured during the run (scraped from /debug/traces),
+	// so the report's tail latencies come with their causal story.
+	ServerTraces []trace.FamilySnapshot `json:"server_traces,omitempty"`
 }
 
 // selfHost bulk-loads the corpus into an in-memory index and serves it
 // on a loopback listener through the same httpapi surface `authdex
 // serve` uses (process-wide registry, so /debug/metrics carries the
 // engine, WAL and runtime series too).
-func selfHost(corpus []*authorindex.Work) (string, func(), error) {
-	ix, err := authorindex.Open("", nil)
+func selfHost(corpus []*authorindex.Work, dir string) (string, func(), error) {
+	ix, err := authorindex.Open(dir, nil)
 	if err != nil {
 		return "", nil, err
 	}
@@ -309,7 +326,7 @@ func runLoad(base string, plan []wireOp, rate int, duration time.Duration, maxIn
 	elapsed := time.Since(start)
 
 	res := &benchReport{
-		Experiment:    "bench_6_loadgen",
+		Experiment:    fmt.Sprintf("bench_%d_loadgen", benchPR),
 		ElapsedSec:    elapsed.Seconds(),
 		Requests:      requests.Load(),
 		Errors:        errs.Load(),
@@ -366,6 +383,29 @@ func scrapeMetrics(base string) []string {
 		kept = append(kept, line)
 	}
 	return kept
+}
+
+// scrapeTraces pulls the server's retained traces and keeps the
+// slowest few per op family — the recent ring is dropped because the
+// report wants the tail's explanation, not a request transcript.
+func scrapeTraces(base string) []trace.FamilySnapshot {
+	resp, err := http.Get(base + "/debug/traces?format=json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap []trace.FamilySnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap); err != nil {
+		return nil
+	}
+	const keep = 3
+	for i := range snap {
+		snap[i].Recent = nil
+		if len(snap[i].Slowest) > keep {
+			snap[i].Slowest = snap[i].Slowest[:keep]
+		}
+	}
+	return snap
 }
 
 func fmtNs(ns int64) string {

@@ -7,14 +7,17 @@ import (
 	"testing"
 )
 
-// TestLoadgenSmoke runs the full loadgen path — self-hosted server,
-// open-loop dispatch, metrics scrape, report write — at a tiny scale
-// and checks the report invariants CI relies on: requests were sent,
-// none failed, every route has quantiles, and the scrape is non-empty.
+// TestLoadgenSmoke runs the full loadgen path — self-hosted durable
+// server, open-loop dispatch, metrics and trace scrapes, report write —
+// at a tiny scale and checks the report invariants CI relies on:
+// requests were sent, none failed, every route has quantiles, both
+// scrapes are non-empty, and the captured traces carry real span trees.
 func TestLoadgenSmoke(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench6.json")
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "bench.json")
 	err := cmdLoadgen([]string{
-		"-works", "300", "-duration", "1s", "-rate", "300", "-out", out, "-check",
+		"-works", "300", "-duration", "1s", "-rate", "300",
+		"-dir", filepath.Join(tmp, "idx"), "-out", out, "-check",
 	})
 	if err != nil {
 		t.Fatalf("loadgen: %v", err)
@@ -43,5 +46,30 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if len(rep.ServerMetrics) == 0 {
 		t.Error("no server metrics scraped")
+	}
+	if len(rep.ServerTraces) == 0 {
+		t.Fatal("no server traces scraped")
+	}
+	var withSpans int
+	for _, fam := range rep.ServerTraces {
+		if len(fam.Recent) != 0 {
+			t.Errorf("family %s kept recent traces; the report wants only the slowest", fam.Family)
+		}
+		if len(fam.Slowest) == 0 || len(fam.Slowest) > 3 {
+			t.Errorf("family %s kept %d slowest traces, want 1..3", fam.Family, len(fam.Slowest))
+		}
+		for _, td := range fam.Slowest {
+			if td.DurNS <= 0 {
+				t.Errorf("family %s trace has no duration: %+v", fam.Family, td.Root)
+			}
+			if len(td.Root.Children) > 0 {
+				withSpans++
+			}
+		}
+	}
+	// The interesting families (search, writes) must carry real span
+	// trees; only trivial endpoints may be childless.
+	if withSpans == 0 {
+		t.Error("no captured trace has a span tree")
 	}
 }

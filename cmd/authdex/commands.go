@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,7 +52,7 @@ type nopCloser struct{ io.Writer }
 
 func (nopCloser) Close() error { return nil }
 
-func cmdGen(args []string) error {
+func cmdGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	works := fs.Int("works", 1000, "number of works")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -87,10 +88,10 @@ func cmdGen(args []string) error {
 		return err
 	}
 	defer w.Close()
-	return ix.Render(w, authorindex.RenderOptions{Format: f})
+	return ix.RenderCtx(ctx, w, authorindex.RenderOptions{Format: f})
 }
 
-func cmdBuild(args []string) error {
+func cmdBuild(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	open := openFlags(fs)
 	in := fs.String("in", "", "input corpus file (required; - for stdin)")
@@ -144,7 +145,7 @@ type authorList []string
 func (a *authorList) String() string     { return strings.Join(*a, "; ") }
 func (a *authorList) Set(s string) error { *a = append(*a, s); return nil }
 
-func cmdAdd(args []string) error {
+func cmdAdd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("add", flag.ExitOnError)
 	open := openFlags(fs)
 	title := fs.String("title", "", "work title (required)")
@@ -210,7 +211,7 @@ func printWorks(works []*authorindex.Work) {
 	}
 }
 
-func cmdLookup(args []string) error {
+func cmdLookup(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
 	open := openFlags(fs)
 	author := fs.String("author", "", `heading, e.g. "Lewin, Jeff L." (required)`)
@@ -237,7 +238,7 @@ func cmdLookup(args []string) error {
 	return nil
 }
 
-func cmdPrefix(args []string) error {
+func cmdPrefix(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("prefix", flag.ExitOnError)
 	open := openFlags(fs)
 	p := fs.String("p", "", "heading prefix (empty = all)")
@@ -254,7 +255,7 @@ func cmdPrefix(args []string) error {
 	return nil
 }
 
-func cmdSearch(args []string) error {
+func cmdSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	open := openFlags(fs)
 	q := fs.String("q", "", `query, e.g. "surface mining -tax" or "coal*" (required)`)
@@ -268,11 +269,11 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.Search(*q, authorindex.ClampLimit(*n, 20)))
+	printWorks(ix.SearchCtx(ctx, *q, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
-func cmdYears(args []string) error {
+func cmdYears(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("years", flag.ExitOnError)
 	open := openFlags(fs)
 	from := fs.Int("from", 0, "first year (required)")
@@ -287,11 +288,11 @@ func cmdYears(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.YearRange(*from, *to, authorindex.ClampLimit(*n, 20)))
+	printWorks(ix.YearRangeCtx(ctx, *from, *to, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
-func cmdVolume(args []string) error {
+func cmdVolume(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("volume", flag.ExitOnError)
 	open := openFlags(fs)
 	v := fs.Int("v", 0, "volume number (required)")
@@ -305,11 +306,11 @@ func cmdVolume(args []string) error {
 		return err
 	}
 	defer ix.Close()
-	printWorks(ix.VolumeWorks(*v, authorindex.ClampLimit(*n, 20)))
+	printWorks(ix.VolumeWorksCtx(ctx, *v, authorindex.ClampLimit(*n, 20)))
 	return nil
 }
 
-func cmdRender(args []string) error {
+func cmdRender(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("render", flag.ExitOnError)
 	open := openFlags(fs)
 	format := fs.String("format", "text", "text, tsv, markdown, csv or json")
@@ -339,7 +340,7 @@ func cmdRender(args []string) error {
 		return err
 	}
 	defer w.Close()
-	return ix.Render(w, authorindex.RenderOptions{
+	return ix.RenderCtx(ctx, w, authorindex.RenderOptions{
 		Format:       f,
 		PageLength:   *pagelen,
 		PageWidth:    *width,
@@ -351,7 +352,7 @@ func cmdRender(args []string) error {
 	})
 }
 
-func cmdTitles(args []string) error {
+func cmdTitles(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("titles", flag.ExitOnError)
 	open := openFlags(fs)
 	format := fs.String("format", "text", "text, tsv or markdown")
@@ -381,7 +382,7 @@ func cmdTitles(args []string) error {
 	})
 }
 
-func cmdSubjects(args []string) error {
+func cmdSubjects(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("subjects", flag.ExitOnError)
 	open := openFlags(fs)
 	s := fs.String("s", "", "show works under this subject (default: list all headings)")
@@ -403,7 +404,7 @@ func cmdSubjects(args []string) error {
 		}
 		return ix.RenderSubjectIndex(os.Stdout, authorindex.RenderOptions{Format: f})
 	case *s != "":
-		printWorks(ix.BySubject(*s, authorindex.ClampLimit(*n, 20)))
+		printWorks(ix.BySubjectCtx(ctx, *s, authorindex.ClampLimit(*n, 20)))
 	default:
 		for _, sc := range ix.Subjects() {
 			fmt.Printf("%-50s %d works\n", sc.Subject, sc.Works)
@@ -412,7 +413,7 @@ func cmdSubjects(args []string) error {
 	return nil
 }
 
-func cmdXref(args []string) error {
+func cmdXref(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("xref", flag.ExitOnError)
 	open := openFlags(fs)
 	from := fs.String("from", "", "source heading (required)")
@@ -429,7 +430,7 @@ func cmdXref(args []string) error {
 	return ix.AddSeeAlso(*from, *to)
 }
 
-func cmdStats(args []string) error {
+func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	open := openFlags(fs)
 	fs.Parse(args)
@@ -456,7 +457,7 @@ func cmdStats(args []string) error {
 	return nil
 }
 
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	open := openFlags(fs)
 	top := fs.Int("top", 5, "how many most-prolific authors to list")
@@ -510,7 +511,7 @@ func cmdReport(args []string) error {
 
 // cmdMetrics prints the bibliometrics snapshot for one heading, or the
 // corpus-level summary when no -author is given.
-func cmdMetrics(args []string) error {
+func cmdMetrics(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	open := openFlags(fs)
 	author := fs.String("author", "", `heading, e.g. "Lewin, Jeff L." (default: corpus summary)`)
@@ -570,7 +571,7 @@ func cmdMetrics(args []string) error {
 }
 
 // cmdRank prints the top contributors under a chosen statistic.
-func cmdRank(args []string) error {
+func cmdRank(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ExitOnError)
 	open := openFlags(fs)
 	by := fs.String("by", "weighted", "rank key: works, weighted, fractional, h, collabs, first or central")
@@ -593,7 +594,7 @@ func cmdRank(args []string) error {
 	defer ix.Close()
 
 	fmt.Printf("%-4s %-40s %5s %5s %8s %3s %7s\n", "rank", "author", "works", "first", "credit", "h", "collabs")
-	for i, m := range ix.TopAuthors(key, authorindex.ClampLimit(*limit, 10)) {
+	for i, m := range ix.TopAuthorsCtx(ctx, key, authorindex.ClampLimit(*limit, 10)) {
 		fmt.Printf("%-4d %-40s %5d %5d %8.3f %3d %7d\n",
 			i+1, m.Heading, m.Works, m.FirstAuthored, m.Weighted, m.HIndex, m.Collaborators)
 	}
@@ -606,7 +607,7 @@ func withDamping(d float64) func(*authorindex.Options) {
 }
 
 // cmdPath prints the shortest collaboration chain between two headings.
-func cmdPath(args []string) error {
+func cmdPath(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("path", flag.ExitOnError)
 	open := openFlags(fs)
 	from := fs.String("from", "", `source heading, e.g. "Lewin, Jeff L." (required)`)
@@ -637,7 +638,7 @@ func cmdPath(args []string) error {
 
 // cmdGraph prints the coauthorship-network summary, one author's
 // network position, or the most central authors.
-func cmdGraph(args []string) error {
+func cmdGraph(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("graph", flag.ExitOnError)
 	open := openFlags(fs)
 	author := fs.String("author", "", "show one heading's network position (default: network summary)")
@@ -687,7 +688,7 @@ func cmdGraph(args []string) error {
 	return nil
 }
 
-func cmdVerify(args []string) error {
+func cmdVerify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	open := openFlags(fs)
 	fs.Parse(args)
@@ -705,7 +706,7 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdDupes(args []string) error {
+func cmdDupes(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dupes", flag.ExitOnError)
 	open := openFlags(fs)
 	fs.Parse(args)
@@ -725,7 +726,7 @@ func cmdDupes(args []string) error {
 	return nil
 }
 
-func cmdCompact(args []string) error {
+func cmdCompact(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	open := openFlags(fs)
 	fs.Parse(args)

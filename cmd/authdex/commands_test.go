@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,21 +44,21 @@ func TestCLIPipeline(t *testing.T) {
 	idx := filepath.Join(work, "idx")
 
 	captureStdout(t, func() error {
-		return cmdGen([]string{"-works", "60", "-seed", "9", "-out", corpus})
+		return cmdGen(context.Background(), []string{"-works", "60", "-seed", "9", "-out", corpus})
 	})
 	if fi, err := os.Stat(corpus); err != nil || fi.Size() == 0 {
 		t.Fatalf("gen wrote nothing: %v", err)
 	}
 
 	out := captureStdout(t, func() error {
-		return cmdBuild([]string{"-dir", idx, "-nosync", "-in", corpus})
+		return cmdBuild(context.Background(), []string{"-dir", idx, "-nosync", "-in", corpus})
 	})
 	if !strings.Contains(out, "imported 60 works") {
 		t.Fatalf("build output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdAdd([]string{"-dir", idx, "-nosync",
+		return cmdAdd(context.Background(), []string{"-dir", idx, "-nosync",
 			"-title", "Handmade Entry", "-cite", "99:1 (1996)",
 			"-author", "Manual, Added A.", "-author", "Second, Author B."})
 	})
@@ -66,42 +67,42 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdLookup([]string{"-dir", idx, "-nosync", "-author", "Manual, Added A."})
+		return cmdLookup(context.Background(), []string{"-dir", idx, "-nosync", "-author", "Manual, Added A."})
 	})
 	if !strings.Contains(out, "Handmade Entry") {
 		t.Fatalf("lookup output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdPrefix([]string{"-dir", idx, "-nosync", "-p", "man", "-n", "5"})
+		return cmdPrefix(context.Background(), []string{"-dir", idx, "-nosync", "-p", "man", "-n", "5"})
 	})
 	if !strings.Contains(out, "Manual, Added A.") {
 		t.Fatalf("prefix output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdSearch([]string{"-dir", idx, "-nosync", "-q", "handmade"})
+		return cmdSearch(context.Background(), []string{"-dir", idx, "-nosync", "-q", "handmade"})
 	})
 	if !strings.Contains(out, "Handmade Entry") {
 		t.Fatalf("search output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdYears([]string{"-dir", idx, "-nosync", "-from", "1996", "-to", "1996"})
+		return cmdYears(context.Background(), []string{"-dir", idx, "-nosync", "-from", "1996", "-to", "1996"})
 	})
 	if !strings.Contains(out, "99:1 (1996)") {
 		t.Fatalf("years output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdVolume([]string{"-dir", idx, "-nosync", "-v", "99"})
+		return cmdVolume(context.Background(), []string{"-dir", idx, "-nosync", "-v", "99"})
 	})
 	if !strings.Contains(out, "Handmade Entry") {
 		t.Fatalf("volume output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdSubjects([]string{"-dir", idx, "-nosync"})
+		return cmdSubjects(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "works") {
 		t.Fatalf("subjects output: %q", out)
@@ -109,7 +110,7 @@ func TestCLIPipeline(t *testing.T) {
 
 	rendered := filepath.Join(work, "index.txt")
 	captureStdout(t, func() error {
-		return cmdRender([]string{"-dir", idx, "-nosync", "-out", rendered,
+		return cmdRender(context.Background(), []string{"-dir", idx, "-nosync", "-out", rendered,
 			"-publication", "TEST REV.", "-volnum", "99", "-year", "1996"})
 	})
 	data, err := os.ReadFile(rendered)
@@ -118,75 +119,75 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdTitles([]string{"-dir", idx, "-nosync", "-format", "tsv"})
+		return cmdTitles(context.Background(), []string{"-dir", idx, "-nosync", "-format", "tsv"})
 	})
 	if !strings.Contains(out, "Handmade Entry\t") {
 		t.Fatalf("titles output: %q", out)
 	}
 
 	captureStdout(t, func() error {
-		return cmdXref([]string{"-dir", idx, "-nosync",
+		return cmdXref(context.Background(), []string{"-dir", idx, "-nosync",
 			"-from", "Olde, Name", "-to", "Manual, Added A."})
 	})
 
 	out = captureStdout(t, func() error {
-		return cmdStats([]string{"-dir", idx, "-nosync"})
+		return cmdStats(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "works:          61") || !strings.Contains(out, "cross-refs:     1") {
 		t.Fatalf("stats output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdMetrics([]string{"-dir", idx, "-nosync"})
+		return cmdMetrics(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "works:            61") || !strings.Contains(out, "scheme:           harmonic") {
 		t.Fatalf("metrics summary output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdMetrics([]string{"-dir", idx, "-nosync", "-author", "Manual, Added A."})
+		return cmdMetrics(context.Background(), []string{"-dir", idx, "-nosync", "-author", "Manual, Added A."})
 	})
 	if !strings.Contains(out, "Manual, Added A.") || !strings.Contains(out, "h-index:") {
 		t.Fatalf("metrics author output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "weighted", "-limit", "5"})
+		return cmdRank(context.Background(), []string{"-dir", idx, "-nosync", "-by", "weighted", "-limit", "5"})
 	})
 	if !strings.Contains(out, "rank") || len(strings.Split(strings.TrimSpace(out), "\n")) != 6 {
 		t.Fatalf("rank output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "h", "-scheme", "arithmetic", "-limit", "3"})
+		return cmdRank(context.Background(), []string{"-dir", idx, "-nosync", "-by", "h", "-scheme", "arithmetic", "-limit", "3"})
 	})
 	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
 		t.Fatalf("rank by h output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdVerify([]string{"-dir", idx, "-nosync"})
+		return cmdVerify(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "ok:") {
 		t.Fatalf("verify output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdReport([]string{"-dir", idx, "-nosync", "-top", "3"})
+		return cmdReport(context.Background(), []string{"-dir", idx, "-nosync", "-top", "3"})
 	})
 	if !strings.Contains(out, "headings per letter:") || !strings.Contains(out, "most prolific") {
 		t.Fatalf("report output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdDupes([]string{"-dir", idx, "-nosync"})
+		return cmdDupes(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if out == "" {
 		t.Fatal("dupes printed nothing")
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdCompact([]string{"-dir", idx, "-nosync"})
+		return cmdCompact(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	if !strings.Contains(out, "compacted") {
 		t.Fatalf("compact output: %q", out)
@@ -194,7 +195,7 @@ func TestCLIPipeline(t *testing.T) {
 
 	// Subject render path.
 	out = captureStdout(t, func() error {
-		return cmdSubjects([]string{"-dir", idx, "-nosync", "-render", "-format", "markdown"})
+		return cmdSubjects(context.Background(), []string{"-dir", idx, "-nosync", "-render", "-format", "markdown"})
 	})
 	if !strings.Contains(out, "# SUBJECT INDEX") {
 		t.Fatalf("subject render output: %q", out)
@@ -202,7 +203,7 @@ func TestCLIPipeline(t *testing.T) {
 
 	// Render with the statistics appendix.
 	out = captureStdout(t, func() error {
-		return cmdRender([]string{"-dir", idx, "-nosync", "-format", "markdown", "-stats", "-stats-top", "3"})
+		return cmdRender(context.Background(), []string{"-dir", idx, "-nosync", "-format", "markdown", "-stats", "-stats-top", "3"})
 	})
 	if !strings.Contains(out, "## Statistics") {
 		t.Fatalf("render -stats output: %q", out)
@@ -210,52 +211,52 @@ func TestCLIPipeline(t *testing.T) {
 }
 
 func TestCLIErrors(t *testing.T) {
-	if err := cmdBuild([]string{"-dir", t.TempDir()}); err == nil {
+	if err := cmdBuild(context.Background(), []string{"-dir", t.TempDir()}); err == nil {
 		t.Error("build without -in succeeded")
 	}
-	if err := cmdLookup([]string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
+	if err := cmdLookup(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
 		t.Error("lookup of missing author succeeded")
 	}
-	if err := cmdLookup([]string{"-author", "X, Y."}); err == nil {
+	if err := cmdLookup(context.Background(), []string{"-author", "X, Y."}); err == nil {
 		t.Error("lookup without -dir succeeded")
 	}
-	if err := cmdAdd([]string{"-dir", t.TempDir(), "-title", "t"}); err == nil {
+	if err := cmdAdd(context.Background(), []string{"-dir", t.TempDir(), "-title", "t"}); err == nil {
 		t.Error("add without cite/author succeeded")
 	}
-	if err := cmdSearch([]string{"-dir", t.TempDir(), "-nosync"}); err == nil {
+	if err := cmdSearch(context.Background(), []string{"-dir", t.TempDir(), "-nosync"}); err == nil {
 		t.Error("search without -q succeeded")
 	}
-	if err := cmdYears([]string{"-dir", t.TempDir(), "-nosync"}); err == nil {
+	if err := cmdYears(context.Background(), []string{"-dir", t.TempDir(), "-nosync"}); err == nil {
 		t.Error("years without range succeeded")
 	}
-	if err := cmdVolume([]string{"-dir", t.TempDir(), "-nosync"}); err == nil {
+	if err := cmdVolume(context.Background(), []string{"-dir", t.TempDir(), "-nosync"}); err == nil {
 		t.Error("volume without -v succeeded")
 	}
-	if err := cmdXref([]string{"-dir", t.TempDir(), "-nosync", "-from", "A, B."}); err == nil {
+	if err := cmdXref(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-from", "A, B."}); err == nil {
 		t.Error("xref without -to succeeded")
 	}
-	if err := cmdGen([]string{"-format", "json", "-works", "1"}); err == nil {
+	if err := cmdGen(context.Background(), []string{"-format", "json", "-works", "1"}); err == nil {
 		t.Error("gen with json format succeeded")
 	}
-	if err := cmdRender([]string{"-dir", t.TempDir(), "-nosync", "-format", "nope"}); err == nil {
+	if err := cmdRender(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-format", "nope"}); err == nil {
 		t.Error("render with unknown format succeeded")
 	}
-	if err := cmdBuild([]string{"-dir", t.TempDir(), "-nosync", "-in", "/nonexistent/file.tsv"}); err == nil {
+	if err := cmdBuild(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-in", "/nonexistent/file.tsv"}); err == nil {
 		t.Error("build with missing input succeeded")
 	}
-	if err := cmdBuild([]string{"-dir", t.TempDir(), "-nosync", "-in", "-", "-format", "xml"}); err == nil {
+	if err := cmdBuild(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-in", "-", "-format", "xml"}); err == nil {
 		t.Error("build with unknown format succeeded")
 	}
 	if _, err := parseKind("haiku"); err == nil {
 		t.Error("parseKind accepted unknown kind")
 	}
-	if err := cmdRank([]string{"-dir", t.TempDir(), "-nosync", "-by", "citations"}); err == nil {
+	if err := cmdRank(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-by", "citations"}); err == nil {
 		t.Error("rank with unknown key succeeded")
 	}
-	if err := cmdRank([]string{"-dir", t.TempDir(), "-nosync", "-scheme", "alphabetical"}); err == nil {
+	if err := cmdRank(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-scheme", "alphabetical"}); err == nil {
 		t.Error("rank with unknown scheme succeeded")
 	}
-	if err := cmdMetrics([]string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
+	if err := cmdMetrics(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
 		t.Error("metrics for missing author succeeded")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,21 +16,21 @@ func TestCLIGraphCommands(t *testing.T) {
 		for _, h := range headings {
 			args = append(args, "-author", h)
 		}
-		captureStdout(t, func() error { return cmdAdd(args) })
+		captureStdout(t, func() error { return cmdAdd(context.Background(), args) })
 	}
 	add("One", "90:1 (1988)", "Lewin, Jeff L.", "Peng, Syd S.")
 	add("Two", "90:50 (1988)", "Peng, Syd S.", "Cardi, Vincent P.")
 	add("Three", "90:99 (1988)", "Adler, Mortimer J.")
 
 	out := captureStdout(t, func() error {
-		return cmdPath([]string{"-dir", idx, "-nosync", "-from", "Lewin, Jeff L.", "-to", "Cardi, Vincent P."})
+		return cmdPath(context.Background(), []string{"-dir", idx, "-nosync", "-from", "Lewin, Jeff L.", "-to", "Cardi, Vincent P."})
 	})
 	if !strings.Contains(out, "2 hop(s)") || !strings.Contains(out, "Peng, Syd S.") {
 		t.Errorf("path output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdGraph([]string{"-dir", idx, "-nosync"})
+		return cmdGraph(context.Background(), []string{"-dir", idx, "-nosync"})
 	})
 	for _, want := range []string{"authors:           4", "collab pairs:      2", "components:        2", "largest component: 3"} {
 		if !strings.Contains(out, want) {
@@ -38,21 +39,21 @@ func TestCLIGraphCommands(t *testing.T) {
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdGraph([]string{"-dir", idx, "-nosync", "-central", "2", "-damping", "0.5"})
+		return cmdGraph(context.Background(), []string{"-dir", idx, "-nosync", "-central", "2", "-damping", "0.5"})
 	})
 	if !strings.Contains(out, "Peng, Syd S.") || !strings.Contains(strings.SplitN(out, "\n", 2)[0], "centrality") {
 		t.Errorf("graph -central output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdGraph([]string{"-dir", idx, "-nosync", "-author", "Peng, Syd S."})
+		return cmdGraph(context.Background(), []string{"-dir", idx, "-nosync", "-author", "Peng, Syd S."})
 	})
 	if !strings.Contains(out, "co-authors:      2") {
 		t.Errorf("graph -author output: %q", out)
 	}
 
 	out = captureStdout(t, func() error {
-		return cmdRank([]string{"-dir", idx, "-nosync", "-by", "central", "-limit", "1"})
+		return cmdRank(context.Background(), []string{"-dir", idx, "-nosync", "-by", "central", "-limit", "1"})
 	})
 	if !strings.Contains(out, "Peng, Syd S.") {
 		t.Errorf("rank -by central output: %q", out)
@@ -60,16 +61,16 @@ func TestCLIGraphCommands(t *testing.T) {
 }
 
 func TestCLIGraphErrors(t *testing.T) {
-	if err := cmdPath([]string{"-dir", t.TempDir(), "-nosync", "-from", "A, B."}); err == nil {
+	if err := cmdPath(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-from", "A, B."}); err == nil {
 		t.Error("path without -to succeeded")
 	}
-	if err := cmdPath([]string{"-dir", t.TempDir(), "-nosync", "-from", "A, B.", "-to", "C, D."}); err == nil {
+	if err := cmdPath(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-from", "A, B.", "-to", "C, D."}); err == nil {
 		t.Error("path between unknown headings succeeded")
 	}
-	if err := cmdGraph([]string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
+	if err := cmdGraph(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-author", "Missing, Person"}); err == nil {
 		t.Error("graph for missing author succeeded")
 	}
-	if err := cmdGraph([]string{"-dir", t.TempDir(), "-nosync", "-damping", "1.5"}); err == nil {
+	if err := cmdGraph(context.Background(), []string{"-dir", t.TempDir(), "-nosync", "-damping", "1.5"}); err == nil {
 		t.Error("graph with invalid damping succeeded")
 	}
 }

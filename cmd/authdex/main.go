@@ -24,13 +24,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
+
+	"repro/internal/trace"
 )
 
 type command struct {
 	name, summary string
-	run           func(args []string) error
+	run           func(ctx context.Context, args []string) error
 }
 
 var commands = []command{
@@ -66,7 +71,10 @@ func main() {
 	name := os.Args[1]
 	for _, c := range commands {
 		if c.name == name {
-			if err := c.run(os.Args[2:]); err != nil {
+			ctx, finish := commandTrace(name)
+			err := c.run(ctx, os.Args[2:])
+			finish()
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "authdex %s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -76,6 +84,25 @@ func main() {
 	fmt.Fprintf(os.Stderr, "authdex: unknown command %q\n\n", name)
 	usage()
 	os.Exit(2)
+}
+
+// commandTrace opens a root span for one CLI invocation, mirroring
+// the per-request root span the HTTP server starts. With
+// AUTHDEX_SLOWLOG set (e.g. "200ms"), a command that runs at least
+// that long logs its full span tree to stderr on exit — the same
+// per-layer breakdown /debug/traces serves, without a server.
+func commandTrace(name string) (context.Context, func()) {
+	ctx := context.Background()
+	threshold, err := time.ParseDuration(os.Getenv(envSlowlog))
+	if err != nil || threshold <= 0 {
+		return ctx, func() {}
+	}
+	tracer := trace.NewTracer(trace.Config{
+		Slowlog: threshold,
+		Logger:  slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	ctx, tr := tracer.StartRoot(ctx, "", "cli "+name)
+	return ctx, func() { tr.Finish("cli " + name) }
 }
 
 func usage() {

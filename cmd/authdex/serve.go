@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -20,6 +21,7 @@ const (
 	envAddr        = "AUTHDEX_ADDR"
 	envLogLevel    = "AUTHDEX_LOG_LEVEL"
 	envReadTimeout = "AUTHDEX_READ_TIMEOUT"
+	envSlowlog     = "AUTHDEX_SLOWLOG"
 )
 
 // serveConfig is everything cmdServe needs beyond the index itself;
@@ -31,6 +33,7 @@ type serveConfig struct {
 	logFormat    string
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	slowlog      time.Duration
 	debug        bool
 	verifyBoot   bool
 }
@@ -42,6 +45,7 @@ func serveFlags(fs *flag.FlagSet) *serveConfig {
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "access-log encoding: text or json")
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout (env "+envReadTimeout+")")
 	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout; renders of large corpora need headroom")
+	fs.DurationVar(&cfg.slowlog, "slowlog", 250*time.Millisecond, "emit the full span tree of requests at least this slow; 0 disables (env "+envSlowlog+")")
 	fs.BoolVar(&cfg.debug, "debug", false, "mount net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&cfg.verifyBoot, "verify-boot", false, "run a full Verify pass before /readyz reports ready")
 	return cfg
@@ -64,6 +68,13 @@ func applyEnv(fs *flag.FlagSet, cfg *serveConfig, getenv func(string) string) er
 			return fmt.Errorf("%s: %w", envReadTimeout, err)
 		}
 		cfg.readTimeout = d
+	}
+	if v := getenv(envSlowlog); v != "" && !set["slowlog"] {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", envSlowlog, err)
+		}
+		cfg.slowlog = d
 	}
 	return nil
 }
@@ -97,7 +108,7 @@ func (cfg *serveConfig) logger() (*slog.Logger, error) {
 // cmdServe exposes the index over HTTP. The full route table lives in
 // internal/httpapi; this command only adds process concerns — flags,
 // environment fallbacks, logging, timeouts and the listener.
-func cmdServe(args []string) error {
+func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
 	cfg := serveFlags(fs)
@@ -126,6 +137,7 @@ func cmdServe(args []string) error {
 		Logger:       logger,
 		Debug:        cfg.debug,
 		VerifyOnBoot: cfg.verifyBoot,
+		Slowlog:      cfg.slowlog,
 	})
 	srv := &http.Server{
 		Addr:         cfg.addr,
@@ -134,6 +146,6 @@ func cmdServe(args []string) error {
 		WriteTimeout: cfg.writeTimeout,
 		IdleTimeout:  2 * time.Minute,
 	}
-	logger.Info("authdex serving", "addr", cfg.addr, "debug", cfg.debug, "verify_boot", cfg.verifyBoot)
+	logger.Info("authdex serving", "addr", cfg.addr, "debug", cfg.debug, "verify_boot", cfg.verifyBoot, "slowlog", cfg.slowlog)
 	return srv.ListenAndServe()
 }

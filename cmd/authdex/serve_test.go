@@ -34,32 +34,63 @@ func TestServeConfigPrecedence(t *testing.T) {
 	if cfg.addr != ":8377" || cfg.logLevel != "info" || cfg.readTimeout != 10*time.Second {
 		t.Errorf("defaults = %+v", cfg)
 	}
+	if cfg.slowlog != 250*time.Millisecond {
+		t.Errorf("slowlog default = %v", cfg.slowlog)
+	}
 
 	// Environment fills unset flags.
 	env := map[string]string{
 		envAddr:        ":9000",
 		envLogLevel:    "debug",
 		envReadTimeout: "3s",
+		envSlowlog:     "75ms",
 	}
 	cfg = parseServe(t, nil, env)
 	if cfg.addr != ":9000" || cfg.logLevel != "debug" || cfg.readTimeout != 3*time.Second {
 		t.Errorf("env fallback = %+v", cfg)
 	}
+	if cfg.slowlog != 75*time.Millisecond {
+		t.Errorf("slowlog env fallback = %v", cfg.slowlog)
+	}
 
 	// Explicit flags beat the environment, per setting: addr comes from
 	// the flag, the untouched settings still come from the environment.
-	cfg = parseServe(t, []string{"-addr", ":7000"}, env)
+	cfg = parseServe(t, []string{"-addr", ":7000", "-slowlog", "1s"}, env)
 	if cfg.addr != ":7000" {
 		t.Errorf("flag did not beat env: addr = %q", cfg.addr)
+	}
+	if cfg.slowlog != time.Second {
+		t.Errorf("slowlog flag did not beat env: %v", cfg.slowlog)
 	}
 	if cfg.logLevel != "debug" || cfg.readTimeout != 3*time.Second {
 		t.Errorf("env lost for unset flags: %+v", cfg)
 	}
 
 	// A flag explicitly set to its default value still beats the env.
-	cfg = parseServe(t, []string{"-addr", ":8377"}, env)
+	cfg = parseServe(t, []string{"-addr", ":8377", "-slowlog", "250ms"}, env)
 	if cfg.addr != ":8377" {
 		t.Errorf("explicit default did not beat env: addr = %q", cfg.addr)
+	}
+	if cfg.slowlog != 250*time.Millisecond {
+		t.Errorf("explicit default slowlog did not beat env: %v", cfg.slowlog)
+	}
+
+	// A zero slowlog disables tracing's slow path entirely.
+	cfg = parseServe(t, []string{"-slowlog", "0"}, env)
+	if cfg.slowlog != 0 {
+		t.Errorf("slowlog 0 = %v", cfg.slowlog)
+	}
+}
+
+func TestServeConfigBadSlowlogEnv(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cfg := serveFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := applyEnv(fs, cfg, fakeEnv(map[string]string{envSlowlog: "fast"}))
+	if err == nil {
+		t.Error("bad AUTHDEX_SLOWLOG accepted")
 	}
 }
 

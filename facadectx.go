@@ -1,0 +1,307 @@
+package authorindex
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/render"
+	"repro/internal/trace"
+)
+
+// Ctx variants of the facade entry points. Each wraps its operation in
+// one facade span whose children separate where the time went: how
+// long the caller queued for the lock (lock.rwait / lock.wait) vs what
+// it did while holding it (lock.rhold / lock.hold, which parents the
+// engine/store/WAL spans), plus the post-unlock clone pass. The
+// non-ctx methods delegate through context.Background(), which is the
+// zero-allocation disabled path.
+
+// rlockTraced acquires the read lock, recording the wait as one child
+// span and opening the hold span. The returned context parents the
+// engine work under the hold span; the caller must End it right after
+// RUnlock.
+func (ix *Index) rlockTraced(ctx context.Context) (context.Context, *trace.Span) {
+	sp := trace.FromContext(ctx)
+	wait := sp.StartChild("lock.rwait")
+	ix.mu.RLock()
+	wait.End()
+	hold := sp.StartChild("lock.rhold")
+	return trace.ContextWith(ctx, hold), hold
+}
+
+// lockTraced is rlockTraced for the write lock.
+func (ix *Index) lockTraced(ctx context.Context) (context.Context, *trace.Span) {
+	sp := trace.FromContext(ctx)
+	wait := sp.StartChild("lock.wait")
+	ix.mu.Lock()
+	wait.End()
+	hold := sp.StartChild("lock.hold")
+	return trace.ContextWith(ctx, hold), hold
+}
+
+// cloneTraced deep-copies a view under a facade.clone span.
+func (ix *Index) cloneTraced(ctx context.Context, view []*model.Work) []*Work {
+	_, sp := trace.StartSpan(ctx, "facade.clone")
+	out := ix.eng.CloneWorks(view)
+	sp.SetInt("works", int64(len(out)))
+	sp.End()
+	return out
+}
+
+// SearchCtx is Search carrying a trace context.
+func (ix *Index) SearchCtx(ctx context.Context, q string, limit int) []*Work {
+	defer ix.timeOp(opSearch)()
+	ctx, sp := trace.StartSpan(ctx, "facade.search")
+	defer sp.End()
+	hctx, hold := ix.rlockTraced(ctx)
+	view := ix.eng.TitleSearchViewCtx(hctx, q, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	return ix.cloneTraced(ctx, view)
+}
+
+// YearRangeCtx is YearRange carrying a trace context.
+func (ix *Index) YearRangeCtx(ctx context.Context, from, to, limit int) []*Work {
+	defer ix.timeOp(opYearRange)()
+	ctx, sp := trace.StartSpan(ctx, "facade.year_range")
+	defer sp.End()
+	hctx, hold := ix.rlockTraced(ctx)
+	view := ix.eng.YearRangeViewCtx(hctx, from, to, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	return ix.cloneTraced(ctx, view)
+}
+
+// VolumeWorksCtx is VolumeWorks carrying a trace context.
+func (ix *Index) VolumeWorksCtx(ctx context.Context, v, limit int) []*Work {
+	ctx, sp := trace.StartSpan(ctx, "facade.volume")
+	defer sp.End()
+	hctx, hold := ix.rlockTraced(ctx)
+	view := ix.eng.VolumeViewCtx(hctx, v, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	return ix.cloneTraced(ctx, view)
+}
+
+// BySubjectCtx is BySubject carrying a trace context.
+func (ix *Index) BySubjectCtx(ctx context.Context, subject string, limit int) []*Work {
+	defer ix.timeOp(opBySubject)()
+	ctx, sp := trace.StartSpan(ctx, "facade.by_subject")
+	defer sp.End()
+	hctx, hold := ix.rlockTraced(ctx)
+	view := ix.eng.BySubjectViewCtx(hctx, subject, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	return ix.cloneTraced(ctx, view)
+}
+
+// GetCtx is Get carrying a trace context.
+func (ix *Index) GetCtx(ctx context.Context, id WorkID) (*Work, bool) {
+	defer ix.timeOp(opGet)()
+	ctx, sp := trace.StartSpan(ctx, "facade.get")
+	defer sp.End()
+	_, hold := ix.rlockTraced(ctx)
+	w, ok := ix.eng.WorkView(id)
+	ix.mu.RUnlock()
+	hold.End()
+	if !ok {
+		return nil, false
+	}
+	return ix.eng.CloneWork(w), true
+}
+
+// AuthorsCtx is Authors carrying a trace context.
+func (ix *Index) AuthorsCtx(ctx context.Context, prefix string, limit int) []*Entry {
+	ctx, sp := trace.StartSpan(ctx, "facade.authors")
+	defer sp.End()
+	_, hold := ix.rlockTraced(ctx)
+	out := ix.eng.AuthorPrefix(prefix, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	sp.SetInt("entries", int64(len(out)))
+	return out
+}
+
+// AuthorsPageCtx is AuthorsPage carrying a trace context.
+func (ix *Index) AuthorsPageCtx(ctx context.Context, after string, limit int) []*Entry {
+	ctx, sp := trace.StartSpan(ctx, "facade.authors_page")
+	defer sp.End()
+	_, hold := ix.rlockTraced(ctx)
+	out := ix.eng.AuthorPage(after, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	sp.SetInt("entries", int64(len(out)))
+	return out
+}
+
+// TopAuthorsCtx is TopAuthors carrying a trace context.
+func (ix *Index) TopAuthorsCtx(ctx context.Context, by RankKey, limit int) []AuthorMetrics {
+	ctx, sp := trace.StartSpan(ctx, "facade.rank")
+	defer sp.End()
+	_, hold := ix.rlockTraced(ctx)
+	out := ix.eng.TopAuthors(by, limit)
+	ix.mu.RUnlock()
+	hold.End()
+	sp.SetInt("authors", int64(len(out)))
+	return out
+}
+
+// TopCentralCtx is TopCentral carrying a trace context.
+func (ix *Index) TopCentralCtx(ctx context.Context, limit int) []CentralAuthor {
+	ctx, sp := trace.StartSpan(ctx, "facade.central")
+	defer sp.End()
+	_, hold := ix.rlockTraced(ctx)
+	out := ix.eng.Graph().TopCentral(ClampLimit(limit, 10))
+	ix.mu.RUnlock()
+	hold.End()
+	sp.SetInt("authors", int64(len(out)))
+	return out
+}
+
+// AddCtx is Add carrying a trace context; the store commit (and its
+// WAL encode/fsync children) nests under the lock.hold span.
+func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
+	defer ix.timeOp(opAdd)()
+	ctx, sp := trace.StartSpan(ctx, "facade.add")
+	defer sp.End()
+	hctx, hold := ix.lockTraced(ctx)
+	defer hold.End()
+	defer ix.mu.Unlock()
+	// Capture the version an explicit ID would overwrite; the engine's
+	// copy is identical to the store's, and rollback must restore it.
+	var old *model.Work
+	if w.ID != 0 {
+		if prev, ok := ix.eng.WorkView(w.ID); ok {
+			old = prev
+		}
+	}
+	id, err := ix.store.PutCtx(hctx, &w)
+	if err != nil {
+		return 0, err
+	}
+	w.ID = id
+	if err := ix.engAdd(&w); err != nil {
+		var derr error
+		if old != nil {
+			_, derr = ix.store.Put(old)
+		} else {
+			derr = ix.store.Delete(id)
+		}
+		if derr != nil {
+			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
+		}
+		return 0, err
+	}
+	return id, nil
+}
+
+// AddBatchCtx is AddBatch carrying a trace context; the group commit
+// (one WAL append, one fsync) nests under the lock.hold span.
+func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error) {
+	if len(works) == 0 {
+		return nil, nil
+	}
+	defer ix.timeOp(opAddBatch)()
+	ctx, sp := trace.StartSpan(ctx, "facade.add_batch")
+	sp.SetInt("works", int64(len(works)))
+	defer sp.End()
+	hctx, hold := ix.lockTraced(ctx)
+	defer hold.End()
+	defer ix.mu.Unlock()
+	batch := make([]*model.Work, len(works))
+	for i := range works {
+		cp := works[i]
+		batch[i] = &cp
+	}
+	// Capture the versions that explicit IDs would overwrite; the
+	// engine's copies are identical to the store's, and a rollback must
+	// restore them rather than tombstone committed records.
+	prev := make(map[WorkID]*model.Work)
+	for _, w := range batch {
+		if w.ID == 0 {
+			continue
+		}
+		if _, seen := prev[w.ID]; seen {
+			continue
+		}
+		if old, ok := ix.eng.WorkView(w.ID); ok {
+			prev[w.ID] = old
+		}
+	}
+	ids, err := ix.store.PutBatchCtx(hctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	for i := range batch {
+		batch[i].ID = ids[i]
+	}
+	if err := ix.engAddBatch(batch); err != nil {
+		if derr := ix.rollbackStored(ids, prev); derr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
+		}
+		return nil, err
+	}
+	return ids, nil
+}
+
+// DeleteCtx is Delete carrying a trace context.
+func (ix *Index) DeleteCtx(ctx context.Context, id WorkID) error {
+	defer ix.timeOp(opDelete)()
+	ctx, sp := trace.StartSpan(ctx, "facade.delete")
+	defer sp.End()
+	_, hold := ix.lockTraced(ctx)
+	defer hold.End()
+	defer ix.mu.Unlock()
+	if err := ix.store.Delete(id); err != nil {
+		return err
+	}
+	ix.eng.Remove(id)
+	return nil
+}
+
+// DeleteBatchCtx is DeleteBatch carrying a trace context.
+func (ix *Index) DeleteBatchCtx(ctx context.Context, ids []WorkID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	ctx, sp := trace.StartSpan(ctx, "facade.delete_batch")
+	sp.SetInt("works", int64(len(ids)))
+	defer sp.End()
+	_, hold := ix.lockTraced(ctx)
+	defer hold.End()
+	defer ix.mu.Unlock()
+	if err := ix.store.DeleteBatch(ids); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		ix.eng.Remove(id)
+	}
+	return nil
+}
+
+// RenderCtx is Render carrying a trace context: appendix building and
+// the render itself (sections, per-letter text output) record child
+// spans, and a canceled ctx aborts the render between sections.
+func (ix *Index) RenderCtx(ctx context.Context, w io.Writer, opts RenderOptions) error {
+	defer ix.timeOp(opRender)()
+	ctx, sp := trace.StartSpan(ctx, "facade.render")
+	defer sp.End()
+	hctx, hold := ix.rlockTraced(ctx)
+	defer hold.End()
+	defer ix.mu.RUnlock()
+	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
+		_, nsp := trace.StartSpan(hctx, "render.network_appendix")
+		opts.NetworkAppendix = render.BuildNetwork(ix.eng.Graph(), min(opts.NetworkLimit, MaxLimit))
+		nsp.End()
+	}
+	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
+		// BuildStatistics defaults non-positive limits to 10; the cap
+		// bounds explicit limits like every other query limit.
+		_, ssp := trace.StartSpan(hctx, "render.stats_appendix")
+		opts.Appendix = render.BuildStatistics(ix.eng.Metrics(), min(opts.StatsLimit, MaxLimit))
+		ssp.End()
+	}
+	return render.RenderCtx(hctx, w, ix.eng.Index(), opts)
+}

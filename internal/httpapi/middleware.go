@@ -24,6 +24,12 @@ const (
 	// unmatchedRoute labels requests no registered pattern claimed
 	// (404s from the mux, pprof routes).
 	unmatchedRoute = "unmatched"
+
+	// StatusClientClosedRequest is the nginx-convention status for a
+	// request aborted because the client disconnected. It is counted
+	// under the "canceled" label rather than "499" so dashboards can
+	// tell load-shedding from real errors.
+	StatusClientClosedRequest = 499
 )
 
 // routeKey carries a pointer to the matched route pattern through the
@@ -85,7 +91,12 @@ func (s *Server) telemetry(next http.Handler) http.Handler {
 		w.Header().Set(RequestIDHeader, rid)
 
 		route := unmatchedRoute
-		r = r.WithContext(context.WithValue(r.Context(), routeKey{}, &route))
+		ctx := context.WithValue(r.Context(), routeKey{}, &route)
+		// The root span of this request's trace: every layer below
+		// attaches children through the context. The op family is only
+		// known after routing, so it is stamped at Finish.
+		ctx, tr := s.tracer.StartRoot(ctx, rid, r.Method+" "+r.URL.Path)
+		r = r.WithContext(ctx)
 
 		s.inflight.Inc()
 		defer s.inflight.Dec()
@@ -97,13 +108,20 @@ func (s *Server) telemetry(next http.Handler) http.Handler {
 		}
 		elapsed := time.Since(start)
 
+		tr.Root().SetInt("status", int64(sw.code))
+		tr.Finish(route)
+
 		if h, ok := s.routes[route]; ok {
 			h.Observe(elapsed)
 		} else {
 			s.reg.Histogram(reqDurationMetric, reqDurationHelp, "route", route).Observe(elapsed)
 		}
+		code := fmt.Sprint(sw.code)
+		if sw.code == StatusClientClosedRequest {
+			code = "canceled"
+		}
 		s.reg.Counter(reqTotalMetric, reqTotalHelp,
-			"route", route, "code", fmt.Sprint(sw.code)).Inc()
+			"route", route, "code", code).Inc()
 
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("request_id", rid),

@@ -31,6 +31,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,9 +43,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	authorindex "repro"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves with a no-op logger,
@@ -63,6 +66,14 @@ type Config struct {
 	// construction; /readyz reports 503 until it passes, and keeps
 	// reporting 503 (with the error) if it fails.
 	VerifyOnBoot bool
+	// Slowlog is the threshold at which a request's trace is always
+	// retained and emitted as a structured log line with its span
+	// tree. 0 disables the slowlog (traces still land in the
+	// /debug/traces rings).
+	Slowlog time.Duration
+	// TraceSampleEvery admits 1 in N sub-threshold traces to the
+	// recent ring; <=1 keeps every trace.
+	TraceSampleEvery int
 }
 
 // Server serves one open Index over HTTP. Build with New, mount with
@@ -77,6 +88,7 @@ type Server struct {
 	readyErr atomic.Value // string
 
 	inflight *obs.Gauge
+	tracer   *trace.Tracer
 	reqSeq   atomic.Uint64
 	ridOnce  sync.Once
 	ridSeed  string
@@ -98,6 +110,11 @@ func New(ix *authorindex.Index, cfg Config) *Server {
 	obs.RegisterProcess(s.reg)
 	s.inflight = s.reg.Gauge("authdex_http_in_flight_requests",
 		"Requests currently being served.")
+	s.tracer = trace.NewTracer(trace.Config{
+		Slowlog:     cfg.Slowlog,
+		SampleEvery: cfg.TraceSampleEvery,
+		Logger:      s.log,
+	})
 	if cfg.VerifyOnBoot {
 		go func() {
 			if err := ix.Verify(); err != nil {
@@ -112,6 +129,10 @@ func New(ix *authorindex.Index, cfg Config) *Server {
 	}
 	return s
 }
+
+// Tracer exposes the request tracer (tests and embedding servers
+// read its snapshot directly; everyone else scrapes /debug/traces).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Handler returns the fully wired handler: every route behind the
 // telemetry middleware (request IDs, per-route metrics, access logs),
@@ -145,6 +166,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /healthz", s.healthz},
 		{"GET /readyz", s.readyz},
 		{"GET /debug/metrics", s.debugMetrics},
+		{"GET /debug/traces", s.debugTraces},
 	} {
 		s.handle(mux, r.pattern, r.h)
 	}
@@ -163,12 +185,20 @@ func (s *Server) Handler() http.Handler {
 }
 
 // handle registers pattern on mux with the route-stamping wrapper and
-// pre-creates the route's latency histogram.
+// pre-creates the route's latency histogram. The handler runs under an
+// http.handler span so the root span's direct children account for the
+// whole request — time the finer spans miss (scheduler gaps, handler
+// glue) still lands inside the handler window instead of vanishing.
 func (s *Server) handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
 	s.routes[pattern] = s.reg.Histogram(reqDurationMetric, reqDurationHelp, "route", pattern)
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		stampRoute(r, pattern)
+		ctx, sp := trace.StartSpan(r.Context(), "http.handler")
+		if sp != nil {
+			r = r.WithContext(ctx)
+		}
 		h(w, r)
+		sp.End()
 	})
 }
 
@@ -204,13 +234,28 @@ func (s *Server) debugMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---- shared helpers ----
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(ctx context.Context, w http.ResponseWriter, v any) {
+	_, sp := trace.StartSpan(ctx, "http.encode")
+	defer sp.End()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// canceled reports whether the client already hung up, answering the
+// 499 status used by proxies for the same condition. Handlers call it
+// before expensive phases (render, list, rank, scan) so a dead
+// connection never pays for work nobody will read; the middleware
+// counts these under the "canceled" status label.
+func canceled(w http.ResponseWriter, r *http.Request) bool {
+	if r.Context().Err() == nil {
+		return false
+	}
+	httpErr(w, StatusClientClosedRequest, "client closed request")
+	return true
 }
 
 func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
@@ -290,21 +335,24 @@ func toWireEntry(e *authorindex.Entry) Entry {
 // handlers --------------------------------------------------------------
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.Stats())
+	writeJSON(r.Context(), w, s.ix.Stats())
 }
 
 func (s *Server) authors(w http.ResponseWriter, r *http.Request) {
+	if canceled(w, r) {
+		return
+	}
 	var entries []*authorindex.Entry
 	if after := r.URL.Query().Get("after"); after != "" {
-		entries = s.ix.AuthorsPage(after, limitParam(r))
+		entries = s.ix.AuthorsPageCtx(r.Context(), after, limitParam(r))
 	} else {
-		entries = s.ix.Authors(r.URL.Query().Get("prefix"), limitParam(r))
+		entries = s.ix.AuthorsCtx(r.Context(), r.URL.Query().Get("prefix"), limitParam(r))
 	}
 	out := make([]Entry, len(entries))
 	for i, e := range entries {
 		out[i] = toWireEntry(e)
 	}
-	writeJSON(w, out)
+	writeJSON(r.Context(), w, out)
 }
 
 func (s *Server) author(w http.ResponseWriter, r *http.Request) {
@@ -314,7 +362,7 @@ func (s *Server) author(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusNotFound, "no heading %q", heading)
 		return
 	}
-	writeJSON(w, toWireEntry(entry))
+	writeJSON(r.Context(), w, toWireEntry(entry))
 }
 
 func (s *Server) work(w http.ResponseWriter, r *http.Request) {
@@ -323,12 +371,12 @@ func (s *Server) work(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "bad id: %v", err)
 		return
 	}
-	work, ok := s.ix.Get(authorindex.WorkID(id))
+	work, ok := s.ix.GetCtx(r.Context(), authorindex.WorkID(id))
 	if !ok {
 		httpErr(w, http.StatusNotFound, "no work %d", id)
 		return
 	}
-	writeJSON(w, toWireWork(work))
+	writeJSON(r.Context(), w, toWireWork(work))
 }
 
 func (s *Server) search(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +385,10 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	writeJSON(w, toWireWorks(s.ix.Search(q, limitParam(r))))
+	if canceled(w, r) {
+		return
+	}
+	writeJSON(r.Context(), w, toWireWorks(s.ix.SearchCtx(r.Context(), q, limitParam(r))))
 }
 
 func (s *Server) years(w http.ResponseWriter, r *http.Request) {
@@ -347,7 +398,10 @@ func (s *Server) years(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "from and to must be years")
 		return
 	}
-	writeJSON(w, toWireWorks(s.ix.YearRange(from, to, limitParam(r))))
+	if canceled(w, r) {
+		return
+	}
+	writeJSON(r.Context(), w, toWireWorks(s.ix.YearRangeCtx(r.Context(), from, to, limitParam(r))))
 }
 
 func (s *Server) volume(w http.ResponseWriter, r *http.Request) {
@@ -356,7 +410,10 @@ func (s *Server) volume(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "v must be a volume number")
 		return
 	}
-	writeJSON(w, toWireWorks(s.ix.VolumeWorks(v, limitParam(r))))
+	if canceled(w, r) {
+		return
+	}
+	writeJSON(r.Context(), w, toWireWorks(s.ix.VolumeWorksCtx(r.Context(), v, limitParam(r))))
 }
 
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
@@ -369,6 +426,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if canceled(w, r) {
+		return
+	}
 	switch f {
 	case authorindex.JSON:
 		w.Header().Set("Content-Type", "application/json")
@@ -379,7 +439,12 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	if err := s.ix.Render(w, authorindex.RenderOptions{Format: f}); err != nil {
+	if err := s.ix.RenderCtx(r.Context(), w, authorindex.RenderOptions{Format: f}); err != nil {
+		if r.Context().Err() != nil {
+			// The render aborted because the client went away; headers
+			// may already be out, so just stop writing.
+			return
+		}
 		httpErr(w, http.StatusInternalServerError, "%v", err)
 	}
 }
@@ -394,6 +459,9 @@ func (s *Server) titles(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if canceled(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if err := s.ix.RenderTitleIndex(w, authorindex.RenderOptions{Format: f}); err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -401,21 +469,24 @@ func (s *Server) titles(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) subjects(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.Subjects())
+	writeJSON(r.Context(), w, s.ix.Subjects())
 }
 
 func (s *Server) bySubject(w http.ResponseWriter, r *http.Request) {
 	subject := r.PathValue("subject")
-	works := s.ix.BySubject(subject, limitParam(r))
+	if canceled(w, r) {
+		return
+	}
+	works := s.ix.BySubjectCtx(r.Context(), subject, limitParam(r))
 	if len(works) == 0 {
 		httpErr(w, http.StatusNotFound, "no works under subject %q", subject)
 		return
 	}
-	writeJSON(w, toWireWorks(works))
+	writeJSON(r.Context(), w, toWireWorks(works))
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.MetricsSummary())
+	writeJSON(r.Context(), w, s.ix.MetricsSummary())
 }
 
 func (s *Server) rank(w http.ResponseWriter, r *http.Request) {
@@ -428,11 +499,14 @@ func (s *Server) rank(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, s.ix.TopAuthors(by, limitParam(r)))
+	if canceled(w, r) {
+		return
+	}
+	writeJSON(r.Context(), w, s.ix.TopAuthorsCtx(r.Context(), by, limitParam(r)))
 }
 
 func (s *Server) graph(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.GraphSummary())
+	writeJSON(r.Context(), w, s.ix.GraphSummary())
 }
 
 // Path is the /graph/path response: the chain plus its hop count.
@@ -455,11 +529,14 @@ func (s *Server) graphPath(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusNotFound, "no collaboration path from %q to %q", from, to)
 		return
 	}
-	writeJSON(w, Path{From: from, To: to, Distance: len(path) - 1, Path: path})
+	writeJSON(r.Context(), w, Path{From: from, To: to, Distance: len(path) - 1, Path: path})
 }
 
 func (s *Server) graphCentral(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ix.TopCentral(limitParam(r)))
+	if canceled(w, r) {
+		return
+	}
+	writeJSON(r.Context(), w, s.ix.TopCentralCtx(r.Context(), limitParam(r)))
 }
 
 func (s *Server) authorMetrics(w http.ResponseWriter, r *http.Request) {
@@ -469,7 +546,7 @@ func (s *Server) authorMetrics(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusNotFound, "no heading %q", heading)
 		return
 	}
-	writeJSON(w, m)
+	writeJSON(r.Context(), w, m)
 }
 
 func (s *Server) addWork(w http.ResponseWriter, r *http.Request) {
@@ -483,13 +560,13 @@ func (s *Server) addWork(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, err := s.ix.Add(work)
+	id, err := s.ix.AddCtx(r.Context(), work)
 	if err != nil {
 		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]authorindex.WorkID{"id": id})
+	writeJSON(r.Context(), w, map[string]authorindex.WorkID{"id": id})
 }
 
 // addWorksBatch accepts a JSON array of works and commits them as one
@@ -514,13 +591,13 @@ func (s *Server) addWorksBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		works[i] = work
 	}
-	ids, err := s.ix.AddBatch(works)
+	ids, err := s.ix.AddBatchCtx(r.Context(), works)
 	if err != nil {
 		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string][]authorindex.WorkID{"ids": ids})
+	writeJSON(r.Context(), w, map[string][]authorindex.WorkID{"ids": ids})
 }
 
 func fromWireWork(in Work) (authorindex.Work, error) {

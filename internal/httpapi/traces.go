@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// debugTraces serves the retained request traces, in the spirit of
+// golang.org/x/net/trace: per op family, the N most recent and the N
+// slowest span trees, each correlated with the access log by its
+// X-Request-ID.
+//
+//	GET /debug/traces                     text, all families
+//	GET /debug/traces?format=json         machine-readable snapshot
+//	GET /debug/traces?family=GET+/search  filter by route substring
+//	GET /debug/traces?min=50ms            only traces at least this slow
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var minDur time.Duration
+	if raw := q.Get("min"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad min duration: %v", err)
+			return
+		}
+		minDur = d
+	}
+	snap := filterTraces(s.tracer.Snapshot(), q.Get("family"), minDur)
+
+	if q.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			httpErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(snap) == 0 {
+		io.WriteString(w, "no traces retained (filters too narrow, or no requests yet)\n")
+		return
+	}
+	var b strings.Builder
+	for _, fam := range snap {
+		b.WriteString("=== ")
+		b.WriteString(fam.Family)
+		b.WriteString(" ===\n")
+		writeTraceGroup(&b, "slowest", fam.Slowest)
+		writeTraceGroup(&b, "recent", fam.Recent)
+		b.WriteByte('\n')
+	}
+	io.WriteString(w, b.String())
+}
+
+func writeTraceGroup(b *strings.Builder, title string, traces []trace.TraceData) {
+	if len(traces) == 0 {
+		return
+	}
+	b.WriteString("-- ")
+	b.WriteString(title)
+	b.WriteString(" --\n")
+	for i := range traces {
+		td := &traces[i]
+		b.WriteString(td.Start.Format("15:04:05.000"))
+		b.WriteByte(' ')
+		b.WriteString(time.Duration(td.DurNS).Round(time.Microsecond).String())
+		if td.ID != "" {
+			b.WriteString("  id=")
+			b.WriteString(td.ID)
+		}
+		b.WriteByte('\n')
+		td.Root.WriteText(b, 1)
+	}
+}
+
+// filterTraces narrows a snapshot to families containing the (case-
+// insensitive) substring and traces at least min long. Empty filters
+// pass everything; families left with no traces are dropped.
+func filterTraces(snap []trace.FamilySnapshot, family string, min time.Duration) []trace.FamilySnapshot {
+	family = strings.ToLower(family)
+	var out []trace.FamilySnapshot
+	for _, fam := range snap {
+		if family != "" && !strings.Contains(strings.ToLower(fam.Family), family) {
+			continue
+		}
+		if min > 0 {
+			fam.Recent = filterMin(fam.Recent, min)
+			fam.Slowest = filterMin(fam.Slowest, min)
+		}
+		if len(fam.Recent) == 0 && len(fam.Slowest) == 0 {
+			continue
+		}
+		out = append(out, fam)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+func filterMin(traces []trace.TraceData, min time.Duration) []trace.TraceData {
+	var out []trace.TraceData
+	for _, td := range traces {
+		if time.Duration(td.DurNS) >= min {
+			out = append(out, td)
+		}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime/debug"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/names"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // Index-mutation latency on the process-wide registry: what one work
@@ -310,6 +312,16 @@ func (e *Engine) AddBatch(works []*model.Work) error {
 // work is never mutated in place) and must not modify them afterwards.
 // Any error leaves the engine empty and usable.
 func (e *Engine) LoadAll(works []*model.Work) error {
+	return e.LoadAllCtx(context.Background(), works)
+}
+
+// LoadAllCtx is LoadAll carrying a trace context: the load is one
+// "engine.load_all" span with a child per build phase, including one
+// per parallel goroutine — the span tree shows which index dominated a
+// slow cold start. The parallel children are attached and ended on
+// their own goroutines; wg.Wait orders every child End before the
+// parent's, keeping the tree well-formed.
+func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 	if len(e.works) > 0 || e.idx.Len() > 0 {
 		// idx.Len counts headings, so see-also-only entries (a
 		// cross-reference recorded before any work) block the load too
@@ -321,6 +333,9 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 		return nil
 	}
 	defer loadPhase("total").Since(time.Now())
+	_, load := trace.StartSpan(ctx, "engine.load_all")
+	load.SetInt("works", int64(len(works)))
+	defer load.End()
 	// A bulk load's entire job is growing a large live heap; garbage
 	// collection during it re-marks that growing live set over and over
 	// for nothing, so relax the pacer for the duration (restored when
@@ -334,20 +349,25 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	// ID uniqueness. Citation-key computation is per-work independent
 	// and fans out across cores.
 	validateStart := time.Now()
+	validateSpan := load.StartChild("load.validate")
 	seen := make(map[model.WorkID]struct{}, len(works))
 	for _, w := range works {
 		if w.ID == 0 {
+			validateSpan.End()
 			return fmt.Errorf("query: work %q has no ID", w.Title)
 		}
 		if _, dup := seen[w.ID]; dup {
+			validateSpan.End()
 			return fmt.Errorf("query: duplicate work ID %d in bulk load", w.ID)
 		}
 		seen[w.ID] = struct{}{}
 	}
+	validateSpan.End()
 	loadPhase("validate").Since(validateStart)
 	// One arena allocation for every entry: the structs are tiny, live
 	// together for the index's whole life, and number in the corpus size.
 	keysStart := time.Now()
+	keysSpan := load.StartChild("load.sort_keys")
 	arena := make([]workEntry, len(works))
 	entries := make([]*workEntry, len(works))
 	if err := parallel.Ranges(len(works), func(lo, hi int) error {
@@ -357,12 +377,14 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 		}
 		return nil
 	}); err != nil {
+		keysSpan.End()
 		return err
 	}
 	// One citation-key sort: every ordered index below derives from this
 	// pass instead of paying a per-work tree descent.
 	sorted := append(make(byCitKey, 0, len(entries)), entries...)
 	sort.Sort(sorted)
+	keysSpan.End()
 	loadPhase("sort_keys").Since(keysStart)
 
 	// The index builds run concurrently: the author index (the most
@@ -385,11 +407,13 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	go func() {
 		defer wg.Done()
 		defer loadPhase("author_index").Since(time.Now())
+		defer load.StartChild("load.author_index").End()
 		idx, errs[0] = core.Load(e.coll, works)
 	}()
 	go func() {
 		defer wg.Done()
 		defer loadPhase("inverted").Since(time.Now())
+		defer load.StartChild("load.inverted").End()
 		docs := make([]inverted.Doc, len(works))
 		for i, w := range works {
 			docs[i] = inverted.Doc{ID: w.ID, Text: w.Title}
@@ -399,21 +423,25 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 	go func() {
 		defer wg.Done()
 		defer loadPhase("citation_trees").Since(time.Now())
+		defer load.StartChild("load.citation_trees").End()
 		byCitation, byYear, errs[1], errs[2] = loadCitationTrees(sorted)
 	}()
 	go func() {
 		defer wg.Done()
 		defer loadPhase("subjects").Since(time.Now())
+		defer load.StartChild("load.subjects").End()
 		bySubject, errs[3] = e.loadSubjects(entries, sorted)
 	}()
 	go func() {
 		defer wg.Done()
 		defer loadPhase("metrics").Since(time.Now())
+		defer load.StartChild("load.metrics").End()
 		e.met.Rebuild(works)
 	}()
 	go func() {
 		defer wg.Done()
 		defer loadPhase("graph").Since(time.Now())
+		defer load.StartChild("load.graph").End()
 		e.gr.Rebuild(works)
 	}()
 	wg.Wait()
@@ -787,8 +815,21 @@ func (e *Engine) TitleSearch(q string, limit int) []*model.Work {
 // clone — so a view stays safe to read even after the caller's lock is
 // released and a concurrent mutation has removed the work.
 func (e *Engine) TitleSearchView(q string, limit int) []*model.Work {
+	return e.TitleSearchViewCtx(context.Background(), q, limit)
+}
+
+// TitleSearchViewCtx is TitleSearchView carrying a trace context: the
+// scan is one "engine.title_scan" span with the postings intersection
+// recorded as a child, both annotated with result counts.
+func (e *Engine) TitleSearchViewCtx(ctx context.Context, q string, limit int) []*model.Work {
+	ctx, scan := trace.StartSpan(ctx, "engine.title_scan")
+	defer scan.End()
 	e.qs.queries.Add(1)
+	_, isect := trace.StartSpan(ctx, "inverted.intersect")
 	ids, st := e.inv.EvalWithStats(inverted.ParseQuery(q))
+	isect.SetInt("postings_bytes", int64(st.PostingsBytes))
+	isect.SetInt("matches", int64(len(ids)))
+	isect.End()
 	e.qs.scanned.Add(uint64(st.PostingsBytes))
 	refs := make([]*workEntry, 0, len(ids))
 	for _, id := range ids {
@@ -797,7 +838,9 @@ func (e *Engine) TitleSearchView(q string, limit int) []*model.Work {
 		}
 	}
 	sortRefs(refs)
-	return worksOf(truncateRefs(refs, limit))
+	out := worksOf(truncateRefs(refs, limit))
+	scan.SetInt("hits", int64(len(out)))
+	return out
 }
 
 // YearRange returns copies of works published in [from, to] (inclusive),

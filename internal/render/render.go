@@ -5,6 +5,7 @@
 package render
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Format selects the output encoding.
@@ -119,10 +121,30 @@ func (o Options) pageWidth() int {
 
 // Render writes the index to w in the selected format.
 func Render(w io.Writer, ix *core.Index, opts Options) error {
+	return RenderCtx(context.Background(), w, ix, opts)
+}
+
+// RenderCtx is Render carrying a trace context: section collection and
+// encoding are recorded as child spans (text output gets one span per
+// letter section), and cancellation is honored between phases — a
+// client that hung up stops a large render early with ctx.Err().
+func RenderCtx(ctx context.Context, w io.Writer, ix *core.Index, opts Options) error {
+	ctx, sp := trace.StartSpan(ctx, "render")
+	sp.SetAttr("format", opts.Format.String())
+	defer sp.End()
+	_, secSpan := trace.StartSpan(ctx, "render.sections")
 	sections := ix.Sections()
+	secSpan.SetInt("sections", int64(len(sections)))
+	secSpan.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if opts.Format == Text {
+		return renderText(ctx, w, sections, opts)
+	}
+	_, enc := trace.StartSpan(ctx, "render.encode")
+	defer enc.End()
 	switch opts.Format {
-	case Text:
-		return renderText(w, sections, opts)
 	case TSV:
 		return renderTSV(w, sections)
 	case Markdown:
@@ -186,7 +208,8 @@ func (p *textPager) header() {
 	}
 }
 
-func renderText(w io.Writer, sections []core.Section, opts Options) error {
+func renderText(ctx context.Context, w io.Writer, sections []core.Section, opts Options) error {
+	parent := trace.FromContext(ctx)
 	width := opts.pageWidth()
 	// Column plan: author | gap | title | gap | citation.
 	citeW := 16
@@ -214,6 +237,13 @@ func renderText(w io.Writer, sections []core.Section, opts Options) error {
 	}
 
 	for _, sec := range sections {
+		// A disconnected client stops a large text render at the next
+		// section boundary instead of formatting pages nobody will read.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		secSpan := parent.StartChild("render.section " + string(sec.Letter))
+		secSpan.SetInt("entries", int64(len(sec.Entries)))
 		if !opts.NoSections {
 			p.emit("")
 			p.emit(center(fmt.Sprintf("— %c —", sec.Letter), width))
@@ -228,6 +258,7 @@ func renderText(w io.Writer, sections []core.Section, opts Options) error {
 				row(name, work.Title, work.Citation.String())
 			}
 		}
+		secSpan.End()
 	}
 	if opts.Appendix != nil {
 		appendTextStats(p, opts.Appendix)

@@ -16,6 +16,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -150,6 +152,15 @@ func Open(dir string, opts Options) (*Store, error) {
 // Put stores a validated work. A zero ID is assigned the next free ID;
 // an explicit ID inserts or overwrites. The assigned ID is returned.
 func (s *Store) Put(w *model.Work) (model.WorkID, error) {
+	return s.PutCtx(context.Background(), w)
+}
+
+// PutCtx is Put carrying a trace context: the whole store mutation is
+// one "store.put" span whose WAL children (encode, fsync) attribute
+// commit latency.
+func (s *Store) PutCtx(ctx context.Context, w *model.Work) (model.WorkID, error) {
+	ctx, span := trace.StartSpan(ctx, "store.put")
+	defer span.End()
 	if err := w.Validate(); err != nil {
 		return 0, err
 	}
@@ -162,7 +173,7 @@ func (s *Store) Put(w *model.Work) (model.WorkID, error) {
 	if clone.ID == 0 {
 		clone.ID = s.nextID
 	}
-	if err := s.logOp(s.encodePut(clone)); err != nil {
+	if err := s.logOpCtx(ctx, s.encodePut(clone)); err != nil {
 		return 0, err
 	}
 	s.applyPut(clone)
@@ -212,9 +223,18 @@ func (s *Store) Delete(id model.WorkID) error {
 // byte-identical to its pre-batch state, next-ID counter included. The
 // assigned IDs are returned in input order.
 func (s *Store) PutBatch(works []*model.Work) ([]model.WorkID, error) {
+	return s.PutBatchCtx(context.Background(), works)
+}
+
+// PutBatchCtx is PutBatch carrying a trace context; the batch commit is
+// one "store.put_batch" span with the record count attached.
+func (s *Store) PutBatchCtx(ctx context.Context, works []*model.Work) ([]model.WorkID, error) {
 	if len(works) == 0 {
 		return nil, nil
 	}
+	ctx, span := trace.StartSpan(ctx, "store.put_batch")
+	span.SetInt("records", int64(len(works)))
+	defer span.End()
 	for _, w := range works {
 		if err := w.Validate(); err != nil {
 			return nil, err
@@ -244,7 +264,7 @@ func (s *Store) PutBatch(works []*model.Work) ([]model.WorkID, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := s.log.AppendBatch([][]byte{frame}); err != nil {
+		if err := s.log.AppendBatchCtx(ctx, [][]byte{frame}); err != nil {
 			return nil, err
 		}
 		s.opsSince += len(clones)
@@ -484,10 +504,14 @@ func (s *Store) Close() error {
 // ---- internals (callers hold s.mu) ----
 
 func (s *Store) logOp(payload []byte) error {
+	return s.logOpCtx(context.Background(), payload)
+}
+
+func (s *Store) logOpCtx(ctx context.Context, payload []byte) error {
 	if s.log == nil {
 		return nil
 	}
-	if err := s.log.Append(payload); err != nil {
+	if err := s.log.AppendCtx(ctx, payload); err != nil {
 		return err
 	}
 	s.opsSince++

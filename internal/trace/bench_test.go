@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDisabledPath is the cost every untraced operation pays now
+// that the facade threads contexts unconditionally: one ctx.Value miss
+// in StartSpan plus nil-receiver no-ops. This must stay at zero
+// allocations and single-digit nanoseconds — it runs on every query.
+func BenchmarkDisabledPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.op")
+		sp.SetInt("hits", 42)
+		child := sp.StartChild("bench.child")
+		child.End()
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan prices the traced path: span allocation, child
+// attachment, attrs, End. It bounds what a sampled request costs.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tracer := NewTracer(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx, tr := tracer.StartRoot(context.Background(), "bench", "bench root")
+		_, sp := StartSpan(ctx, "bench.op")
+		sp.SetInt("hits", 42)
+		child := sp.StartChild("bench.child")
+		child.End()
+		sp.End()
+		tr.Finish("bench")
+	}
+}

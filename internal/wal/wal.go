@@ -20,6 +20,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Write-path latency, recorded on the process-wide registry: every
@@ -174,7 +176,12 @@ func Open(dir string, opts Options) (*Log, error) {
 // Append writes one record. The payload must be non-empty and smaller
 // than the 64 MiB frame limit. When the record is durable (or buffered,
 // under NoSync) Append returns nil.
-func (l *Log) Append(p []byte) error {
+func (l *Log) Append(p []byte) error { return l.AppendCtx(context.Background(), p) }
+
+// AppendCtx is Append carrying a trace context: frame encoding and the
+// fsync are recorded as separate child spans so slow commits attribute
+// their latency to CPU (encode) or the disk (fsync).
+func (l *Log) AppendCtx(ctx context.Context, p []byte) error {
 	if len(p) == 0 {
 		return errors.New("wal: empty payload")
 	}
@@ -192,7 +199,10 @@ func (l *Log) Append(p []byte) error {
 		}
 	}
 	encStart := time.Now()
+	encSpan := trace.FromContext(ctx).StartChild("wal.encode")
 	l.scratch = appendFrame(l.scratch[:0], p)
+	encSpan.SetInt("bytes", int64(len(l.scratch)))
+	encSpan.End()
 	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
@@ -203,7 +213,7 @@ func (l *Log) Append(p []byte) error {
 	l.st.Appends++
 	l.st.Records++
 	if !l.opts.NoSync {
-		if err := l.syncLocked(); err != nil {
+		if err := l.syncLockedCtx(ctx); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -219,6 +229,12 @@ func (l *Log) Append(p []byte) error {
 // all-or-nothing visibility must encode the batch as one record (the
 // storage layer does). An empty batch is a no-op.
 func (l *Log) AppendBatch(payloads [][]byte) error {
+	return l.AppendBatchCtx(context.Background(), payloads)
+}
+
+// AppendBatchCtx is AppendBatch carrying a trace context; see
+// AppendCtx for the spans recorded.
+func (l *Log) AppendBatchCtx(ctx context.Context, payloads [][]byte) error {
 	if len(payloads) == 0 {
 		return nil
 	}
@@ -246,10 +262,14 @@ func (l *Log) AppendBatch(payloads [][]byte) error {
 		l.scratch = make([]byte, 0, total)
 	}
 	encStart := time.Now()
+	encSpan := trace.FromContext(ctx).StartChild("wal.encode")
 	l.scratch = l.scratch[:0]
 	for _, p := range payloads {
 		l.scratch = appendFrame(l.scratch, p)
 	}
+	encSpan.SetInt("bytes", int64(len(l.scratch)))
+	encSpan.SetInt("records", int64(len(payloads)))
+	encSpan.End()
 	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)
@@ -260,7 +280,7 @@ func (l *Log) AppendBatch(payloads [][]byte) error {
 	l.st.Appends++
 	l.st.Records += int64(len(payloads))
 	if !l.opts.NoSync {
-		if err := l.syncLocked(); err != nil {
+		if err := l.syncLockedCtx(ctx); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
@@ -277,10 +297,14 @@ func appendFrame(dst, p []byte) []byte {
 
 // syncLocked issues one fsync on the open segment, counting it and
 // timing it. Every fsync the log performs funnels through here.
-func (l *Log) syncLocked() error {
+func (l *Log) syncLocked() error { return l.syncLockedCtx(context.Background()) }
+
+func (l *Log) syncLockedCtx(ctx context.Context) error {
 	l.st.Syncs++
 	start := time.Now()
+	span := trace.FromContext(ctx).StartChild("wal.fsync")
 	err := l.f.Sync()
+	span.End()
 	fsyncHist.Since(start)
 	return err
 }
