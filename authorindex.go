@@ -266,13 +266,30 @@ type Stats struct {
 }
 
 // Index is an open author-index engine. All methods are safe for
-// concurrent use: writes are serialized, reads run in parallel.
+// concurrent use: writes are serialized behind mu and commit by
+// publishing a fresh copy-on-write engine snapshot; reads pin the
+// current snapshot and run entirely lock-free (see snapshot.go), so a
+// slow reader never stalls a writer and a write burst never convoys
+// readers.
 type Index struct {
 	mu          sync.RWMutex
 	store       *storage.Store
-	eng         *query.Engine
 	coll        CollationOptions
 	ingestBatch int
+
+	// eng is the writer-current engine: the head every writer clones
+	// from. Accessed only under mu (Verify takes the read side to
+	// cross-check store and engine without writers moving underneath).
+	eng *query.Engine
+	// snap is the published snapshot readers pin; publish swaps it
+	// after every committed write.
+	snap        atomic.Pointer[epoch]
+	epochSeq    atomic.Uint64
+	epochsAlive atomic.Int64
+	// swapHist records the copy-on-write turnover latency each write
+	// pays (clone + path-copied mutation + pointer swap). Bound to a
+	// registry by RegisterMetrics, like ops.
+	swapHist atomic.Pointer[obs.Histogram]
 
 	// ops holds the per-operation latency histograms. Open points them
 	// at obs.Default; RegisterMetrics swaps in a set bound to another
@@ -356,6 +373,11 @@ func (ix *Index) RegisterMetrics(r *obs.Registry) {
 		func(s Stats) float64 { return float64(s.WALBytes) })
 	gauge("authdex_snapshot_bytes", "Last snapshot size.",
 		func(s Stats) float64 { return float64(s.SnapshotBytes) })
+	ix.swapHist.Store(r.Histogram("authdex_snapshot_swap_duration_seconds",
+		"Copy-on-write snapshot turnover latency per committed write (engine clone, path-copied mutation, pointer swap)."))
+	r.GaugeFunc("authdex_epochs_alive",
+		"Engine snapshot epochs not yet reclaimed; 1 when quiescent.",
+		func() float64 { return float64(ix.EpochsAlive()) })
 }
 
 // engineAddFault, when non-nil, is consulted by the write path after
@@ -420,6 +442,9 @@ func Open(dir string, opts *Options) (*Index, error) {
 			return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
 		}
 	}
+	// Publish the initial snapshot before the index is visible to any
+	// reader; every read path pins an epoch, so one must always exist.
+	ix.publish(start, ix.eng)
 	ix.RegisterMetrics(obs.Default)
 	ix.ops.Load()[opOpen].Since(start)
 	return ix, nil
@@ -439,14 +464,15 @@ func (ix *Index) Add(w Work) (WorkID, error) {
 	return ix.AddCtx(context.Background(), w)
 }
 
-// engAdd indexes one stored work, honoring the test-only fault hook.
-func (ix *Index) engAdd(w *Work) error {
+// engAdd indexes one stored work into the writer's not-yet-published
+// clone, honoring the test-only fault hook.
+func (ix *Index) engAdd(eng *query.Engine, w *Work) error {
 	if engineAddFault != nil {
 		if err := engineAddFault(w); err != nil {
 			return err
 		}
 	}
-	return ix.eng.Add(w)
+	return eng.Add(w)
 }
 
 // AddBatch validates and stores N works under a single lock acquisition
@@ -490,8 +516,9 @@ func (ix *Index) rollbackStored(ids []WorkID, prev map[WorkID]*model.Work) error
 	return nil
 }
 
-// engAddBatch indexes a stored batch, honoring the test-only fault hook.
-func (ix *Index) engAddBatch(batch []*model.Work) error {
+// engAddBatch indexes a stored batch into the writer's not-yet-published
+// clone, honoring the test-only fault hook.
+func (ix *Index) engAddBatch(eng *query.Engine, batch []*model.Work) error {
 	if engineAddFault != nil {
 		for _, w := range batch {
 			if err := engineAddFault(w); err != nil {
@@ -499,7 +526,7 @@ func (ix *Index) engAddBatch(batch []*model.Work) error {
 			}
 		}
 	}
-	return ix.eng.AddBatch(batch)
+	return eng.AddBatch(batch)
 }
 
 // uniqueIDs drops duplicate IDs (a batch may legally carry the same
@@ -530,24 +557,25 @@ func (ix *Index) Delete(id WorkID) error {
 }
 
 // Get returns a copy of the stored work. The copy is made after the
-// read lock is released: indexed works are immutable, so the reference
-// captured under the lock stays valid even across a concurrent delete.
+// snapshot pin is released: indexed works are immutable, so the
+// reference captured from the snapshot stays valid even across a
+// concurrent delete.
 func (ix *Index) Get(id WorkID) (*Work, bool) {
 	return ix.GetCtx(context.Background(), id)
 }
 
 // Len returns the number of stored works.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Len()
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.Len()
 }
 
 // Author looks up one heading by its index-order string.
 func (ix *Index) Author(heading string) (*Entry, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.AuthorExact(heading)
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.AuthorExact(heading)
 }
 
 // Authors returns up to limit headings starting with prefix, in print
@@ -568,10 +596,11 @@ func (ix *Index) AuthorsPage(after string, limit int) []*Entry {
 // order, capped at limit (<=0: no cap).
 //
 // Search and the other ordered reads (YearRange, VolumeWorks,
-// BySubject) hold the read lock only while collecting live references —
-// already ordered by the engine's precomputed citation keys and
-// truncated to limit — and deep-copy the survivors after the lock is
-// released, so result cloning never extends writer stall time.
+// BySubject) take no lock at all: they pin the current engine snapshot
+// while collecting live references — already ordered by the engine's
+// precomputed citation keys and truncated to limit — release it, and
+// deep-copy the survivors, so neither a writer nor another reader is
+// ever stalled by a read.
 func (ix *Index) Search(q string, limit int) []*Work {
 	return ix.SearchCtx(context.Background(), q, limit)
 }
@@ -589,9 +618,9 @@ func (ix *Index) VolumeWorks(v, limit int) []*Work {
 // Subjects returns every subject heading in collation order with its
 // work count.
 func (ix *Index) Subjects() []SubjectCount {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Subjects()
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.Subjects()
 }
 
 // BySubject returns the works filed under a subject heading, matched
@@ -602,14 +631,14 @@ func (ix *Index) BySubject(subject string, limit int) []*Work {
 
 // RenderSubjectIndex writes the subject-index artifact: works grouped
 // under their subject headings. Text, TSV and Markdown formats are
-// supported. Rendering reads a zero-copy view: the lock is held only to
-// collect references, and the renderer never mutates works.
+// supported. Rendering reads a zero-copy view of a pinned snapshot —
+// no lock, and the pin is released before the render runs (indexed
+// works are immutable, so the view outlives the pin).
 func (ix *Index) RenderSubjectIndex(w io.Writer, opts RenderOptions) error {
-	ix.mu.RLock()
-	works := ix.eng.AllWorksView()
-	coll := ix.coll
-	ix.mu.RUnlock()
-	return render.SubjectIndex(w, works, coll, opts)
+	ep := ix.pin()
+	works := ep.eng.AllWorksView()
+	ix.release(ep)
+	return render.SubjectIndex(w, works, ix.coll, opts)
 }
 
 // AddSeeAlso durably records a cross-reference between two headings
@@ -626,19 +655,28 @@ func (ix *Index) AddSeeAlso(from, to string) error {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if err := ix.eng.Index().AddSeeAlso(fa, ta); err != nil {
+	// Mutate a clone, commit to the store, then publish: a store error
+	// discards the clone, so engine and store can no longer diverge the
+	// way the old engine-first order allowed.
+	start := time.Now()
+	eng := ix.eng.Clone()
+	if err := eng.Index().AddSeeAlso(fa, ta); err != nil {
 		return err
 	}
-	return ix.store.AddCrossRef(storage.CrossRef{From: fa, To: ta})
+	if err := ix.store.AddCrossRef(storage.CrossRef{From: fa, To: ta}); err != nil {
+		return err
+	}
+	ix.publish(start, eng)
+	return nil
 }
 
 // AuthorMetrics returns the bibliometrics snapshot for one heading:
 // work counts by kind and year, fractional and position-weighted
 // credit, productivity h-index and collaboration degree.
 func (ix *Index) AuthorMetrics(heading string) (AuthorMetrics, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.AuthorMetrics(heading)
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.AuthorMetrics(heading)
 }
 
 // TopAuthors returns up to limit author snapshots ranked by the given
@@ -649,20 +687,26 @@ func (ix *Index) TopAuthors(by RankKey, limit int) []AuthorMetrics {
 
 // MetricsSummary returns corpus-level collaboration statistics.
 func (ix *Index) MetricsSummary() MetricsSummary {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Metrics().Summary()
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.MetricsSummary()
 }
 
 // SetMetricsScheme swaps the credit-weighting scheme, rebuilding the
 // metrics state from the corpus (O(corpus), a recovery-grade path).
+// Like every write, it publishes a fresh snapshot; the rebuilt tracker
+// is constructed off to the side, so concurrent readers never observe
+// a half-built one.
 func (ix *Index) SetMetricsScheme(s Scheme) error {
 	if !s.Valid() {
 		return fmt.Errorf("authorindex: invalid metrics scheme %d", s)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.eng.SetMetricsScheme(s)
+	start := time.Now()
+	eng := ix.eng.Clone()
+	eng.SetMetricsScheme(s)
+	ix.publish(start, eng)
 	return nil
 }
 
@@ -672,7 +716,10 @@ func (ix *Index) SetMetricsScheme(s Scheme) error {
 func (ix *Index) RebuildMetrics() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.eng.RebuildMetrics()
+	start := time.Now()
+	eng := ix.eng.Clone()
+	eng.RebuildMetrics()
+	ix.publish(start, eng)
 }
 
 // CollaborationPath returns the shortest coauthorship chain between two
@@ -681,38 +728,34 @@ func (ix *Index) RebuildMetrics() {
 // when either heading is unknown or no chain of shared works connects
 // them.
 func (ix *Index) CollaborationPath(from, to string) ([]string, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.CollaborationPath(from, to)
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.CollaborationPath(from, to)
 }
 
 // Centrality returns a heading's PageRank score in the coauthorship
 // network; scores across all authors sum to 1.
 func (ix *Index) Centrality(heading string) (float64, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Centrality(heading)
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.Centrality(heading)
 }
 
 // Collaborators returns a heading's co-authors with shared-work counts,
 // heaviest first.
 func (ix *Index) Collaborators(heading string) []Neighbor {
-	a, err := names.Parse(heading)
-	if err != nil {
-		return nil
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Graph().Neighbors(a.Display())
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.GraphNeighbors(heading)
 }
 
 // GraphSummary returns coauthorship-network aggregates: node, edge and
 // component counts, the largest component, density, and the most
 // central authors under the configured damping factor.
 func (ix *Index) GraphSummary() GraphSummary {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Graph().Summarize()
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.GraphSummary()
 }
 
 // TopCentral returns up to limit authors by network centrality, best
@@ -727,23 +770,26 @@ func (ix *Index) TopCentral(limit int) []CentralAuthor {
 func (ix *Index) RebuildGraph() {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	ix.eng.RebuildGraph()
+	start := time.Now()
+	eng := ix.eng.Clone()
+	eng.RebuildGraph()
+	ix.publish(start, eng)
 }
 
 // Sections returns the index grouped by letter, in print order; entries
 // are deep copies.
 func (ix *Index) Sections() []Section {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.eng.Index().Sections()
+	ep := ix.pin()
+	defer ix.release(ep)
+	return ep.eng.Index().Sections()
 }
 
 // Render writes the index to w in the format selected by opts. With
 // opts.Statistics set, the Text, Markdown and JSON formats close with a
 // contributor-summary appendix built from the metrics tracker; with
 // opts.Network set they close with a collaboration-network appendix
-// built from the coauthorship graph. Graph reads run under the read
-// lock: the graph's lazy caches carry their own internal mutex.
+// built from the coauthorship graph. The render runs against a pinned
+// snapshot; tracker reads take the shared tracker read lock.
 func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 	return ix.RenderCtx(context.Background(), w, opts)
 }
@@ -751,13 +797,12 @@ func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 // RenderTitleIndex writes the companion title-index artifact: works
 // alphabetized by title (leading articles ignored) with authors and
 // citations. Text, TSV and Markdown formats are supported. Like
-// RenderSubjectIndex, it renders from a zero-copy view.
+// RenderSubjectIndex, it renders from a zero-copy snapshot view.
 func (ix *Index) RenderTitleIndex(w io.Writer, opts RenderOptions) error {
-	ix.mu.RLock()
-	works := ix.eng.AllWorksView()
-	coll := ix.coll
-	ix.mu.RUnlock()
-	return render.TitleIndex(w, works, coll, opts)
+	ep := ix.pin()
+	works := ep.eng.AllWorksView()
+	ix.release(ep)
+	return render.TitleIndex(w, works, ix.coll, opts)
 }
 
 // RemoveSeeAlso deletes a durable cross-reference previously recorded
@@ -773,10 +818,17 @@ func (ix *Index) RemoveSeeAlso(from, to string) error {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if !ix.eng.Index().RemoveSeeAlso(fa, ta) {
+	// Same clone-commit-publish order as AddSeeAlso.
+	start := time.Now()
+	eng := ix.eng.Clone()
+	if !eng.Index().RemoveSeeAlso(fa, ta) {
 		return fmt.Errorf("%w: cross-reference %s → %s", ErrNotFound, fa.Display(), ta.Display())
 	}
-	return ix.store.DeleteCrossRef(storage.CrossRef{From: fa, To: ta})
+	if err := ix.store.DeleteCrossRef(storage.CrossRef{From: fa, To: ta}); err != nil {
+		return err
+	}
+	ix.publish(start, eng)
+	return nil
 }
 
 // ImportTSV loads postings in the TSV machine format (as produced by
@@ -847,13 +899,13 @@ func (ix *Index) Compact() error {
 // initialism variants), ordered by confidence. Editors review the list
 // and record see-also references for the real ones.
 func (ix *Index) DuplicateSuggestions() []Suggestion {
-	ix.mu.RLock()
+	ep := ix.pin()
 	var authors []Author
-	ix.eng.Index().Ascend(func(e *Entry) bool {
+	ep.eng.Index().Ascend(func(e *Entry) bool {
 		authors = append(authors, e.Author)
 		return true
 	})
-	ix.mu.RUnlock()
+	ix.release(ep)
 	return dedupe.Suggest(authors)
 }
 
@@ -862,6 +914,11 @@ func (ix *Index) DuplicateSuggestions() []Suggestion {
 // every one of its authors, findable by title search, and counted once;
 // no index may reference a work the store does not hold. It returns nil
 // when the index is internally consistent.
+//
+// Verify is the one read that still takes ix.mu (the read side): it
+// cross-checks the store against the engine, so writers must be
+// excluded for the comparison to be meaningful. Lock-free snapshot
+// readers are unaffected — they never touch ix.mu.
 func (ix *Index) Verify() error {
 	defer ix.timeOp(opVerify)()
 	ix.mu.RLock()
@@ -933,11 +990,11 @@ func (ix *Index) Verify() error {
 
 // Stats returns current counters.
 func (ix *Index) Stats() Stats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	es := ix.eng.Stats()
+	ep := ix.pin()
+	defer ix.release(ep)
+	es := ep.eng.Stats()
 	ss := ix.store.Stats()
-	g := ix.eng.Graph()
+	nodes, edges, components := ep.eng.GraphCounts()
 	return Stats{
 		Works:           es.Works,
 		Authors:         es.Authors,
@@ -945,9 +1002,9 @@ func (ix *Index) Stats() Stats {
 		StudentNotes:    es.StudentNotes,
 		CrossRefs:       es.CrossRefs,
 		Terms:           es.Terms,
-		GraphNodes:      g.Nodes(),
-		GraphEdges:      g.Edges(),
-		GraphComponents: g.Components(),
+		GraphNodes:      nodes,
+		GraphEdges:      edges,
+		GraphComponents: components,
 		QueriesServed:   es.Query.Queries,
 		WorksCloned:     es.Query.WorksCloned,
 		PostingsScanned: es.Query.PostingsBytes,

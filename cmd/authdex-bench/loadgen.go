@@ -24,7 +24,7 @@ import (
 // benchPR numbers the BENCH artifact this harness emits; bump it per
 // PR so each run's report lands beside its predecessors instead of
 // overwriting them.
-const benchPR = 7
+const benchPR = 8
 
 // cmdLoadgen is the HTTP load harness: it replays a mixed query/ingest
 // workload against an authdex server at a fixed dispatch rate (open
@@ -54,7 +54,12 @@ func cmdLoadgen(args []string) error {
 	dir := fs.String("dir", "", "self-host on a durable index at this directory (default: in-memory, no WAL)")
 	out := fs.String("out", fmt.Sprintf("BENCH_%d.json", benchPR), "report path")
 	check := fs.Bool("check", false, "exit nonzero unless requests were sent and every one succeeded")
+	writes := fs.Float64("writes", 0.1, "fraction of dispatched requests that are writes (single adds plus POST /works:batch group commits)")
+	baseline := fs.String("baseline", "", "prior BENCH report; prints before/after p999 per route against it")
 	fs.Parse(args)
+	if *writes < 0 || *writes > 1 {
+		return fmt.Errorf("loadgen: -writes %v out of range [0,1]", *writes)
+	}
 
 	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{Seed: *seed, Works: *works, ZipfS: 1.1})
 	base := *target
@@ -68,7 +73,7 @@ func cmdLoadgen(args []string) error {
 	}
 	base = strings.TrimRight(base, "/")
 
-	plan := buildPlan(corpus, *seed)
+	plan := buildPlan(corpus, *seed, *writes)
 	res := runLoad(base, plan, *rate, *duration, *inflight)
 	res.ServerMetrics = scrapeMetrics(base)
 	res.ServerTraces = scrapeTraces(base)
@@ -76,6 +81,7 @@ func cmdLoadgen(args []string) error {
 	res.Config = loadgenConfig{
 		Target: base, Works: *works, Seed: *seed,
 		DurationSec: duration.Seconds(), Rate: *rate,
+		WriteFrac: *writes,
 	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -89,6 +95,11 @@ func cmdLoadgen(args []string) error {
 	for _, r := range res.Routes {
 		fmt.Printf("   %-22s %7d reqs  p50 %s  p95 %s  p99 %s  p999 %s\n",
 			r.Route, r.Count, fmtNs(r.P50Ns), fmtNs(r.P95Ns), fmtNs(r.P99Ns), fmtNs(r.P999Ns))
+	}
+	if *baseline != "" {
+		if err := printBaselineDelta(*baseline, res); err != nil {
+			fmt.Printf("   (baseline %s unusable: %v)\n", *baseline, err)
+		}
 	}
 	if *check {
 		if res.Requests == 0 {
@@ -111,6 +122,45 @@ type loadgenConfig struct {
 	Seed        int64   `json:"seed"`
 	DurationSec float64 `json:"duration_sec"`
 	Rate        int     `json:"rate_rps"`
+	WriteFrac   float64 `json:"write_frac"`
+}
+
+// printBaselineDelta reads a prior BENCH report and prints, per route
+// present in both runs, the tail shift: before/after p999 (and p99)
+// with the improvement factor. This is the before/after evidence the
+// snapshot-read work is judged by — the write stream is expected to
+// stop dragging read tails.
+func printBaselineDelta(path string, res *benchReport) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return err
+	}
+	before := map[string]routeReport{}
+	for _, r := range base.Routes {
+		before[r.Route] = r
+	}
+	fmt.Printf("   vs %s (%s):\n", path, base.Experiment)
+	for _, r := range res.Routes {
+		b, ok := before[r.Route]
+		if !ok {
+			continue
+		}
+		factor := func(was, now int64) string {
+			if now <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1fx", float64(was)/float64(now))
+		}
+		fmt.Printf("   %-22s p99 %s -> %s (%s)  p999 %s -> %s (%s)\n",
+			r.Route,
+			fmtNs(b.P99Ns), fmtNs(r.P99Ns), factor(b.P99Ns, r.P99Ns),
+			fmtNs(b.P999Ns), fmtNs(r.P999Ns), factor(b.P999Ns, r.P999Ns))
+	}
+	return nil
 }
 
 // routeReport is the client-observed latency profile of one route.
@@ -189,9 +239,11 @@ type wireOp struct {
 // buildPlan synthesizes a deterministic mixed workload from the corpus:
 // title search, author prefix scans, point gets, year ranges, rankings,
 // subject listings and a write stream (single adds plus group-commit
-// batches). Everything is valid against the corpus, so a correct server
-// answers every request with 2xx.
-func buildPlan(corpus []*authorindex.Work, seed int64) []wireOp {
+// POST /works:batch). writeFrac is the fraction of the schedule that is
+// writes (80% single adds, 20% five-work batches); the read mix keeps
+// its relative proportions in the remaining share. Everything is valid
+// against the corpus, so a correct server answers every request with 2xx.
+func buildPlan(corpus []*authorindex.Work, seed int64, writeFrac float64) []wireOp {
 	r := rand.New(rand.NewSource(seed + 42))
 
 	var terms, prefixes []string
@@ -218,24 +270,37 @@ func buildPlan(corpus []*authorindex.Work, seed int64) []wireOp {
 		return fmt.Sprintf(`{"title":"Loadgen Work %d","citation":"998:%d (1997)","authors":["Loadgen, Author %c."]}`,
 			i, 1+i%1400, 'A'+i%26)
 	}
+	// Cumulative cut points: the historical read mix (30/20/20/10/5/5 of
+	// a 90% read share) rescaled to 1-writeFrac, then single adds vs
+	// batches splitting the write share 80/20.
+	read := 1 - writeFrac
+	cut := [7]float64{}
+	for i, frac := range []float64{0.30, 0.20, 0.20, 0.10, 0.05, 0.05} {
+		prev := 0.0
+		if i > 0 {
+			prev = cut[i-1]
+		}
+		cut[i] = prev + frac/0.90*read
+	}
+	cut[6] = read + 0.8*writeFrac
 	const planSize = 4096
 	plan := make([]wireOp, 0, planSize)
 	for i := 0; i < planSize; i++ {
 		switch p := r.Float64(); {
-		case p < 0.30:
+		case p < cut[0]:
 			plan = append(plan, wireOp{"GET /search", "GET", "/search?q=" + terms[r.Intn(len(terms))] + "&limit=20", ""})
-		case p < 0.50:
+		case p < cut[1]:
 			plan = append(plan, wireOp{"GET /authors", "GET", "/authors?prefix=" + prefixes[r.Intn(len(prefixes))] + "&limit=20", ""})
-		case p < 0.70:
+		case p < cut[2]:
 			plan = append(plan, wireOp{"GET /works/{id}", "GET", fmt.Sprintf("/works/%d", 1+r.Intn(len(corpus))), ""})
-		case p < 0.80:
+		case p < cut[3]:
 			from := minYear + r.Intn(maxYear-minYear+1)
 			plan = append(plan, wireOp{"GET /years", "GET", fmt.Sprintf("/years?from=%d&to=%d&limit=20", from, from+2), ""})
-		case p < 0.85:
+		case p < cut[4]:
 			plan = append(plan, wireOp{"GET /rank", "GET", "/rank?by=weighted&limit=10", ""})
-		case p < 0.90:
+		case p < cut[5]:
 			plan = append(plan, wireOp{"GET /subjects", "GET", "/subjects", ""})
-		case p < 0.98:
+		case p < cut[6]:
 			plan = append(plan, wireOp{"POST /works", "POST", "/works", postBody(i)})
 		default:
 			var sb strings.Builder

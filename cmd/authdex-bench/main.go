@@ -9,7 +9,7 @@
 // Usage:
 //
 //	authdex-bench [-quick] [-run E1,E3] [-seed 1] [-cpuprofile f] [-memprofile f]
-//	authdex-bench loadgen [-works N] [-duration 10s] [-rate 2000] [-target URL] [-out BENCH_6.json] [-check]
+//	authdex-bench loadgen [-works N] [-duration 10s] [-rate 2000] [-writes 0.1] [-target URL] [-out BENCH_8.json] [-baseline BENCH_7.json] [-check]
 //
 // The loadgen subcommand is the HTTP load harness: it drives a mixed
 // query/ingest workload against a served index (self-hosted by default)

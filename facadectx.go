@@ -4,34 +4,30 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/trace"
 )
 
 // Ctx variants of the facade entry points. Each wraps its operation in
-// one facade span whose children separate where the time went: how
-// long the caller queued for the lock (lock.rwait / lock.wait) vs what
-// it did while holding it (lock.rhold / lock.hold, which parents the
-// engine/store/WAL spans), plus the post-unlock clone pass. The
+// one facade span annotated with the snapshot epoch that served it.
+// Reads pin an epoch and run lock-free, so their engine spans nest
+// directly under the facade span — there is no lock wait to record.
+// Writes still serialize on ix.mu: their spans keep the lock.wait /
+// lock.hold children (which parent the store/WAL spans) plus the
+// copy-on-write turnover measured by the snapshot-swap histogram. The
 // non-ctx methods delegate through context.Background(), which is the
 // zero-allocation disabled path.
 
-// rlockTraced acquires the read lock, recording the wait as one child
+// lockTraced acquires the write lock, recording the wait as one child
 // span and opening the hold span. The returned context parents the
-// engine work under the hold span; the caller must End it right after
-// RUnlock.
-func (ix *Index) rlockTraced(ctx context.Context) (context.Context, *trace.Span) {
-	sp := trace.FromContext(ctx)
-	wait := sp.StartChild("lock.rwait")
-	ix.mu.RLock()
-	wait.End()
-	hold := sp.StartChild("lock.rhold")
-	return trace.ContextWith(ctx, hold), hold
-}
-
-// lockTraced is rlockTraced for the write lock.
+// store/engine work under the hold span; the caller must End it right
+// after Unlock.
 func (ix *Index) lockTraced(ctx context.Context) (context.Context, *trace.Span) {
 	sp := trace.FromContext(ctx)
 	wait := sp.StartChild("lock.wait")
@@ -41,10 +37,18 @@ func (ix *Index) lockTraced(ctx context.Context) (context.Context, *trace.Span) 
 	return trace.ContextWith(ctx, hold), hold
 }
 
-// cloneTraced deep-copies a view under a facade.clone span.
-func (ix *Index) cloneTraced(ctx context.Context, view []*model.Work) []*Work {
+// pinTraced pins the current snapshot and stamps its epoch on the span.
+func (ix *Index) pinTraced(sp *trace.Span) *epoch {
+	ep := ix.pin()
+	sp.SetInt("epoch", int64(ep.seq))
+	return ep
+}
+
+// cloneTraced deep-copies a view under a facade.clone span. It runs
+// after the snapshot pin is released — views hold immutable works.
+func cloneTraced(ctx context.Context, eng *query.Engine, view []*model.Work) []*Work {
 	_, sp := trace.StartSpan(ctx, "facade.clone")
-	out := ix.eng.CloneWorks(view)
+	out := eng.CloneWorks(view)
 	sp.SetInt("works", int64(len(out)))
 	sp.End()
 	return out
@@ -55,11 +59,10 @@ func (ix *Index) SearchCtx(ctx context.Context, q string, limit int) []*Work {
 	defer ix.timeOp(opSearch)()
 	ctx, sp := trace.StartSpan(ctx, "facade.search")
 	defer sp.End()
-	hctx, hold := ix.rlockTraced(ctx)
-	view := ix.eng.TitleSearchViewCtx(hctx, q, limit)
-	ix.mu.RUnlock()
-	hold.End()
-	return ix.cloneTraced(ctx, view)
+	ep := ix.pinTraced(sp)
+	view := ep.eng.TitleSearchViewCtx(ctx, q, limit)
+	ix.release(ep)
+	return cloneTraced(ctx, ep.eng, view)
 }
 
 // YearRangeCtx is YearRange carrying a trace context.
@@ -67,22 +70,20 @@ func (ix *Index) YearRangeCtx(ctx context.Context, from, to, limit int) []*Work 
 	defer ix.timeOp(opYearRange)()
 	ctx, sp := trace.StartSpan(ctx, "facade.year_range")
 	defer sp.End()
-	hctx, hold := ix.rlockTraced(ctx)
-	view := ix.eng.YearRangeViewCtx(hctx, from, to, limit)
-	ix.mu.RUnlock()
-	hold.End()
-	return ix.cloneTraced(ctx, view)
+	ep := ix.pinTraced(sp)
+	view := ep.eng.YearRangeViewCtx(ctx, from, to, limit)
+	ix.release(ep)
+	return cloneTraced(ctx, ep.eng, view)
 }
 
 // VolumeWorksCtx is VolumeWorks carrying a trace context.
 func (ix *Index) VolumeWorksCtx(ctx context.Context, v, limit int) []*Work {
 	ctx, sp := trace.StartSpan(ctx, "facade.volume")
 	defer sp.End()
-	hctx, hold := ix.rlockTraced(ctx)
-	view := ix.eng.VolumeViewCtx(hctx, v, limit)
-	ix.mu.RUnlock()
-	hold.End()
-	return ix.cloneTraced(ctx, view)
+	ep := ix.pinTraced(sp)
+	view := ep.eng.VolumeViewCtx(ctx, v, limit)
+	ix.release(ep)
+	return cloneTraced(ctx, ep.eng, view)
 }
 
 // BySubjectCtx is BySubject carrying a trace context.
@@ -90,72 +91,66 @@ func (ix *Index) BySubjectCtx(ctx context.Context, subject string, limit int) []
 	defer ix.timeOp(opBySubject)()
 	ctx, sp := trace.StartSpan(ctx, "facade.by_subject")
 	defer sp.End()
-	hctx, hold := ix.rlockTraced(ctx)
-	view := ix.eng.BySubjectViewCtx(hctx, subject, limit)
-	ix.mu.RUnlock()
-	hold.End()
-	return ix.cloneTraced(ctx, view)
+	ep := ix.pinTraced(sp)
+	view := ep.eng.BySubjectViewCtx(ctx, subject, limit)
+	ix.release(ep)
+	return cloneTraced(ctx, ep.eng, view)
 }
 
 // GetCtx is Get carrying a trace context.
 func (ix *Index) GetCtx(ctx context.Context, id WorkID) (*Work, bool) {
 	defer ix.timeOp(opGet)()
-	ctx, sp := trace.StartSpan(ctx, "facade.get")
+	_, sp := trace.StartSpan(ctx, "facade.get")
 	defer sp.End()
-	_, hold := ix.rlockTraced(ctx)
-	w, ok := ix.eng.WorkView(id)
-	ix.mu.RUnlock()
-	hold.End()
+	ep := ix.pinTraced(sp)
+	w, ok := ep.eng.WorkView(id)
+	ix.release(ep)
 	if !ok {
 		return nil, false
 	}
-	return ix.eng.CloneWork(w), true
+	return ep.eng.CloneWork(w), true
 }
 
 // AuthorsCtx is Authors carrying a trace context.
 func (ix *Index) AuthorsCtx(ctx context.Context, prefix string, limit int) []*Entry {
-	ctx, sp := trace.StartSpan(ctx, "facade.authors")
+	_, sp := trace.StartSpan(ctx, "facade.authors")
 	defer sp.End()
-	_, hold := ix.rlockTraced(ctx)
-	out := ix.eng.AuthorPrefix(prefix, limit)
-	ix.mu.RUnlock()
-	hold.End()
+	ep := ix.pinTraced(sp)
+	out := ep.eng.AuthorPrefix(prefix, limit)
+	ix.release(ep)
 	sp.SetInt("entries", int64(len(out)))
 	return out
 }
 
 // AuthorsPageCtx is AuthorsPage carrying a trace context.
 func (ix *Index) AuthorsPageCtx(ctx context.Context, after string, limit int) []*Entry {
-	ctx, sp := trace.StartSpan(ctx, "facade.authors_page")
+	_, sp := trace.StartSpan(ctx, "facade.authors_page")
 	defer sp.End()
-	_, hold := ix.rlockTraced(ctx)
-	out := ix.eng.AuthorPage(after, limit)
-	ix.mu.RUnlock()
-	hold.End()
+	ep := ix.pinTraced(sp)
+	out := ep.eng.AuthorPage(after, limit)
+	ix.release(ep)
 	sp.SetInt("entries", int64(len(out)))
 	return out
 }
 
 // TopAuthorsCtx is TopAuthors carrying a trace context.
 func (ix *Index) TopAuthorsCtx(ctx context.Context, by RankKey, limit int) []AuthorMetrics {
-	ctx, sp := trace.StartSpan(ctx, "facade.rank")
+	_, sp := trace.StartSpan(ctx, "facade.rank")
 	defer sp.End()
-	_, hold := ix.rlockTraced(ctx)
-	out := ix.eng.TopAuthors(by, limit)
-	ix.mu.RUnlock()
-	hold.End()
+	ep := ix.pinTraced(sp)
+	out := ep.eng.TopAuthors(by, limit)
+	ix.release(ep)
 	sp.SetInt("authors", int64(len(out)))
 	return out
 }
 
 // TopCentralCtx is TopCentral carrying a trace context.
 func (ix *Index) TopCentralCtx(ctx context.Context, limit int) []CentralAuthor {
-	ctx, sp := trace.StartSpan(ctx, "facade.central")
+	_, sp := trace.StartSpan(ctx, "facade.central")
 	defer sp.End()
-	_, hold := ix.rlockTraced(ctx)
-	out := ix.eng.Graph().TopCentral(ClampLimit(limit, 10))
-	ix.mu.RUnlock()
-	hold.End()
+	ep := ix.pinTraced(sp)
+	out := ep.eng.TopCentral(ClampLimit(limit, 10))
+	ix.release(ep)
 	sp.SetInt("authors", int64(len(out)))
 	return out
 }
@@ -182,7 +177,12 @@ func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
 		return 0, err
 	}
 	w.ID = id
-	if err := ix.engAdd(&w); err != nil {
+	// Index into a clone, then publish. An engine failure discards the
+	// partly mutated clone — readers never glimpse it — and rolls the
+	// committed store mutation back.
+	start := time.Now()
+	eng := ix.eng.Clone()
+	if err := ix.engAdd(eng, &w); err != nil {
 		var derr error
 		if old != nil {
 			_, derr = ix.store.Put(old)
@@ -194,6 +194,7 @@ func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
 		}
 		return 0, err
 	}
+	ix.publish(start, eng)
 	return id, nil
 }
 
@@ -237,12 +238,15 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 	for i := range batch {
 		batch[i].ID = ids[i]
 	}
-	if err := ix.engAddBatch(batch); err != nil {
+	start := time.Now()
+	eng := ix.eng.Clone()
+	if err := ix.engAddBatch(eng, batch); err != nil {
 		if derr := ix.rollbackStored(ids, prev); derr != nil {
 			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
 		}
 		return nil, err
 	}
+	ix.publish(start, eng)
 	return ids, nil
 }
 
@@ -257,7 +261,10 @@ func (ix *Index) DeleteCtx(ctx context.Context, id WorkID) error {
 	if err := ix.store.Delete(id); err != nil {
 		return err
 	}
-	ix.eng.Remove(id)
+	start := time.Now()
+	eng := ix.eng.Clone()
+	eng.Remove(id)
+	ix.publish(start, eng)
 	return nil
 }
 
@@ -275,33 +282,41 @@ func (ix *Index) DeleteBatchCtx(ctx context.Context, ids []WorkID) error {
 	if err := ix.store.DeleteBatch(ids); err != nil {
 		return err
 	}
+	start := time.Now()
+	eng := ix.eng.Clone()
 	for _, id := range ids {
-		ix.eng.Remove(id)
+		eng.Remove(id)
 	}
+	ix.publish(start, eng)
 	return nil
 }
 
 // RenderCtx is Render carrying a trace context: appendix building and
 // the render itself (sections, per-letter text output) record child
-// spans, and a canceled ctx aborts the render between sections.
+// spans, and a canceled ctx aborts the render between sections. The
+// whole render runs against one pinned snapshot, so a long render
+// holds its epoch alive — but blocks no writer — for the duration.
 func (ix *Index) RenderCtx(ctx context.Context, w io.Writer, opts RenderOptions) error {
 	defer ix.timeOp(opRender)()
 	ctx, sp := trace.StartSpan(ctx, "facade.render")
 	defer sp.End()
-	hctx, hold := ix.rlockTraced(ctx)
-	defer hold.End()
-	defer ix.mu.RUnlock()
+	ep := ix.pinTraced(sp)
+	defer ix.release(ep)
 	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
-		_, nsp := trace.StartSpan(hctx, "render.network_appendix")
-		opts.NetworkAppendix = render.BuildNetwork(ix.eng.Graph(), min(opts.NetworkLimit, MaxLimit))
+		_, nsp := trace.StartSpan(ctx, "render.network_appendix")
+		ep.eng.ReadTrackers(func(_ metrics.Tracker, gr *graph.Graph) {
+			opts.NetworkAppendix = render.BuildNetwork(gr, min(opts.NetworkLimit, MaxLimit))
+		})
 		nsp.End()
 	}
 	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
 		// BuildStatistics defaults non-positive limits to 10; the cap
 		// bounds explicit limits like every other query limit.
-		_, ssp := trace.StartSpan(hctx, "render.stats_appendix")
-		opts.Appendix = render.BuildStatistics(ix.eng.Metrics(), min(opts.StatsLimit, MaxLimit))
+		_, ssp := trace.StartSpan(ctx, "render.stats_appendix")
+		ep.eng.ReadTrackers(func(met metrics.Tracker, _ *graph.Graph) {
+			opts.Appendix = render.BuildStatistics(met, min(opts.StatsLimit, MaxLimit))
+		})
 		ssp.End()
 	}
-	return render.RenderCtx(hctx, w, ix.eng.Index(), opts)
+	return render.RenderCtx(ctx, w, ep.eng.Index(), opts)
 }

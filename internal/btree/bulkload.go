@@ -20,13 +20,14 @@ type Pair[V any] struct {
 //
 // The resulting tree satisfies the same structural invariants as one
 // grown by sequential Set calls (node fill between minKeys and maxKeys,
-// uniform leaf depth, linked leaves in key order) and iterates
-// identically. Unlike Set, BulkLoad takes ownership of the key slices
-// instead of copying them; callers must not modify them afterwards.
+// uniform leaf depth) and iterates identically. Unlike Set, BulkLoad
+// takes ownership of the key slices instead of copying them; callers
+// must not modify them afterwards.
 func BulkLoad[V any](pairs []Pair[V]) (*Tree[V], error) {
 	if len(pairs) == 0 {
 		return New[V](), nil
 	}
+	cow := &cowTag{}
 	for i := 1; i < len(pairs); i++ {
 		switch c := bytes.Compare(pairs[i-1].Key, pairs[i].Key); {
 		case c == 0:
@@ -40,19 +41,14 @@ func BulkLoad[V any](pairs []Pair[V]) (*Tree[V], error) {
 	counts := chunkSizes(len(pairs), maxKeys)
 	level := make([]node[V], 0, len(counts))
 	mins := make([][]byte, 0, len(counts))
-	var prev *leaf[V]
 	next := 0
 	for _, c := range counts {
-		lf := &leaf[V]{keys: make([][]byte, c), vals: make([]V, c)}
+		lf := &leaf[V]{tag: cow, keys: make([][]byte, c), vals: make([]V, c)}
 		for j := 0; j < c; j++ {
 			lf.keys[j] = pairs[next].Key
 			lf.vals[j] = pairs[next].Value
 			next++
 		}
-		if prev != nil {
-			prev.next = lf
-		}
-		prev = lf
 		level = append(level, lf)
 		mins = append(mins, lf.keys[0])
 	}
@@ -66,6 +62,7 @@ func BulkLoad[V any](pairs []Pair[V]) (*Tree[V], error) {
 		next := 0
 		for _, c := range counts {
 			in := &inner[V]{
+				tag:      cow,
 				keys:     append([][]byte(nil), mins[next+1:next+c]...),
 				children: append([]node[V](nil), level[next:next+c]...),
 			}
@@ -75,7 +72,7 @@ func BulkLoad[V any](pairs []Pair[V]) (*Tree[V], error) {
 		}
 		level, mins = up, upMins
 	}
-	return &Tree[V]{root: level[0], size: len(pairs)}, nil
+	return &Tree[V]{root: level[0], size: len(pairs), cow: cow}, nil
 }
 
 // chunkSizes partitions n items into runs of at most max, splitting the

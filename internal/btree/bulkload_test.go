@@ -11,12 +11,10 @@ import (
 // checkInvariants walks the whole tree verifying the structural
 // invariants a split-grown tree maintains: sorted keys, node fill
 // between minKeys and maxKeys (root excepted), separators bounding their
-// subtrees, uniform leaf depth, and a leaf chain that visits every entry
-// in order.
+// subtrees, and uniform leaf depth.
 func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
 	t.Helper()
 	leafDepth := -1
-	var leavesSeen []*leaf[V]
 	var count int
 	var walk func(n node[V], depth int, lo, hi []byte)
 	walk = func(n node[V], depth int, lo, hi []byte) {
@@ -45,7 +43,6 @@ func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
 				}
 			}
 			count += len(x.keys)
-			leavesSeen = append(leavesSeen, x)
 		case *inner[V]:
 			if len(x.children) != len(x.keys)+1 {
 				t.Fatalf("inner node: %d children for %d keys", len(x.children), len(x.keys))
@@ -76,17 +73,6 @@ func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
 	walk(tr.root, 0, nil, nil)
 	if count != tr.Len() {
 		t.Fatalf("tree walk found %d entries, Len() = %d", count, tr.Len())
-	}
-	// The leaf chain must visit exactly the leaves the walk found, in order.
-	i := 0
-	for lf := tr.firstLeaf(); lf != nil; lf = lf.next {
-		if i >= len(leavesSeen) || leavesSeen[i] != lf {
-			t.Fatalf("leaf chain diverges from tree structure at leaf %d", i)
-		}
-		i++
-	}
-	if i != len(leavesSeen) {
-		t.Fatalf("leaf chain visits %d leaves, tree holds %d", i, len(leavesSeen))
 	}
 }
 

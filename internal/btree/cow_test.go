@@ -1,0 +1,166 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// snapshotOf captures a tree's full contents for later comparison.
+func snapshotOf(tr *Tree[int]) map[string]int {
+	out := make(map[string]int, tr.Len())
+	tr.Ascend(func(k []byte, v int) bool {
+		out[string(k)] = v
+		return true
+	})
+	return out
+}
+
+func requireEqual(t *testing.T, tr *Tree[int], want map[string]int, label string) {
+	t.Helper()
+	if tr.Len() != len(want) {
+		t.Fatalf("%s: Len = %d, want %d", label, tr.Len(), len(want))
+	}
+	var prev []byte
+	n := 0
+	tr.Ascend(func(k []byte, v int) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("%s: keys out of order: %q then %q", label, prev, k)
+		}
+		prev = append(prev[:0], k...)
+		wv, ok := want[string(k)]
+		if !ok || wv != v {
+			t.Fatalf("%s: key %q = %d, want %d (present %v)", label, k, v, wv, ok)
+		}
+		n++
+		return true
+	})
+	if n != len(want) {
+		t.Fatalf("%s: Ascend visited %d entries, want %d", label, n, len(want))
+	}
+}
+
+// TestCloneIsolation is the core COW property: a clone taken at any
+// point keeps exactly the contents it had at clone time, no matter how
+// either side is mutated afterwards — including deletes that trigger
+// borrows and merges against shared siblings.
+func TestCloneIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := New[int]()
+	live := make(map[string]int)
+	type snap struct {
+		tree *Tree[int]
+		want map[string]int
+	}
+	var snaps []snap
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+	for step := 0; step < 12_000; step++ {
+		if step%997 == 0 {
+			cp := tr.Clone()
+			snaps = append(snaps, snap{tree: cp, want: snapshotOf(cp)})
+		}
+		i := r.Intn(4000)
+		if r.Intn(3) == 0 {
+			tr.Delete(key(i))
+			delete(live, string(key(i)))
+		} else {
+			tr.Set(key(i), step)
+			live[string(key(i))] = step
+		}
+	}
+	requireEqual(t, tr, live, "live tree")
+	for i, s := range snaps {
+		requireEqual(t, s.tree, s.want, fmt.Sprintf("snapshot %d", i))
+	}
+
+	// Mutating an old snapshot must not disturb the live tree either.
+	for i := 0; i < 2000; i++ {
+		snaps[0].tree.Set(key(i), -1)
+		snaps[0].tree.Delete(key(i + 2000))
+	}
+	requireEqual(t, tr, live, "live tree after snapshot mutation")
+	for i, s := range snaps[1:] {
+		requireEqual(t, s.tree, s.want, fmt.Sprintf("snapshot %d after snapshot-0 mutation", i+1))
+	}
+}
+
+// TestCloneOfBulkLoaded: clones of a bulk-loaded tree behave exactly
+// like clones of a Set-grown one.
+func TestCloneOfBulkLoaded(t *testing.T) {
+	pairs := sortedPairs(5000)
+	tr, err := BulkLoad(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(tr)
+	cp := tr.Clone()
+	for i := 0; i < len(pairs); i += 2 {
+		tr.Delete(pairs[i].Key)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Set([]byte(fmt.Sprintf("zz-%05d", i)), i)
+	}
+	requireEqual(t, cp, want, "clone of bulk-loaded tree")
+	checkInvariants(t, tr)
+	checkInvariants(t, cp)
+}
+
+// TestCloneSharedMutationInvariants: structural invariants hold on both
+// trees after heavy interleaved mutation from a shared ancestry.
+func TestCloneSharedMutationInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := New[int]()
+	for i := 0; i < 8000; i++ {
+		a.Set([]byte(fmt.Sprintf("%08d", r.Intn(50_000))), i)
+	}
+	b := a.Clone()
+	wantA, wantB := snapshotOf(a), snapshotOf(b)
+	for i := 0; i < 4000; i++ {
+		ka := []byte(fmt.Sprintf("%08d", r.Intn(50_000)))
+		kb := []byte(fmt.Sprintf("%08d", r.Intn(50_000)))
+		if i%2 == 0 {
+			a.Set(ka, i)
+			wantA[string(ka)] = i
+			b.Delete(kb)
+			delete(wantB, string(kb))
+		} else {
+			a.Delete(ka)
+			delete(wantA, string(ka))
+			b.Set(kb, i)
+			wantB[string(kb)] = i
+		}
+	}
+	checkInvariants(t, a)
+	checkInvariants(t, b)
+	requireEqual(t, a, wantA, "tree a")
+	requireEqual(t, b, wantB, "tree b")
+}
+
+// TestCloneConcurrentReaders: readers iterating a published clone race
+// a writer mutating the original under -race. The snapshot must stay
+// byte-stable for the whole read.
+func TestCloneConcurrentReaders(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 6000; i++ {
+		tr.Set([]byte(fmt.Sprintf("key-%06d", i)), i)
+	}
+	snap := tr.Clone()
+	want := snapshotOf(snap)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 6000; i++ {
+			if i%2 == 0 {
+				tr.Delete([]byte(fmt.Sprintf("key-%06d", i)))
+			} else {
+				tr.Set([]byte(fmt.Sprintf("key-%06d", i)), -i)
+			}
+		}
+	}()
+	for pass := 0; pass < 4; pass++ {
+		requireEqual(t, snap, want, fmt.Sprintf("concurrent read pass %d", pass))
+	}
+	<-done
+}

@@ -62,12 +62,20 @@ type Stats struct {
 }
 
 // Index is the author index over a corpus of works.
+//
+// Mutations follow a copy-on-write discipline: a filed *Entry is never
+// modified in place — the mutating method copies it, edits the copy, and
+// replaces the tree value — so a Clone taken before the mutation keeps a
+// frozen, internally consistent view with zero coordination.
 type Index struct {
 	opts    collate.Options
 	entries *btree.Tree[*Entry]
-	// workRefs counts how many headings each work appears under, so
-	// Stats can report distinct works.
+	// workRefs counts how many headings each work appears under. It is
+	// writer-only bookkeeping shared across clones (snapshot readers
+	// never touch it); the distinct counter below is the value-copied
+	// summary they read instead.
 	workRefs map[model.WorkID]int
+	distinct int // distinct works, maintained on 0→1 / 1→0 ref transitions
 	postings int
 	students int
 	crossRef int
@@ -80,6 +88,32 @@ func New(opts collate.Options) *Index {
 		entries:  btree.New[*Entry](),
 		workRefs: make(map[model.WorkID]int),
 	}
+}
+
+// Clone returns an O(1) copy-on-write snapshot: the heading tree shares
+// every node until one side mutates, and entries are immutable values
+// replaced wholesale, so the clone's view is frozen. The workRefs map is
+// shared — it is writer-side bookkeeping that snapshot readers never
+// consult (Stats reports the copied distinct counter).
+func (ix *Index) Clone() *Index {
+	cp := *ix
+	cp.entries = ix.entries.Clone()
+	return &cp
+}
+
+// mutableCopy returns a copy of e safe to edit while the original stays
+// visible to snapshot readers. Works and SeeAlso get fresh backing
+// arrays; the work values inside still share their author/subject
+// slices, which nothing ever mutates in place.
+func (e *Entry) mutableCopy() *Entry {
+	cp := &Entry{Author: e.Author}
+	if len(e.Works) > 0 {
+		cp.Works = append(make([]model.Work, 0, len(e.Works)+1), e.Works...)
+	}
+	if len(e.SeeAlso) > 0 {
+		cp.SeeAlso = append(make([]model.Author, 0, len(e.SeeAlso)+1), e.SeeAlso...)
+	}
+	return cp
 }
 
 // Options returns the collation options the index was built with.
@@ -98,17 +132,21 @@ func (ix *Index) Add(w *model.Work) error {
 	for _, a := range w.Authors {
 		key := collate.KeyAuthor(a, ix.opts)
 		e, ok := ix.entries.Get(key)
-		if !ok {
+		if ok {
+			e = e.mutableCopy()
+		} else {
 			e = &Entry{Author: a}
-			ix.entries.Set(key, e)
 		}
 		if e.insertWork(w) {
-			ix.workRefs[w.ID]++
+			if ix.workRefs[w.ID]++; ix.workRefs[w.ID] == 1 {
+				ix.distinct++
+			}
 			ix.postings++
 			if a.Student {
 				ix.students++
 			}
 		}
+		ix.entries.Set(key, e)
 	}
 	return nil
 }
@@ -123,17 +161,22 @@ func (ix *Index) Remove(w *model.Work) {
 		if !ok {
 			continue
 		}
-		if e.removeWork(w.ID) {
-			ix.postings--
-			if a.Student {
-				ix.students--
-			}
-			if ix.workRefs[w.ID]--; ix.workRefs[w.ID] <= 0 {
-				delete(ix.workRefs, w.ID)
-			}
+		cp := e.mutableCopy()
+		if !cp.removeWork(w.ID) {
+			continue
 		}
-		if len(e.Works) == 0 && len(e.SeeAlso) == 0 {
+		ix.postings--
+		if a.Student {
+			ix.students--
+		}
+		if ix.workRefs[w.ID]--; ix.workRefs[w.ID] <= 0 {
+			delete(ix.workRefs, w.ID)
+			ix.distinct--
+		}
+		if len(cp.Works) == 0 && len(cp.SeeAlso) == 0 {
 			ix.entries.Delete(key)
+		} else {
+			ix.entries.Set(key, cp)
 		}
 	}
 }
@@ -153,20 +196,22 @@ func (ix *Index) AddSeeAlso(from, to model.Author) error {
 	}
 	key := collate.KeyAuthor(from, ix.opts)
 	e, ok := ix.entries.Get(key)
-	if !ok {
-		e = &Entry{Author: from}
-		ix.entries.Set(key, e)
-	}
-	for _, existing := range e.SeeAlso {
-		if existing == to {
-			return nil
+	if ok {
+		for _, existing := range e.SeeAlso {
+			if existing == to {
+				return nil
+			}
 		}
+		e = e.mutableCopy()
+	} else {
+		e = &Entry{Author: from}
 	}
 	e.SeeAlso = append(e.SeeAlso, to)
 	sort.Slice(e.SeeAlso, func(i, j int) bool {
 		return string(collate.KeyAuthor(e.SeeAlso[i], ix.opts)) <
 			string(collate.KeyAuthor(e.SeeAlso[j], ix.opts))
 	})
+	ix.entries.Set(key, e)
 	ix.crossRef++
 	return nil
 }
@@ -181,10 +226,13 @@ func (ix *Index) RemoveSeeAlso(from, to model.Author) bool {
 	}
 	for i, existing := range e.SeeAlso {
 		if existing == to {
-			e.SeeAlso = append(e.SeeAlso[:i], e.SeeAlso[i+1:]...)
+			cp := e.mutableCopy()
+			cp.SeeAlso = append(cp.SeeAlso[:i], cp.SeeAlso[i+1:]...)
 			ix.crossRef--
-			if len(e.Works) == 0 && len(e.SeeAlso) == 0 {
+			if len(cp.Works) == 0 && len(cp.SeeAlso) == 0 {
 				ix.entries.Delete(key)
+			} else {
+				ix.entries.Set(key, cp)
 			}
 			return true
 		}
@@ -249,7 +297,7 @@ func (ix *Index) Sections() []Section {
 func (ix *Index) Stats() Stats {
 	return Stats{
 		Authors:      ix.entries.Len(),
-		Works:        len(ix.workRefs),
+		Works:        ix.distinct,
 		Postings:     ix.postings,
 		StudentNotes: ix.students,
 		CrossRefs:    ix.crossRef,
@@ -386,6 +434,7 @@ func Load(opts collate.Options, works []*model.Work) (*Index, error) {
 		return nil, err
 	}
 	ix.entries = tree
+	ix.distinct = len(ix.workRefs)
 	return ix, nil
 }
 
@@ -416,13 +465,20 @@ func (ix *Index) AddSeeAlsoBatch(refs []SeeAlsoRef) error {
 			return fmt.Errorf("core: see-also from %q to itself", ref.From.Display())
 		}
 	}
-	touched := make(map[*Entry]struct{})
+	// touched maps collation key → this batch's owned copy of the entry,
+	// so each heading is copied once no matter how many refs hit it and
+	// shared originals are never written.
+	touched := make(map[string]*Entry)
 	for _, ref := range refs {
 		key := collate.KeyAuthor(ref.From, ix.opts)
-		e, ok := ix.entries.Get(key)
-		if !ok {
-			e = &Entry{Author: ref.From}
-			ix.entries.Set(key, e)
+		e, owned := touched[string(key)]
+		if !owned {
+			if orig, ok := ix.entries.Get(key); ok {
+				e = orig.mutableCopy()
+			} else {
+				e = &Entry{Author: ref.From}
+			}
+			touched[string(key)] = e
 		}
 		dup := false
 		for _, existing := range e.SeeAlso {
@@ -435,14 +491,14 @@ func (ix *Index) AddSeeAlsoBatch(refs []SeeAlsoRef) error {
 			continue
 		}
 		e.SeeAlso = append(e.SeeAlso, ref.To)
-		touched[e] = struct{}{}
 		ix.crossRef++
 	}
-	for e := range touched {
+	for k, e := range touched {
 		sort.Slice(e.SeeAlso, func(i, j int) bool {
 			return string(collate.KeyAuthor(e.SeeAlso[i], ix.opts)) <
 				string(collate.KeyAuthor(e.SeeAlso[j], ix.opts))
 		})
+		ix.entries.Set([]byte(k), e)
 	}
 	return nil
 }

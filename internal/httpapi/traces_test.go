@@ -45,7 +45,7 @@ func TestDebugTraces(t *testing.T) {
 		"=== GET /search ===",
 		"=== GET /works/{id} ===",
 		"facade.search",
-		"lock.rhold",
+		"epoch=",
 		"engine.title_scan",
 		"http.encode",
 		"id=",

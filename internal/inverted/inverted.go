@@ -57,17 +57,31 @@ func appendTokens(toks []string, text string) []string {
 }
 
 // Index maps terms to postings. It is not safe for concurrent mutation.
+//
+// Mutations are copy-on-write at postings granularity: a filed
+// *postings value is never edited in place — the mutating method builds
+// a fresh list and replaces the tree value — so a Clone taken before
+// the mutation keeps a frozen view that readers may borrow from
+// without coordination.
 type Index struct {
 	terms *btree.Tree[*postings]
 	docs  int
 }
 
 type postings struct {
-	ids []model.WorkID // sorted, unique
+	ids []model.WorkID // sorted, unique, immutable once filed
 }
 
 // New returns an empty index.
 func New() *Index { return &Index{terms: btree.New[*postings]()} }
+
+// Clone returns an O(1) copy-on-write snapshot sharing every term node
+// and postings list until one side mutates.
+func (ix *Index) Clone() *Index {
+	cp := *ix
+	cp.terms = ix.terms.Clone()
+	return &cp
+}
 
 // Doc is one (id, text) item for Load.
 type Doc struct {
@@ -142,9 +156,9 @@ func (ix *Index) Add(id model.WorkID, text string) {
 		p, ok := ix.terms.Get(key)
 		if !ok {
 			p = &postings{}
-			ix.terms.Set(key, p)
 		}
-		if p.insert(id) {
+		if np, ok := p.withID(id); ok {
+			ix.terms.Set(key, np)
 			added = true
 		}
 	}
@@ -163,11 +177,15 @@ func (ix *Index) Remove(id model.WorkID, text string) {
 		if !ok {
 			continue
 		}
-		if p.remove(id) {
-			removed = true
+		np, changed := p.withoutID(id)
+		if !changed {
+			continue
 		}
-		if len(p.ids) == 0 {
+		removed = true
+		if len(np.ids) == 0 {
 			ix.terms.Delete(key)
+		} else {
+			ix.terms.Set(key, np)
 		}
 	}
 	if removed {
@@ -217,24 +235,32 @@ func (ix *Index) ExpandPrefix(prefix string, limit int) []model.WorkID {
 	return out
 }
 
-func (p *postings) insert(id model.WorkID) bool {
+// withID returns a fresh postings list with id inserted in order, or
+// (p, false) when id was already present. The receiver is never
+// modified: borrowed views of it stay valid.
+func (p *postings) withID(id model.WorkID) (*postings, bool) {
 	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
 	if i < len(p.ids) && p.ids[i] == id {
-		return false
+		return p, false
 	}
-	p.ids = append(p.ids, 0)
-	copy(p.ids[i+1:], p.ids[i:])
-	p.ids[i] = id
-	return true
+	ids := make([]model.WorkID, len(p.ids)+1)
+	copy(ids, p.ids[:i])
+	ids[i] = id
+	copy(ids[i+1:], p.ids[i:])
+	return &postings{ids: ids}, true
 }
 
-func (p *postings) remove(id model.WorkID) bool {
+// withoutID returns a fresh postings list with id removed, or (p,
+// false) when id was absent. The receiver is never modified.
+func (p *postings) withoutID(id model.WorkID) (*postings, bool) {
 	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
 	if i >= len(p.ids) || p.ids[i] != id {
-		return false
+		return p, false
 	}
-	p.ids = append(p.ids[:i], p.ids[i+1:]...)
-	return true
+	ids := make([]model.WorkID, len(p.ids)-1)
+	copy(ids, p.ids[:i])
+	copy(ids[i:], p.ids[i+1:])
+	return &postings{ids: ids}, true
 }
 
 // Query is a parsed boolean title query.

@@ -60,7 +60,7 @@ func engineFingerprint(e *Engine) string {
 		fmt.Fprintf(&b, " %+v\n", m)
 	}
 	fmt.Fprintf(&b, "graph: %s damping=%g\n", e.gr.Fingerprint(), e.gr.Damping())
-	fmt.Fprintf(&b, "works: %d\n", len(e.works))
+	fmt.Fprintf(&b, "works: %d\n", e.byID.Len())
 	return b.String()
 }
 

@@ -71,17 +71,26 @@ func ClampLimit(n, def int) int {
 	}
 }
 
-// Engine owns every in-memory index over a corpus. It is not safe for
-// concurrent mutation and reads must not run concurrently with a
-// mutation; the public facade serializes access. Reads may run
-// concurrently with each other (the query counters are atomic), and an
-// indexed work is never mutated in place — replacement swaps in a fresh
-// clone — so *View results remain safe to read after the facade's read
-// lock is released.
+// Engine owns every in-memory index over a corpus. Mutation requires
+// external serialization (the public facade's write lock), but the
+// corpus indexes follow a copy-on-write discipline: Clone is O(1), a
+// mutation on one engine path-copies only the index nodes it touches,
+// and filed values (*workEntry works, postings lists, author entries)
+// are never edited in place. A cloned engine that is no longer mutated
+// is therefore a frozen snapshot that any number of readers may use
+// with no lock at all.
+//
+// The two trackers (met, gr) are the exception: they are live mutable
+// structures shared across clones, guarded by trkMu — writers hold it
+// only for the µs-scale incremental update, never across I/O, and the
+// tracker read surfaces take the read side. Snapshot consistency is
+// defined over the corpus indexes; tracker reads are current-state.
 type Engine struct {
-	idx   *core.Index
-	inv   *inverted.Index
-	works map[model.WorkID]*workEntry
+	idx *core.Index
+	inv *inverted.Index
+	// byID keys works on the big-endian work ID: point lookups descend
+	// the tree, and a full ascent is the corpus in ID order.
+	byID *btree.Tree[*workEntry]
 	// byYear keys works on year ‖ citation key: a one-year scan streams
 	// out already in citation order, and a multi-year scan is a
 	// concatenation of citation-ordered runs.
@@ -96,13 +105,38 @@ type Engine struct {
 	bySubject *btree.Tree[*subjectPosting]
 	// met maintains per-author bibliometrics incrementally; every Add
 	// and Remove feeds it. Behind the Tracker interface so later layers
-	// (caching, sharding) can swap the implementation.
+	// (caching, sharding) can swap the implementation. Shared across
+	// clones; guarded by trkMu.
 	met metrics.Tracker
 	// gr maintains the coauthorship network incrementally; every Add and
-	// Remove feeds it alongside the metrics tracker.
-	gr   *graph.Graph
-	coll collate.Options
-	qs   queryCounters
+	// Remove feeds it alongside the metrics tracker. Shared across
+	// clones; guarded by trkMu.
+	gr *graph.Graph
+	// trkMu guards met and gr: mutations hold the write side for the
+	// incremental update only; lock-free snapshot readers that consult
+	// the trackers hold the read side. Shared across clones.
+	trkMu *sync.RWMutex
+	coll  collate.Options
+	// qs is shared across clones so read-path counters accumulate
+	// globally no matter which snapshot served the query.
+	qs *queryCounters
+}
+
+// Clone returns an O(1) copy-on-write snapshot of the engine: every
+// corpus index shares its nodes with the original until one side
+// mutates, and the trackers, counters and tracker lock are shared
+// outright. The caller mutates the clone (under its write lock) and
+// publishes it; the original — and every previously published clone —
+// keeps a frozen, internally consistent corpus view.
+func (e *Engine) Clone() *Engine {
+	cp := *e
+	cp.idx = e.idx.Clone()
+	cp.inv = e.inv.Clone()
+	cp.byID = e.byID.Clone()
+	cp.byYear = e.byYear.Clone()
+	cp.byCitation = e.byCitation.Clone()
+	cp.bySubject = e.bySubject.Clone()
+	return &cp
 }
 
 // workEntry is what the engine stores per work: the (immutable) work
@@ -138,13 +172,15 @@ func NewWithScheme(opts collate.Options, scheme metrics.Scheme) *Engine {
 	return &Engine{
 		idx:        core.New(opts),
 		inv:        inverted.New(),
-		works:      make(map[model.WorkID]*workEntry),
+		byID:       btree.New[*workEntry](),
 		byYear:     btree.New[*workEntry](),
 		byCitation: btree.New[*workEntry](),
 		bySubject:  btree.New[*subjectPosting](),
 		met:        metrics.NewEngine(scheme),
 		gr:         graph.New(0),
+		trkMu:      &sync.RWMutex{},
 		coll:       opts,
+		qs:         &queryCounters{},
 	}
 }
 
@@ -152,7 +188,7 @@ func NewWithScheme(opts collate.Options, scheme metrics.Scheme) *Engine {
 func (e *Engine) Index() *core.Index { return e.idx }
 
 // Len returns the number of indexed works.
-func (e *Engine) Len() int { return len(e.works) }
+func (e *Engine) Len() int { return e.byID.Len() }
 
 // Add indexes w everywhere. Re-adding an existing ID replaces the old
 // version atomically (remove + add).
@@ -164,7 +200,7 @@ func (e *Engine) Add(w *model.Work) error {
 	if w.ID == 0 {
 		return fmt.Errorf("query: work %q has no ID", w.Title)
 	}
-	if _, exists := e.works[w.ID]; exists {
+	if _, exists := e.byID.Get(idKey(w.ID)); exists {
 		e.Remove(w.ID)
 	}
 	cp := w.Clone()
@@ -181,16 +217,19 @@ func (e *Engine) Add(w *model.Work) error {
 	for i, s := range cp.Subjects {
 		key := collate.KeyString(s, e.coll)
 		we.subjKeys[i] = key
-		p, ok := e.bySubject.Get(key)
-		if !ok {
-			p = &subjectPosting{display: s}
-			e.bySubject.Set(key, p)
+		if p, ok := e.bySubject.Get(key); ok {
+			if np, changed := p.withRef(we); changed {
+				e.bySubject.Set(key, np)
+			}
+		} else {
+			e.bySubject.Set(key, &subjectPosting{display: s, refs: []*workEntry{we}})
 		}
-		p.insert(we)
 	}
+	e.trkMu.Lock()
 	e.met.Add(cp)
 	e.gr.Add(cp)
-	e.works[cp.ID] = we
+	e.trkMu.Unlock()
+	e.byID.Set(idKey(cp.ID), we)
 	return nil
 }
 
@@ -233,31 +272,33 @@ func (e *Engine) AddBatch(works []*model.Work) error {
 			}
 		}
 	}
-	// Replacements first, while every posting list is still sorted:
-	// Remove binary-searches subject postings, which the unsorted
-	// appends below would break. Keep what was removed so the
-	// (unreachable) failure path below can reinstate it.
+	// Replacements first, so the batch loop below only ever inserts.
+	// Keep what was removed so the (unreachable) failure path below can
+	// reinstate it.
 	var replaced []*model.Work
 	for _, w := range effective {
-		if _, exists := e.works[w.ID]; exists {
+		if _, exists := e.byID.Get(idKey(w.ID)); exists {
 			if old, ok := e.Remove(w.ID); ok {
 				replaced = append(replaced, old)
 			}
 		}
 	}
-	touched := make(map[*subjectPosting]struct{})
+	// Batch-touched postings are accumulated in private copies (first
+	// touch copies the filed posting, or starts a fresh one) that take
+	// unsorted appends, then are key-sorted and filed once at the end —
+	// the filed postings themselves are never mutated, so snapshot
+	// readers iterating them stay undisturbed.
+	touched := make(map[string]*subjectPosting)
 	var added []model.WorkID
 	for _, w := range effective {
 		cp := w.Clone()
 		if err := e.idx.Add(cp); err != nil {
 			// Unreachable: Add only rejects what the validation pass
 			// already accepted. Unwind anyway so the atomicity contract
-			// holds even if a new failure mode appears: restore posting
-			// order, remove this batch's works, reinstate the replaced
-			// versions (previously indexed, so re-adding cannot fail).
-			for p := range touched {
-				p.restore()
-			}
+			// holds even if a new failure mode appears: discard the
+			// private posting copies (never filed), remove this batch's
+			// works, reinstate the replaced versions (previously indexed,
+			// so re-adding cannot fail).
 			for _, id := range added {
 				e.Remove(id)
 			}
@@ -276,21 +317,28 @@ func (e *Engine) AddBatch(works []*model.Work) error {
 		for i, s := range cp.Subjects {
 			key := collate.KeyString(s, e.coll)
 			we.subjKeys[i] = key
-			p, ok := e.bySubject.Get(key)
+			p, ok := touched[string(key)]
 			if !ok {
-				p = &subjectPosting{display: s}
-				e.bySubject.Set(key, p)
+				if filed, inTree := e.bySubject.Get(key); inTree {
+					p = &subjectPosting{display: filed.display,
+						refs: append(make([]*workEntry, 0, len(filed.refs)+1), filed.refs...)}
+				} else {
+					p = &subjectPosting{display: s}
+				}
+				touched[string(key)] = p
 			}
-			p.refs = append(p.refs, we) // unsorted; restored below
-			touched[p] = struct{}{}
+			p.refs = append(p.refs, we) // private copy; key-sorted below
 		}
+		e.trkMu.Lock()
 		e.met.Add(cp)
 		e.gr.Add(cp)
-		e.works[cp.ID] = we
+		e.trkMu.Unlock()
+		e.byID.Set(idKey(cp.ID), we)
 		added = append(added, cp.ID)
 	}
-	for p := range touched {
+	for k, p := range touched {
 		p.restore()
+		e.bySubject.Set([]byte(k), p)
 	}
 	return nil
 }
@@ -322,12 +370,12 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 // their own goroutines; wg.Wait orders every child End before the
 // parent's, keeping the tree well-formed.
 func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
-	if len(e.works) > 0 || e.idx.Len() > 0 {
+	if e.byID.Len() > 0 || e.idx.Len() > 0 {
 		// idx.Len counts headings, so see-also-only entries (a
 		// cross-reference recorded before any work) block the load too
 		// rather than being silently discarded with the replaced index.
 		return fmt.Errorf("query: bulk load into an engine already holding %d works, %d headings",
-			len(e.works), e.idx.Len())
+			e.byID.Len(), e.idx.Len())
 	}
 	if len(works) == 0 {
 		return nil
@@ -398,12 +446,19 @@ func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 		wg         sync.WaitGroup
 		idx        *core.Index
 		inv        *inverted.Index
+		byID       *btree.Tree[*workEntry]
 		byYear     *btree.Tree[*workEntry]
 		byCitation *btree.Tree[*workEntry]
 		bySubject  *btree.Tree[*subjectPosting]
-		errs       [4]error
+		errs       [5]error
 	)
-	wg.Add(6)
+	wg.Add(7)
+	go func() {
+		defer wg.Done()
+		defer loadPhase("id_index").Since(time.Now())
+		defer load.StartChild("load.id_index").End()
+		byID, errs[4] = loadIDTree(entries)
+	}()
 	go func() {
 		defer wg.Done()
 		defer loadPhase("author_index").Since(time.Now())
@@ -454,12 +509,8 @@ func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 			return err
 		}
 	}
-	e.idx, e.inv = idx, inv
+	e.idx, e.inv, e.byID = idx, inv, byID
 	e.byYear, e.byCitation, e.bySubject = byYear, byCitation, bySubject
-	e.works = make(map[model.WorkID]*workEntry, len(entries))
-	for _, we := range entries {
-		e.works[we.w.ID] = we
-	}
 	return nil
 }
 
@@ -504,6 +555,25 @@ type byCitKey []*workEntry
 func (s byCitKey) Len() int           { return len(s) }
 func (s byCitKey) Less(i, j int) bool { return bytes.Compare(s[i].key, s[j].key) < 0 }
 func (s byCitKey) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// byWorkID sorts work entries by ID for the byID bulk build; a concrete
+// sort.Interface for the same reason as byCitKey.
+type byWorkID []*workEntry
+
+func (s byWorkID) Len() int           { return len(s) }
+func (s byWorkID) Less(i, j int) bool { return s[i].w.ID < s[j].w.ID }
+func (s byWorkID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// loadIDTree bulk-builds the byID tree from the input-ordered entries.
+func loadIDTree(entries []*workEntry) (*btree.Tree[*workEntry], error) {
+	ordered := append(make(byWorkID, 0, len(entries)), entries...)
+	sort.Sort(ordered)
+	pairs := make([]btree.Pair[*workEntry], len(ordered))
+	for i, we := range ordered {
+		pairs[i] = btree.Pair[*workEntry]{Key: idKey(we.w.ID), Value: we}
+	}
+	return btree.BulkLoad(pairs)
+}
 
 // loadCitationTrees bulk-builds byCitation and byYear from entries
 // sorted by citation key. The byYear key order (year ‖ citation key)
@@ -602,9 +672,13 @@ func hasDuplicateIDs(works []*model.Work) bool {
 	return false
 }
 
-// Remove un-indexes the work with the given ID, returning it.
+// Remove un-indexes the work with the given ID, returning it. The
+// unlinked entry is left intact, never zeroed: a pinned snapshot may
+// still hold it in its own trees and postings. (Bulk-loaded entries
+// live in a shared arena, so a removed work stays reachable while any
+// arena sibling survives — the price of torn-read-free snapshots.)
 func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
-	we, ok := e.works[id]
+	we, ok := e.byID.Get(idKey(id))
 	if !ok {
 		return nil, false
 	}
@@ -616,37 +690,57 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	e.byCitation.Delete(we.key)
 	for _, key := range we.subjKeys {
 		if p, ok := e.bySubject.Get(key); ok {
-			p.remove(we)
-			if len(p.refs) == 0 {
-				e.bySubject.Delete(key)
+			if np, changed := p.withoutRef(we); changed {
+				if len(np.refs) == 0 {
+					e.bySubject.Delete(key)
+				} else {
+					e.bySubject.Set(key, np)
+				}
 			}
 		}
 	}
+	e.trkMu.Lock()
 	e.met.Remove(w)
 	e.gr.Remove(w)
-	delete(e.works, id)
-	// Clear the unlinked entry: bulk-loaded entries live in a shared
-	// arena that stays reachable while any sibling survives, and a
-	// zeroed slot must not pin the removed work, its citation key or its
-	// subject keys for the arena's lifetime.
-	*we = workEntry{}
+	e.trkMu.Unlock()
+	e.byID.Delete(idKey(id))
 	return w.Clone(), true
 }
 
-func (p *subjectPosting) insert(we *workEntry) {
+// withRef returns a copy of p with we inserted in citation-key order,
+// or (p, false) when an equal key is already filed. Filed postings are
+// never mutated in place — snapshot readers may be iterating them — so
+// every mutation goes copy, modify, re-file.
+func (p *subjectPosting) withRef(we *workEntry) (*subjectPosting, bool) {
 	i := sort.Search(len(p.refs), func(i int) bool { return bytes.Compare(p.refs[i].key, we.key) >= 0 })
 	if i < len(p.refs) && bytes.Equal(p.refs[i].key, we.key) {
-		return
+		return p, false
 	}
-	p.refs = append(p.refs, nil)
-	copy(p.refs[i+1:], p.refs[i:])
-	p.refs[i] = we
+	refs := make([]*workEntry, len(p.refs)+1)
+	copy(refs, p.refs[:i])
+	refs[i] = we
+	copy(refs[i+1:], p.refs[i:])
+	return &subjectPosting{display: p.display, refs: refs}, true
 }
 
-// restore re-establishes the sorted-by-key invariant after a batch of
-// unsorted appends: one sort per touched posting instead of one
-// insertion per work, plus a compaction that drops duplicate keys (a
-// work listing the same subject twice) exactly as insert would have.
+// withoutRef returns a copy of p with we removed, or (p, false) when it
+// is not filed. See withRef for the copy-on-write discipline.
+func (p *subjectPosting) withoutRef(we *workEntry) (*subjectPosting, bool) {
+	i := sort.Search(len(p.refs), func(i int) bool { return bytes.Compare(p.refs[i].key, we.key) >= 0 })
+	if i >= len(p.refs) || p.refs[i] != we {
+		return p, false
+	}
+	refs := make([]*workEntry, 0, len(p.refs)-1)
+	refs = append(refs, p.refs[:i]...)
+	refs = append(refs, p.refs[i+1:]...)
+	return &subjectPosting{display: p.display, refs: refs}, true
+}
+
+// restore re-establishes the sorted-by-key invariant on a private
+// (batch-owned, not yet filed) posting after a batch of unsorted
+// appends: one sort per touched posting instead of one insertion per
+// work, plus a compaction that drops duplicate keys (a work listing the
+// same subject twice) exactly as withRef would have.
 func (p *subjectPosting) restore() {
 	sort.Slice(p.refs, func(i, j int) bool { return bytes.Compare(p.refs[i].key, p.refs[j].key) < 0 })
 	out := p.refs[:0]
@@ -657,13 +751,6 @@ func (p *subjectPosting) restore() {
 		out = append(out, we)
 	}
 	p.refs = out
-}
-
-func (p *subjectPosting) remove(we *workEntry) {
-	i := sort.Search(len(p.refs), func(i int) bool { return bytes.Compare(p.refs[i].key, we.key) >= 0 })
-	if i < len(p.refs) && p.refs[i] == we {
-		p.refs = append(p.refs[:i], p.refs[i+1:]...)
-	}
 }
 
 // Subjects returns every subject heading in collation order, with the
@@ -722,13 +809,14 @@ func (e *Engine) AllWorks() []*model.Work {
 }
 
 // AllWorksView returns live references to every indexed work, in ID
-// order. See TitleSearchView for the ownership rules.
+// order — one byID ascent, no sort. See TitleSearchView for the
+// ownership rules.
 func (e *Engine) AllWorksView() []*model.Work {
-	out := make([]*model.Work, 0, len(e.works))
-	for _, we := range e.works {
+	out := make([]*model.Work, 0, e.byID.Len())
+	e.byID.Ascend(func(_ []byte, we *workEntry) bool {
 		out = append(out, we.w)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return true
+	})
 	return out
 }
 
@@ -744,7 +832,7 @@ func (e *Engine) Work(id model.WorkID) (*model.Work, bool) {
 // WorkView returns a live reference to the work with the given ID. See
 // TitleSearchView for the ownership rules.
 func (e *Engine) WorkView(id model.WorkID) (*model.Work, bool) {
-	we, ok := e.works[id]
+	we, ok := e.byID.Get(idKey(id))
 	if !ok {
 		return nil, false
 	}
@@ -833,7 +921,7 @@ func (e *Engine) TitleSearchViewCtx(ctx context.Context, q string, limit int) []
 	e.qs.scanned.Add(uint64(st.PostingsBytes))
 	refs := make([]*workEntry, 0, len(ids))
 	for _, id := range ids {
-		if we, ok := e.works[id]; ok {
+		if we, ok := e.byID.Get(idKey(id)); ok {
 			refs = append(refs, we)
 		}
 	}
@@ -917,8 +1005,30 @@ func (e *Engine) CloneWork(w *model.Work) *model.Work {
 	return w.Clone()
 }
 
-// Metrics exposes the bibliometrics tracker (for stats and rendering).
+// Metrics exposes the bibliometrics tracker. The tracker is shared and
+// mutable across clones: callers outside the facade's write lock must
+// go through the locked wrappers (MetricsSummary, AuthorMetrics,
+// TopAuthors) or ReadTrackers instead.
 func (e *Engine) Metrics() metrics.Tracker { return e.met }
+
+// MetricsSummary returns the corpus-wide bibliometrics summary under
+// the shared tracker read lock.
+func (e *Engine) MetricsSummary() metrics.Summary {
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	return e.met.Summary()
+}
+
+// ReadTrackers runs fn with the shared tracker read lock held, handing
+// it the metrics tracker and the coauthorship graph. Lock-free snapshot
+// readers that need multiple tracker reads to be mutually consistent
+// (rendering appendices, stats aggregation) use this instead of the
+// individual wrappers.
+func (e *Engine) ReadTrackers(fn func(met metrics.Tracker, gr *graph.Graph)) {
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	fn(e.met, e.gr)
+}
 
 // AuthorMetrics returns the bibliometrics snapshot for one heading
 // given in index-order form, e.g. "Lewin, Jeff L.".
@@ -927,6 +1037,8 @@ func (e *Engine) AuthorMetrics(heading string) (metrics.AuthorMetrics, bool) {
 	if err != nil {
 		return metrics.AuthorMetrics{}, false
 	}
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
 	return e.met.Author(a.Display())
 }
 
@@ -936,6 +1048,8 @@ func (e *Engine) AuthorMetrics(heading string) (metrics.AuthorMetrics, bool) {
 // straight to the tracker.
 func (e *Engine) TopAuthors(by metrics.RankKey, limit int) []metrics.AuthorMetrics {
 	limit = ClampLimit(limit, 10)
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
 	if by == metrics.ByCentrality {
 		central := e.gr.TopCentral(limit)
 		out := make([]metrics.AuthorMetrics, 0, len(central))
@@ -949,9 +1063,46 @@ func (e *Engine) TopAuthors(by metrics.RankKey, limit int) []metrics.AuthorMetri
 	return e.met.TopAuthors(by, limit)
 }
 
-// Graph exposes the coauthorship network (for stats, rendering and the
-// graph query surfaces).
+// Graph exposes the coauthorship network. Shared and mutable across
+// clones, like Metrics — callers outside the facade's write lock go
+// through the locked wrappers or ReadTrackers.
 func (e *Engine) Graph() *graph.Graph { return e.gr }
+
+// GraphNeighbors returns a heading's coauthors, strongest tie first,
+// under the shared tracker read lock.
+func (e *Engine) GraphNeighbors(heading string) []graph.Neighbor {
+	a, err := names.Parse(heading)
+	if err != nil {
+		return nil
+	}
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	return e.gr.Neighbors(a.Display())
+}
+
+// GraphSummary returns the coauthorship network summary under the
+// shared tracker read lock.
+func (e *Engine) GraphSummary() graph.Summary {
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	return e.gr.Summarize()
+}
+
+// TopCentral returns the limit most central authors under the shared
+// tracker read lock.
+func (e *Engine) TopCentral(limit int) []graph.CentralAuthor {
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	return e.gr.TopCentral(limit)
+}
+
+// GraphCounts returns the network's node, edge and component counts
+// under the shared tracker read lock.
+func (e *Engine) GraphCounts() (nodes, edges, components int) {
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
+	return e.gr.Nodes(), e.gr.Edges(), e.gr.Components()
+}
 
 // CollaborationPath returns the shortest coauthorship chain between two
 // headings given in index-order form, endpoints included. false when
@@ -965,6 +1116,8 @@ func (e *Engine) CollaborationPath(from, to string) ([]string, bool) {
 	if err != nil {
 		return nil, false
 	}
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
 	return e.gr.Path(fa.Display(), ta.Display())
 }
 
@@ -975,6 +1128,8 @@ func (e *Engine) Centrality(heading string) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
 	return e.gr.Centrality(a.Display())
 }
 
@@ -983,49 +1138,108 @@ func (e *Engine) Centrality(heading string) (float64, bool) {
 // It reads the corpus in place (graph construction retains nothing), so
 // verification costs no work copies.
 func (e *Engine) GraphConsistent() bool {
+	e.trkMu.RLock()
 	fresh := graph.New(e.gr.Damping())
-	for _, we := range e.works {
+	e.trkMu.RUnlock()
+	e.byID.Ascend(func(_ []byte, we *workEntry) bool {
 		fresh.Add(we.w)
-	}
+		return true
+	})
+	e.trkMu.RLock()
+	defer e.trkMu.RUnlock()
 	return fresh.Fingerprint() == e.gr.Fingerprint()
+}
+
+// corpusWorks collects live references to every indexed work in ID
+// order — the input for whole-corpus tracker rebuilds.
+func (e *Engine) corpusWorks() []*model.Work {
+	works := make([]*model.Work, 0, e.byID.Len())
+	e.byID.Ascend(func(_ []byte, we *workEntry) bool {
+		works = append(works, we.w)
+		return true
+	})
+	return works
 }
 
 // RebuildGraph discards the incremental graph state and recomputes it
 // from the indexed corpus — the recovery path when incremental state is
-// suspect.
+// suspect. The replacement is built off to the side and swapped in
+// whole, so concurrent tracker readers never observe a half-built
+// graph; the engine (a not-yet-published clone on the facade's recovery
+// path) then carries the fresh graph forward.
 func (e *Engine) RebuildGraph() {
-	works := make([]*model.Work, 0, len(e.works))
-	for _, we := range e.works {
-		works = append(works, we.w)
-	}
-	e.gr.Rebuild(works)
+	e.trkMu.RLock()
+	fresh := graph.New(e.gr.Damping())
+	e.trkMu.RUnlock()
+	fresh.Rebuild(e.corpusWorks())
+	e.trkMu.Lock()
+	e.gr = fresh
+	e.trkMu.Unlock()
 }
 
 // SetMetricsScheme swaps the credit-weighting scheme, rebuilding the
-// tracker from the corpus (the recovery path, O(corpus)).
+// tracker from the corpus (the recovery path, O(corpus)). Like
+// RebuildGraph, the replacement tracker is built aside and swapped in
+// whole.
 func (e *Engine) SetMetricsScheme(scheme metrics.Scheme) {
-	if e.met.Weighting() == scheme {
+	e.trkMu.RLock()
+	same := e.met.Weighting() == scheme
+	e.trkMu.RUnlock()
+	if same {
 		return
 	}
-	e.met = metrics.NewEngine(scheme)
-	for _, we := range e.works {
-		e.met.Add(we.w)
+	fresh := metrics.NewEngine(scheme)
+	for _, w := range e.corpusWorks() {
+		fresh.Add(w)
 	}
+	e.trkMu.Lock()
+	e.met = fresh
+	e.trkMu.Unlock()
 }
 
 // RebuildMetrics discards the incremental metrics state and recomputes
-// it from the indexed corpus.
+// it from the indexed corpus. Like RebuildGraph, the replacement
+// tracker is built aside and swapped in whole.
 func (e *Engine) RebuildMetrics() {
-	works := make([]*model.Work, 0, len(e.works))
-	for _, we := range e.works {
-		works = append(works, we.w)
+	e.trkMu.RLock()
+	fresh := metrics.NewEngine(e.met.Weighting())
+	e.trkMu.RUnlock()
+	fresh.Rebuild(e.corpusWorks())
+	e.trkMu.Lock()
+	e.met = fresh
+	e.trkMu.Unlock()
+}
+
+// CorpusFingerprint hashes the engine's corpus — every work ID and
+// citation key in ID order, plus the author-heading and title-term
+// counts — into one FNV-1a value. Two calls on the same frozen snapshot
+// always agree no matter how far the live engine has moved on; the
+// concurrency hammer pins a snapshot and asserts exactly that.
+func (e *Engine) CorpusFingerprint() uint64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
 	}
-	e.met.Rebuild(works)
+	e.byID.Ascend(func(k []byte, we *workEntry) bool {
+		mix(k)
+		mix(we.key)
+		return true
+	})
+	h ^= uint64(e.idx.Len())
+	h *= prime64
+	h ^= uint64(e.inv.Terms())
+	h *= prime64
+	return h
 }
 
 // queryCounters is the engine-internal mutable form of QueryStats.
-// Counters are atomic because facade reads run concurrently under a
-// shared read lock.
+// Counters are atomic because facade reads run concurrently and
+// lock-free; the struct is shared by pointer across engine clones so
+// the totals span every snapshot.
 type queryCounters struct {
 	queries atomic.Uint64
 	cloned  atomic.Uint64
@@ -1126,6 +1340,14 @@ func citationKey(w *model.Work) []byte {
 	var id [8]byte
 	binary.BigEndian.PutUint64(id[:], uint64(w.ID))
 	return append(k, id[:]...)
+}
+
+// idKey is the byID tree key: the work ID, big-endian, so the tree
+// ascends in ID order.
+func idKey(id model.WorkID) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(id))
+	return k[:]
 }
 
 // yearKey prefixes a citation key with the big-endian year so byYear

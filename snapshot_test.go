@@ -1,0 +1,247 @@
+// Tests for epoch-based snapshot reads: a pinned snapshot must stay
+// internally consistent for the pin's whole lifetime no matter how many
+// commits land meanwhile, and retired epochs must actually be reclaimed
+// — the epochs-alive gauge returns to 1 in quiescence, with no reader
+// goroutines left behind. These run under -race in CI.
+package authorindex
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// storm runs w writer goroutines, each firing iters alternating
+// AddBatch / DeleteBatch commits, and returns after all have landed.
+func storm(t *testing.T, ix *Index, writers, iters int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				batch := make([]Work, 3)
+				for j := range batch {
+					batch[j] = sampleWork(
+						fmt.Sprintf("Storm Work %d-%d-%d", g, i, j),
+						fmt.Sprintf("8%d:%d (198%d)", g, 1+(i*3+j)%1400, g%10),
+						fmt.Sprintf("Storm, Writer %d.", g))
+				}
+				ids, err := ix.AddBatch(batch)
+				if err != nil {
+					t.Errorf("storm AddBatch: %v", err)
+					return
+				}
+				if i%2 == 1 {
+					if err := ix.DeleteBatch(ids); err != nil {
+						t.Errorf("storm DeleteBatch: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSnapshotPinnedFingerprintStable: readers pin a snapshot, hold it
+// across a concurrent write storm, and assert the pinned engine's
+// corpus fingerprint never moves between the pin and the release. This
+// is the isolation guarantee in one bit: commits replace the published
+// epoch, they never mutate a pinned one.
+func TestSnapshotPinnedFingerprintStable(t *testing.T) {
+	ix := openT(t, t.TempDir())
+	defer ix.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := ix.Add(sampleWork(
+			fmt.Sprintf("Seed Work %d", i),
+			fmt.Sprintf("90:%d (1988)", i+1),
+			"Seed, Author A.")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const readers = 4
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ep := ix.pin()
+				want := ep.eng.CorpusFingerprint()
+				// Hold the pin across real reads while writers commit.
+				ep.eng.TitleSearchView("storm", 8)
+				ep.eng.AuthorPrefix("s", 8)
+				time.Sleep(100 * time.Microsecond)
+				if got := ep.eng.CorpusFingerprint(); got != want {
+					t.Errorf("pinned snapshot fingerprint moved: %x -> %x", want, got)
+					ix.release(ep)
+					return
+				}
+				ix.release(ep)
+			}
+		}()
+	}
+	storm(t, ix, 2, 25)
+	close(stop)
+	wg.Wait()
+
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify after storm: %v", err)
+	}
+}
+
+// TestEpochReclamation: after a write storm with concurrent readers,
+// every retired epoch is reclaimed — the epochs-alive gauge returns to
+// exactly 1 (the current epoch) and no reader goroutines leak.
+func TestEpochReclamation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ix := openT(t, t.TempDir())
+	defer ix.Close()
+	if got := ix.EpochsAlive(); got != 1 {
+		t.Fatalf("EpochsAlive at open = %d, want 1", got)
+	}
+
+	for i := 0; i < 10; i++ {
+		if _, err := ix.Add(sampleWork(
+			fmt.Sprintf("Reclaim Work %d", i),
+			fmt.Sprintf("91:%d (1989)", i+1),
+			"Reclaim, Author B.")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ix.Search("storm", 8)
+				ix.Authors("s", 8)
+				ix.Len()
+			}
+		}()
+	}
+	storm(t, ix, 2, 20)
+	close(stop)
+	wg.Wait()
+
+	if got := ix.EpochsAlive(); got != 1 {
+		t.Errorf("EpochsAlive after storm = %d, want 1 (retired epochs leaked)", got)
+	}
+
+	// A held pin keeps exactly its own epoch alive across commits...
+	ep := ix.pin()
+	if _, err := ix.Add(sampleWork("After Pin", "92:1 (1990)", "Late, Writer C.")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.EpochsAlive(); got != 2 {
+		t.Errorf("EpochsAlive with one pinned retired epoch = %d, want 2", got)
+	}
+	// ...and releasing the last reference retires it.
+	ix.release(ep)
+	if got := ix.EpochsAlive(); got != 1 {
+		t.Errorf("EpochsAlive after release = %d, want 1", got)
+	}
+
+	// No goroutines left behind by the snapshot machinery.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew %d -> %d across snapshot storm", before, after)
+	}
+}
+
+// TestEpochPinnedAcrossSlowRender: a render pins one snapshot for its
+// whole (slow) duration; commits landing meanwhile neither block on it
+// nor mutate what it renders, and the moment it finishes its epoch is
+// reclaimed. The writer below yields between section writes to stretch
+// the render across many commits.
+func TestEpochPinnedAcrossSlowRender(t *testing.T) {
+	ix := openT(t, t.TempDir())
+	defer ix.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := ix.Add(sampleWork(
+			fmt.Sprintf("Render Work %d", i),
+			fmt.Sprintf("93:%d (1991)", i+1),
+			fmt.Sprintf("Render, Author %c.", 'A'+i%20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	renderDone := make(chan error, 1)
+	var out strings.Builder
+	sw := &slowWriter{w: &out, started: make(chan struct{})}
+	go func() {
+		renderDone <- ix.Render(sw, RenderOptions{Format: Text})
+	}()
+
+	// The first section write proves the render has pinned its epoch;
+	// only then do the storm commits start, so every storm work is
+	// strictly post-pin and must be invisible to the render.
+	<-sw.started
+	storm(t, ix, 2, 10)
+	if err := <-renderDone; err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if strings.Contains(out.String(), "Storm Work") {
+		t.Error("render output contains storm works committed after its pin")
+	}
+
+	waitQuiescent(t, ix)
+	if got := ix.EpochsAlive(); got != 1 {
+		t.Errorf("EpochsAlive after slow render = %d, want 1", got)
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// waitQuiescent spins briefly until all retired epochs drain; the last
+// release happens-before the reader returns, so one yield usually does.
+func waitQuiescent(t *testing.T, ix *Index) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for ix.EpochsAlive() > 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowWriter stretches a render out by yielding on every write, and
+// closes started on the first one.
+type slowWriter struct {
+	w       io.Writer
+	started chan struct{}
+	once    sync.Once
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	s.once.Do(func() { close(s.started) })
+	time.Sleep(200 * time.Microsecond)
+	return s.w.Write(p)
+}

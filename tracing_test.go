@@ -46,9 +46,10 @@ func tracedIndex(t *testing.T) *Index {
 }
 
 // TestTracedSearchSpanTree pins the per-layer shape of a read: the
-// facade span's children separate lock wait from hold from clone, and
-// the engine scan (with its postings-intersection child) nests under
-// the hold — so a slow search shows which layer ate the time.
+// snapshot read path takes no lock, so the engine scan (with its
+// postings-intersection child) and the clone pass nest directly under
+// the facade span — there are no lock.rwait/lock.rhold spans left to
+// record — and the span carries the epoch that served it.
 func TestTracedSearchSpanTree(t *testing.T) {
 	ix := tracedIndex(t)
 	tracer := trace.NewTracer(trace.Config{})
@@ -66,7 +67,7 @@ func TestTracedSearchSpanTree(t *testing.T) {
 	if search == nil {
 		t.Fatalf("no facade.search span:\n%v", root)
 	}
-	for _, name := range []string{"lock.rwait", "lock.rhold", "facade.clone"} {
+	for _, name := range []string{"engine.title_scan", "facade.clone"} {
 		found := false
 		for i := range search.Children {
 			if search.Children[i].Name == name {
@@ -77,13 +78,23 @@ func TestTracedSearchSpanTree(t *testing.T) {
 			t.Errorf("facade.search lacks direct child %q", name)
 		}
 	}
-	hold := findSpan(&root, "lock.rhold")
-	scan := findSpan(hold, "engine.title_scan")
-	if scan == nil {
-		t.Fatal("engine.title_scan not nested under lock.rhold")
+	for _, stale := range []string{"lock.rwait", "lock.rhold"} {
+		if findSpan(search, stale) != nil {
+			t.Errorf("lock-free facade.search still records %q", stale)
+		}
 	}
+	scan := findSpan(search, "engine.title_scan")
 	if findSpan(scan, "inverted.intersect") == nil {
 		t.Error("engine.title_scan lacks inverted.intersect child")
+	}
+	hasEpoch := false
+	for _, a := range search.Attrs {
+		if a.Key == "epoch" {
+			hasEpoch = true
+		}
+	}
+	if !hasEpoch {
+		t.Error("facade.search span lacks epoch attribute")
 	}
 }
 
