@@ -29,7 +29,8 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
+	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/render"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -227,7 +229,18 @@ type Options struct {
 	// fsync). Zero means the default of 256; negative values are
 	// rejected by Open.
 	IngestBatchSize int
+	// Shards partitions the engine into this many hash-sharded
+	// sub-engines, each with its own writer mutex and copy-on-write
+	// snapshot chain, so writes landing on different shards commit in
+	// parallel. Zero means 1 (unsharded); negative values or values
+	// above MaxShards are rejected by Open. The store is
+	// shard-agnostic, so the same directory may be reopened with any
+	// shard count.
+	Shards int
 }
+
+// MaxShards bounds Options.Shards.
+const MaxShards = 256
 
 // DefaultIngestBatchSize is the import chunk size used when Options
 // leaves IngestBatchSize zero.
@@ -263,33 +276,33 @@ type Stats struct {
 	SnapshotBytes int64  // last snapshot size
 	InMemory      bool   // true when opened without a directory
 	Collation     string // collation scheme name
+	Shards        int    // hash-partitioned engine shards
 }
 
 // Index is an open author-index engine. All methods are safe for
-// concurrent use: writes are serialized behind mu and commit by
-// publishing a fresh copy-on-write engine snapshot; reads pin the
-// current snapshot and run entirely lock-free (see snapshot.go), so a
-// slow reader never stalls a writer and a write burst never convoys
-// readers.
+// concurrent use: the corpus is hash-partitioned across engine shards
+// (Options.Shards; one by default), writes lock only their home shard
+// and commit by publishing a fresh copy-on-write snapshot of it, and
+// reads pin each shard's current snapshot and run entirely lock-free
+// (see snapshot.go and internal/shard), so a slow reader never stalls
+// a writer, a write burst never convoys readers, and writes on
+// different shards never contend with each other.
 type Index struct {
-	mu          sync.RWMutex
 	store       *storage.Store
 	coll        CollationOptions
 	ingestBatch int
 
-	// eng is the writer-current engine: the head every writer clones
-	// from. Accessed only under mu (Verify takes the read side to
-	// cross-check store and engine without writers moving underneath).
-	eng *query.Engine
-	// snap is the published snapshot readers pin; publish swaps it
-	// after every committed write.
-	snap        atomic.Pointer[epoch]
-	epochSeq    atomic.Uint64
-	epochsAlive atomic.Int64
-	// swapHist records the copy-on-write turnover latency each write
-	// pays (clone + path-copied mutation + pointer swap). Bound to a
-	// registry by RegisterMetrics, like ops.
-	swapHist atomic.Pointer[obs.Histogram]
+	// shards is the partitioned engine: every work has one home shard
+	// (hashed by ID; cross-references hash by heading collation key),
+	// each shard carries its own snapshot chain and writer mutex, and
+	// global operations (Verify, Close, tracker rebuilds) exclude all
+	// writers at once through the map's writer gate.
+	shards *shard.Map
+
+	// swapHists records, per shard, the copy-on-write turnover latency
+	// each write pays (clone + path-copied mutation + pointer swap).
+	// Bound to a registry by RegisterMetrics, like ops.
+	swapHists atomic.Pointer[[]*obs.Histogram]
 
 	// ops holds the per-operation latency histograms. Open points them
 	// at obs.Default; RegisterMetrics swaps in a set bound to another
@@ -373,10 +386,36 @@ func (ix *Index) RegisterMetrics(r *obs.Registry) {
 		func(s Stats) float64 { return float64(s.WALBytes) })
 	gauge("authdex_snapshot_bytes", "Last snapshot size.",
 		func(s Stats) float64 { return float64(s.SnapshotBytes) })
-	ix.swapHist.Store(r.Histogram("authdex_snapshot_swap_duration_seconds",
-		"Copy-on-write snapshot turnover latency per committed write (engine clone, path-copied mutation, pointer swap)."))
+	hs := make([]*obs.Histogram, ix.shards.N())
+	for i := range hs {
+		hs[i] = r.Histogram("authdex_snapshot_swap_duration_seconds",
+			"Copy-on-write snapshot turnover latency per committed write (engine clone, path-copied mutation, pointer swap).",
+			"shard", strconv.Itoa(i))
+	}
+	ix.swapHists.Store(&hs)
+	for i := 0; i < ix.shards.N(); i++ {
+		s := ix.shards.Shard(i)
+		r.GaugeFunc("authdex_shard_works", "Works indexed on one shard.",
+			func() float64 {
+				ep := s.Pin()
+				defer ep.Release()
+				return float64(ep.Eng.Len())
+			}, "shard", strconv.Itoa(i))
+	}
+	r.GaugeFunc("authdex_arena_dead_slots",
+		"Removed works still referenced by bulk-load arena slabs, awaiting compaction.",
+		func() float64 {
+			dead := 0
+			for _, s := range ix.shards.All() {
+				ep := s.Pin()
+				_, d := ep.Eng.ArenaStats()
+				ep.Release()
+				dead += d
+			}
+			return float64(dead)
+		})
 	r.GaugeFunc("authdex_epochs_alive",
-		"Engine snapshot epochs not yet reclaimed; 1 when quiescent.",
+		"Engine snapshot epochs not yet reclaimed; equals the shard count when quiescent.",
 		func() float64 { return float64(ix.EpochsAlive()) })
 }
 
@@ -412,6 +451,13 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if o.IngestBatchSize == 0 {
 		o.IngestBatchSize = DefaultIngestBatchSize
 	}
+	if o.Shards < 0 || o.Shards > MaxShards {
+		return nil, fmt.Errorf("authorindex: shard count %d outside [0, %d]", o.Shards, MaxShards)
+	}
+	nShards := o.Shards
+	if nShards == 0 {
+		nShards = 1
+	}
 	st, err := storage.Open(dir, storage.Options{
 		WAL:          wal.Options{NoSync: o.NoSync},
 		CompactEvery: o.CompactEvery,
@@ -419,32 +465,66 @@ func Open(dir string, opts *Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{store: st, eng: query.NewWithScheme(coll, o.MetricsScheme), coll: coll, ingestBatch: o.IngestBatchSize}
+	// The seed engine owns the metrics tracker, coauthorship graph and
+	// query counters; peer engines on the other shards share those
+	// trackers (trackers are corpus-global, not per-shard) while keeping
+	// their own index trees.
+	seed := query.NewWithScheme(coll, o.MetricsScheme)
 	if o.GraphDamping != 0 {
-		ix.eng.Graph().SetDamping(o.GraphDamping)
+		seed.Graph().SetDamping(o.GraphDamping)
 	}
+	ix := &Index{store: st, coll: coll, ingestBatch: o.IngestBatchSize}
+	ix.shards = shard.New(nShards, func(i int) *query.Engine {
+		if i == 0 {
+			return seed
+		}
+		return seed.NewPeer()
+	})
 	// Cold start is a bulk load, not a replay: the store hands the whole
-	// decoded corpus to the engine as shared read-only records (neither
-	// side ever mutates a stored work in place), and the engine builds
-	// every index bottom-up while the metrics and graph trackers rebuild
-	// in parallel.
-	if err := ix.eng.LoadAll(st.Works()); err != nil {
-		st.Close()
-		return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
+	// decoded corpus to the engines as shared read-only records (neither
+	// side ever mutates a stored work in place), and each shard builds
+	// its indexes bottom-up over its partition. The heads were published
+	// by shard.New before the index is visible to any reader, so loading
+	// them in place is unobservable — every read path pins an epoch, and
+	// none can exist yet.
+	works := st.Works()
+	if nShards == 1 {
+		if err := seed.LoadAll(works); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("authorindex: rebuild from store: %w", err)
+		}
+	} else {
+		parts := make([][]*model.Work, nShards)
+		for _, w := range works {
+			si := ix.shards.ForWork(w.ID)
+			parts[si] = append(parts[si], w)
+		}
+		for i, s := range ix.shards.All() {
+			if err := s.Head().LoadCorpus(context.Background(), parts[i]); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("authorindex: rebuild shard %d from store: %w", i, err)
+			}
+		}
+		// The shared trackers rebuild once over the whole corpus, not
+		// once per shard.
+		seed.RebuildTrackers(works)
 	}
 	if refs := st.CrossRefs(); len(refs) > 0 {
-		batch := make([]core.SeeAlsoRef, len(refs))
-		for i, ref := range refs {
-			batch[i] = core.SeeAlsoRef{From: ref.From, To: ref.To}
+		groups := make([][]core.SeeAlsoRef, nShards)
+		for _, ref := range refs {
+			si := ix.shards.ForKey(collate.KeyAuthor(ref.From, coll))
+			groups[si] = append(groups[si], core.SeeAlsoRef{From: ref.From, To: ref.To})
 		}
-		if err := ix.eng.Index().AddSeeAlsoBatch(batch); err != nil {
-			st.Close()
-			return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
+		for i, s := range ix.shards.All() {
+			if len(groups[i]) == 0 {
+				continue
+			}
+			if err := s.Head().Index().AddSeeAlsoBatch(groups[i]); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("authorindex: restore cross-refs: %w", err)
+			}
 		}
 	}
-	// Publish the initial snapshot before the index is visible to any
-	// reader; every read path pins an epoch, so one must always exist.
-	ix.publish(start, ix.eng)
 	ix.RegisterMetrics(obs.Default)
 	ix.ops.Load()[opOpen].Since(start)
 	return ix, nil
@@ -516,6 +596,28 @@ func (ix *Index) rollbackStored(ids []WorkID, prev map[WorkID]*model.Work) error
 	return nil
 }
 
+// undoTrackerAdds reverses the shared-tracker side effects of a group
+// that was indexed into a since-discarded clone: the clone's btrees are
+// garbage either way, but its AddBatch mutated the metrics and graph
+// trackers shared by every shard engine, so each surviving version is
+// removed and any work it replaced is re-added. Duplicate explicit IDs
+// collapse to the last occurrence inside the engine, so the undo walks
+// unique IDs once.
+func (ix *Index) undoTrackerAdds(eng *query.Engine, group []*model.Work, prev map[WorkID]*model.Work) {
+	done := make(map[WorkID]struct{}, len(group))
+	for _, w := range group {
+		if _, dup := done[w.ID]; dup {
+			continue
+		}
+		done[w.ID] = struct{}{}
+		eng.Remove(w.ID)
+		if old, ok := prev[w.ID]; ok {
+			// Re-adding a previously indexed work cannot fail.
+			_ = eng.Add(old)
+		}
+	}
+}
+
 // engAddBatch indexes a stored batch into the writer's not-yet-published
 // clone, honoring the test-only fault hook.
 func (ix *Index) engAddBatch(eng *query.Engine, batch []*model.Work) error {
@@ -566,16 +668,36 @@ func (ix *Index) Get(id WorkID) (*Work, bool) {
 
 // Len returns the number of stored works.
 func (ix *Index) Len() int {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.Len()
+	v := ix.shards.PinAll()
+	defer v.Release()
+	n := 0
+	for _, ep := range v.Epochs {
+		n += ep.Eng.Len()
+	}
+	return n
 }
 
-// Author looks up one heading by its index-order string.
+// Author looks up one heading by its index-order string. An author
+// whose works are spread across shards is assembled from every shard's
+// partial entry.
 func (ix *Index) Author(heading string) (*Entry, bool) {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.AuthorExact(heading)
+	v := ix.shards.PinAll()
+	defer v.Release()
+	if len(v.Epochs) == 1 {
+		return v.Epochs[0].Eng.AuthorExact(heading)
+	}
+	parts := make([][]*Entry, len(v.Epochs))
+	found := false
+	for i, ep := range v.Epochs {
+		if e, ok := ep.Eng.AuthorExact(heading); ok {
+			parts[i] = []*Entry{e}
+			found = true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	return shard.MergeEntries(parts, ix.coll, 0)[0], true
 }
 
 // Authors returns up to limit headings starting with prefix, in print
@@ -616,11 +738,17 @@ func (ix *Index) VolumeWorks(v, limit int) []*Work {
 }
 
 // Subjects returns every subject heading in collation order with its
-// work count.
+// work count, summed across shards.
 func (ix *Index) Subjects() []SubjectCount {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.Subjects()
+	v := ix.shards.PinAll()
+	defer v.Release()
+	if len(v.Epochs) == 1 {
+		return v.Epochs[0].Eng.Subjects()
+	}
+	parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []query.KeyedSubject {
+		return ep.Eng.KeyedSubjects()
+	})
+	return shard.MergeSubjects(parts)
 }
 
 // BySubject returns the works filed under a subject heading, matched
@@ -635,10 +763,24 @@ func (ix *Index) BySubject(subject string, limit int) []*Work {
 // no lock, and the pin is released before the render runs (indexed
 // works are immutable, so the view outlives the pin).
 func (ix *Index) RenderSubjectIndex(w io.Writer, opts RenderOptions) error {
-	ep := ix.pin()
-	works := ep.eng.AllWorksView()
-	ix.release(ep)
-	return render.SubjectIndex(w, works, ix.coll, opts)
+	return render.SubjectIndex(w, ix.allWorksView(), ix.coll, opts)
+}
+
+// allWorksView concatenates every shard's zero-copy corpus view. The
+// pins are released before returning — indexed works are immutable, so
+// the views outlive them. Order is per-shard; consumers that need a
+// global order (the title and subject renders) sort internally.
+func (ix *Index) allWorksView() []*model.Work {
+	v := ix.shards.PinAll()
+	defer v.Release()
+	if len(v.Epochs) == 1 {
+		return v.Epochs[0].Eng.AllWorksView()
+	}
+	var out []*model.Work
+	for _, ep := range v.Epochs {
+		out = append(out, ep.Eng.AllWorksView()...)
+	}
+	return out
 }
 
 // AddSeeAlso durably records a cross-reference between two headings
@@ -653,20 +795,25 @@ func (ix *Index) AddSeeAlso(from, to string) error {
 	if err != nil {
 		return fmt.Errorf("authorindex: to heading: %w", err)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
+	// Cross-references live on the shard their From heading hashes to,
+	// so a lookup of that heading finds them without a fan-out.
+	s := ix.shards.Shard(ix.shards.ForKey(collate.KeyAuthor(fa, ix.coll)))
+	s.Lock()
+	defer s.Unlock()
 	// Mutate a clone, commit to the store, then publish: a store error
 	// discards the clone, so engine and store can no longer diverge the
 	// way the old engine-first order allowed.
 	start := time.Now()
-	eng := ix.eng.Clone()
+	eng := s.Head().Clone()
 	if err := eng.Index().AddSeeAlso(fa, ta); err != nil {
 		return err
 	}
 	if err := ix.store.AddCrossRef(storage.CrossRef{From: fa, To: ta}); err != nil {
 		return err
 	}
-	ix.publish(start, eng)
+	ix.publish(start, s, eng)
 	return nil
 }
 
@@ -674,10 +821,15 @@ func (ix *Index) AddSeeAlso(from, to string) error {
 // work counts by kind and year, fractional and position-weighted
 // credit, productivity h-index and collaboration degree.
 func (ix *Index) AuthorMetrics(heading string) (AuthorMetrics, bool) {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.AuthorMetrics(heading)
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.AuthorMetrics(heading)
 }
+
+// trackerPin pins shard 0 for a metrics or graph read. The trackers
+// are corpus-global and shared by every shard's engines, so any shard
+// would do; pinning one avoids a pointless fan-out.
+func (ix *Index) trackerPin() *shard.Epoch { return ix.shards.Shard(0).Pin() }
 
 // TopAuthors returns up to limit author snapshots ranked by the given
 // key, best first. The limit is clamped like every query limit.
@@ -687,39 +839,76 @@ func (ix *Index) TopAuthors(by RankKey, limit int) []AuthorMetrics {
 
 // MetricsSummary returns corpus-level collaboration statistics.
 func (ix *Index) MetricsSummary() MetricsSummary {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.MetricsSummary()
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.MetricsSummary()
 }
 
 // SetMetricsScheme swaps the credit-weighting scheme, rebuilding the
 // metrics state from the corpus (O(corpus), a recovery-grade path).
-// Like every write, it publishes a fresh snapshot; the rebuilt tracker
-// is constructed off to the side, so concurrent readers never observe
-// a half-built one.
+// The trackers are corpus-global, so the rebuild is coordinator-level:
+// it excludes every writer, constructs the fresh tracker off to the
+// side, and republishes every shard pointing at it — concurrent
+// readers never observe a half-built tracker.
 func (ix *Index) SetMetricsScheme(s Scheme) error {
 	if !s.Valid() {
 		return fmt.Errorf("authorindex: invalid metrics scheme %d", s)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	start := time.Now()
-	eng := ix.eng.Clone()
-	eng.SetMetricsScheme(s)
-	ix.publish(start, eng)
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
+	var same bool
+	var gr *graph.Graph
+	ix.shards.Shard(0).Head().ReadTrackers(func(met metrics.Tracker, g *graph.Graph) {
+		same = met.Weighting() == s
+		gr = g
+	})
+	if same {
+		return nil
+	}
+	fresh := metrics.NewEngine(s)
+	fresh.Rebuild(ix.headWorks())
+	ix.replaceTrackers(fresh, gr)
 	return nil
+}
+
+// headWorks gathers live references to the whole corpus across shard
+// heads. Callers hold the exclusive writer gate.
+func (ix *Index) headWorks() []*model.Work {
+	var out []*model.Work
+	for _, s := range ix.shards.All() {
+		out = append(out, s.Head().AllWorksView()...)
+	}
+	return out
+}
+
+// replaceTrackers clones every shard head, points the clones at the
+// given tracker pair, and publishes them all — the tail of every
+// whole-corpus tracker rebuild. Callers hold the exclusive writer
+// gate.
+func (ix *Index) replaceTrackers(met metrics.Tracker, gr *graph.Graph) {
+	start := time.Now()
+	for _, s := range ix.shards.All() {
+		eng := s.Head().Clone()
+		eng.ReplaceTrackers(met, gr)
+		ix.publish(start, s, eng)
+	}
 }
 
 // RebuildMetrics discards the incrementally maintained metrics state
 // and recomputes it from the indexed corpus — the recovery path when
 // incremental state is suspect.
 func (ix *Index) RebuildMetrics() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	start := time.Now()
-	eng := ix.eng.Clone()
-	eng.RebuildMetrics()
-	ix.publish(start, eng)
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
+	var scheme Scheme
+	var gr *graph.Graph
+	ix.shards.Shard(0).Head().ReadTrackers(func(met metrics.Tracker, g *graph.Graph) {
+		scheme = met.Weighting()
+		gr = g
+	})
+	fresh := metrics.NewEngine(scheme)
+	fresh.Rebuild(ix.headWorks())
+	ix.replaceTrackers(fresh, gr)
 }
 
 // CollaborationPath returns the shortest coauthorship chain between two
@@ -728,34 +917,34 @@ func (ix *Index) RebuildMetrics() {
 // when either heading is unknown or no chain of shared works connects
 // them.
 func (ix *Index) CollaborationPath(from, to string) ([]string, bool) {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.CollaborationPath(from, to)
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.CollaborationPath(from, to)
 }
 
 // Centrality returns a heading's PageRank score in the coauthorship
 // network; scores across all authors sum to 1.
 func (ix *Index) Centrality(heading string) (float64, bool) {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.Centrality(heading)
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.Centrality(heading)
 }
 
 // Collaborators returns a heading's co-authors with shared-work counts,
 // heaviest first.
 func (ix *Index) Collaborators(heading string) []Neighbor {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.GraphNeighbors(heading)
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.GraphNeighbors(heading)
 }
 
 // GraphSummary returns coauthorship-network aggregates: node, edge and
 // component counts, the largest component, density, and the most
 // central authors under the configured damping factor.
 func (ix *Index) GraphSummary() GraphSummary {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.GraphSummary()
+	ep := ix.trackerPin()
+	defer ep.Release()
+	return ep.Eng.GraphSummary()
 }
 
 // TopCentral returns up to limit authors by network centrality, best
@@ -768,20 +957,28 @@ func (ix *Index) TopCentral(limit int) []CentralAuthor {
 // and recomputes it from the indexed corpus — the recovery path when
 // incremental state is suspect.
 func (ix *Index) RebuildGraph() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	start := time.Now()
-	eng := ix.eng.Clone()
-	eng.RebuildGraph()
-	ix.publish(start, eng)
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
+	var met metrics.Tracker
+	var damping float64
+	ix.shards.Shard(0).Head().ReadTrackers(func(m metrics.Tracker, g *graph.Graph) {
+		met = m
+		damping = g.Damping()
+	})
+	fresh := graph.New(damping)
+	fresh.Rebuild(ix.headWorks())
+	ix.replaceTrackers(met, fresh)
 }
 
 // Sections returns the index grouped by letter, in print order; entries
-// are deep copies.
+// are deep copies, merged across shards.
 func (ix *Index) Sections() []Section {
-	ep := ix.pin()
-	defer ix.release(ep)
-	return ep.eng.Index().Sections()
+	v := ix.shards.PinAll()
+	defer v.Release()
+	parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []Section {
+		return ep.Eng.Index().Sections()
+	})
+	return shard.MergeSections(parts, ix.coll)
 }
 
 // Render writes the index to w in the format selected by opts. With
@@ -799,10 +996,7 @@ func (ix *Index) Render(w io.Writer, opts RenderOptions) error {
 // citations. Text, TSV and Markdown formats are supported. Like
 // RenderSubjectIndex, it renders from a zero-copy snapshot view.
 func (ix *Index) RenderTitleIndex(w io.Writer, opts RenderOptions) error {
-	ep := ix.pin()
-	works := ep.eng.AllWorksView()
-	ix.release(ep)
-	return render.TitleIndex(w, works, ix.coll, opts)
+	return render.TitleIndex(w, ix.allWorksView(), ix.coll, opts)
 }
 
 // RemoveSeeAlso deletes a durable cross-reference previously recorded
@@ -816,18 +1010,22 @@ func (ix *Index) RemoveSeeAlso(from, to string) error {
 	if err != nil {
 		return fmt.Errorf("authorindex: to heading: %w", err)
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	// Same clone-commit-publish order as AddSeeAlso.
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
+	// Same home-shard routing and clone-commit-publish order as
+	// AddSeeAlso.
+	s := ix.shards.Shard(ix.shards.ForKey(collate.KeyAuthor(fa, ix.coll)))
+	s.Lock()
+	defer s.Unlock()
 	start := time.Now()
-	eng := ix.eng.Clone()
+	eng := s.Head().Clone()
 	if !eng.Index().RemoveSeeAlso(fa, ta) {
 		return fmt.Errorf("%w: cross-reference %s → %s", ErrNotFound, fa.Display(), ta.Display())
 	}
 	if err := ix.store.DeleteCrossRef(storage.CrossRef{From: fa, To: ta}); err != nil {
 		return err
 	}
-	ix.publish(start, eng)
+	ix.publish(start, s, eng)
 	return nil
 }
 
@@ -889,8 +1087,8 @@ func (ix *Index) importResult(res *ingest.Result) error {
 
 // Compact writes a snapshot and truncates the write-ahead log.
 func (ix *Index) Compact() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
 	return ix.store.Compact()
 }
 
@@ -899,13 +1097,40 @@ func (ix *Index) Compact() error {
 // initialism variants), ordered by confidence. Editors review the list
 // and record see-also references for the real ones.
 func (ix *Index) DuplicateSuggestions() []Suggestion {
-	ep := ix.pin()
+	v := ix.shards.PinAll()
 	var authors []Author
-	ep.eng.Index().Ascend(func(e *Entry) bool {
-		authors = append(authors, e.Author)
-		return true
-	})
-	ix.release(ep)
+	if len(v.Epochs) == 1 {
+		v.Epochs[0].Eng.Index().Ascend(func(e *Entry) bool {
+			authors = append(authors, e.Author)
+			return true
+		})
+	} else {
+		// A heading can appear on several shards; deduplicate by
+		// collation key and restore the global print order the scanner
+		// expects.
+		type keyed struct {
+			key string
+			a   Author
+		}
+		seen := make(map[string]struct{})
+		var all []keyed
+		for _, ep := range v.Epochs {
+			ep.Eng.Index().Ascend(func(e *Entry) bool {
+				k := string(collate.KeyAuthor(e.Author, ix.coll))
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					all = append(all, keyed{key: k, a: e.Author})
+				}
+				return true
+			})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+		authors = make([]Author, len(all))
+		for i, ka := range all {
+			authors[i] = ka.a
+		}
+	}
+	v.Release()
 	return dedupe.Suggest(authors)
 }
 
@@ -915,26 +1140,34 @@ func (ix *Index) DuplicateSuggestions() []Suggestion {
 // no index may reference a work the store does not hold. It returns nil
 // when the index is internally consistent.
 //
-// Verify is the one read that still takes ix.mu (the read side): it
-// cross-checks the store against the engine, so writers must be
-// excluded for the comparison to be meaningful. Lock-free snapshot
-// readers are unaffected — they never touch ix.mu.
+// Verify takes the exclusive writer gate: it cross-checks the store
+// against every shard's head engine, so writers must be excluded for
+// the comparison to be meaningful. Lock-free snapshot readers are
+// unaffected — they never touch the gate.
 func (ix *Index) Verify() error {
 	defer ix.timeOp(opVerify)()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
+	heads := make([]*query.Engine, ix.shards.N())
+	for i := range heads {
+		heads[i] = ix.shards.Shard(i).Head()
+	}
 	storeCount := 0
+	var storeXor uint64
 	err := ix.store.ForEach(func(w *model.Work) error {
 		storeCount++
-		got, ok := ix.eng.WorkView(w.ID)
+		storeXor ^= query.WorkFingerprint(w)
+		home := ix.shards.ForWork(w.ID)
+		eng := heads[home]
+		got, ok := eng.WorkView(w.ID)
 		if !ok {
-			return fmt.Errorf("authorindex: verify: stored work %d missing from engine", w.ID)
+			return fmt.Errorf("authorindex: verify: stored work %d missing from shard %d", w.ID, home)
 		}
 		if !got.Equal(w) {
-			return fmt.Errorf("authorindex: verify: work %d differs between store and engine", w.ID)
+			return fmt.Errorf("authorindex: verify: work %d differs between store and shard %d", w.ID, home)
 		}
 		for _, a := range w.Authors {
-			entry, ok := ix.eng.Index().Lookup(a)
+			entry, ok := eng.Index().Lookup(a)
 			if !ok {
 				return fmt.Errorf("authorindex: verify: work %d not filed under %q", w.ID, a.Display())
 			}
@@ -954,21 +1187,38 @@ func (ix *Index) Verify() error {
 	if err != nil {
 		return err
 	}
-	if engCount := ix.eng.Len(); engCount != storeCount {
-		return fmt.Errorf("authorindex: verify: store holds %d works, engine %d", storeCount, engCount)
+	engCount, worksTotal, postings := 0, 0, 0
+	var shardXor uint64
+	for _, h := range heads {
+		st := h.Stats()
+		engCount += h.Len()
+		worksTotal += st.Works
+		postings += st.Postings
+		shardXor ^= h.XorFingerprint()
 	}
-	st := ix.eng.Stats()
-	if st.Works != storeCount {
-		return fmt.Errorf("authorindex: verify: author index counts %d works, store %d", st.Works, storeCount)
+	if engCount != storeCount {
+		return fmt.Errorf("authorindex: verify: store holds %d works, shards %d", storeCount, engCount)
 	}
-	ms := ix.eng.Metrics().Summary()
+	// Per-shard fingerprints XOR-combine into the corpus fingerprint
+	// (XOR is commutative, so partitioning cannot change it): the
+	// combined value must match the same fold over the store — the
+	// fingerprint a from-scratch unsharded rebuild would produce.
+	if shardXor != storeXor {
+		return fmt.Errorf("authorindex: verify: shard fingerprints fold to %016x, store works to %016x", shardXor, storeXor)
+	}
+	if worksTotal != storeCount {
+		return fmt.Errorf("authorindex: verify: author index counts %d works, store %d", worksTotal, storeCount)
+	}
+	// The trackers are corpus-global and shared by every shard, so
+	// tracker-level checks read one head.
+	ms := heads[0].Metrics().Summary()
 	if ms.Works != storeCount {
 		return fmt.Errorf("authorindex: verify: metrics track %d works, store %d", ms.Works, storeCount)
 	}
-	if ms.Postings != st.Postings {
-		return fmt.Errorf("authorindex: verify: metrics count %d postings, index %d", ms.Postings, st.Postings)
+	if ms.Postings != postings {
+		return fmt.Errorf("authorindex: verify: metrics count %d postings, index %d", ms.Postings, postings)
 	}
-	g := ix.eng.Graph()
+	g := heads[0].Graph()
 	if g.Works() != storeCount {
 		return fmt.Errorf("authorindex: verify: graph tracks %d works, store %d", g.Works(), storeCount)
 	}
@@ -981,33 +1231,66 @@ func (ix *Index) Verify() error {
 		return fmt.Errorf("authorindex: verify: graph holds %d edges, metrics %d pairs", g.Edges(), ms.Pairs)
 	}
 	// The incremental graph must be byte-identical to one rebuilt from
-	// scratch over the same corpus.
-	if !ix.eng.GraphConsistent() {
+	// scratch over the union of every shard's corpus.
+	fresh := graph.New(g.Damping())
+	for _, h := range heads {
+		for _, w := range h.AllWorksView() {
+			fresh.Add(w)
+		}
+	}
+	if fresh.Fingerprint() != g.Fingerprint() {
 		return fmt.Errorf("authorindex: verify: incremental graph state differs from a from-scratch rebuild")
 	}
 	return nil
 }
 
-// Stats returns current counters.
+// Stats returns current counters. Per-shard counts sum (works,
+// postings, cross-references are disjoint across shards); Authors
+// counts distinct headings, since one heading's works can spread over
+// several shards; Terms is summed per shard, so with several shards it
+// is an upper bound on globally distinct terms. Query counters and
+// graph counts come from the shared trackers, read once.
 func (ix *Index) Stats() Stats {
-	ep := ix.pin()
-	defer ix.release(ep)
-	es := ep.eng.Stats()
+	v := ix.shards.PinAll()
+	defer v.Release()
+	e0 := v.Epochs[0].Eng
+	var works, authors, postings, students, crossRefs, terms int
+	if len(v.Epochs) == 1 {
+		es := e0.Stats()
+		works, authors, postings = es.Works, es.Authors, es.Postings
+		students, crossRefs, terms = es.StudentNotes, es.CrossRefs, es.Terms
+	} else {
+		seen := make(map[string]struct{})
+		for _, ep := range v.Epochs {
+			es := ep.Eng.Stats()
+			works += es.Works
+			postings += es.Postings
+			students += es.StudentNotes
+			crossRefs += es.CrossRefs
+			terms += es.Terms
+			ep.Eng.Index().Ascend(func(e *Entry) bool {
+				seen[string(collate.KeyAuthor(e.Author, ix.coll))] = struct{}{}
+				return true
+			})
+		}
+		authors = len(seen)
+	}
+	qs := e0.QueryStats()
 	ss := ix.store.Stats()
-	nodes, edges, components := ep.eng.GraphCounts()
+	nodes, edges, components := e0.GraphCounts()
 	return Stats{
-		Works:           es.Works,
-		Authors:         es.Authors,
-		Postings:        es.Postings,
-		StudentNotes:    es.StudentNotes,
-		CrossRefs:       es.CrossRefs,
-		Terms:           es.Terms,
+		Works:           works,
+		Authors:         authors,
+		Postings:        postings,
+		StudentNotes:    students,
+		CrossRefs:       crossRefs,
+		Terms:           terms,
 		GraphNodes:      nodes,
 		GraphEdges:      edges,
 		GraphComponents: components,
-		QueriesServed:   es.Query.Queries,
-		WorksCloned:     es.Query.WorksCloned,
-		PostingsScanned: es.Query.PostingsBytes,
+		QueriesServed:   qs.Queries,
+		WorksCloned:     qs.WorksCloned,
+		PostingsScanned: qs.PostingsBytes,
 
 		BatchesCommitted: ss.BatchesCommitted,
 		FsyncsSaved:      ss.FsyncsSaved,
@@ -1017,13 +1300,14 @@ func (ix *Index) Stats() Stats {
 		SnapshotBytes: ss.SnapshotBytes,
 		InMemory:      ss.InMemory,
 		Collation:     ix.coll.Scheme.String(),
+		Shards:        ix.shards.N(),
 	}
 }
 
 // Close flushes and closes the index. Further mutations fail with
 // ErrClosed.
 func (ix *Index) Close() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.shards.LockAll()
+	defer ix.shards.UnlockAll()
 	return ix.store.Close()
 }

@@ -109,7 +109,10 @@ func facadeFingerprint(t *testing.T, ix *Index) string {
 	if err := ix.Render(&buf, RenderOptions{Format: TSV}); err != nil {
 		t.Fatal(err)
 	}
-	return fmt.Sprintf("%+v|%s|%s", st, ix.eng.Graph().Fingerprint(), buf.String())
+	ep := ix.shards.Shard(0).Pin()
+	gfp := ep.Eng.Graph().Fingerprint()
+	ep.Release()
+	return fmt.Sprintf("%+v|%s|%s", st, gfp, buf.String())
 }
 
 func TestAddBatchFailureIsAtomic(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,7 @@ import (
 // benchPR numbers the BENCH artifact this harness emits; bump it per
 // PR so each run's report lands beside its predecessors instead of
 // overwriting them.
-const benchPR = 8
+const benchPR = 9
 
 // cmdLoadgen is the HTTP load harness: it replays a mixed query/ingest
 // workload against an authdex server at a fixed dispatch rate (open
@@ -56,62 +57,115 @@ func cmdLoadgen(args []string) error {
 	check := fs.Bool("check", false, "exit nonzero unless requests were sent and every one succeeded")
 	writes := fs.Float64("writes", 0.1, "fraction of dispatched requests that are writes (single adds plus POST /works:batch group commits)")
 	baseline := fs.String("baseline", "", "prior BENCH report; prints before/after p999 per route against it")
+	shards := fs.Int("shards", 0, "shard count for the self-hosted index (0 = 1, unsharded)")
+	sweep := fs.String("sweep", "", "comma-separated shard counts (e.g. 1,4,16): self-host once per count and emit every run in one report; overrides -target and -shards")
 	fs.Parse(args)
 	if *writes < 0 || *writes > 1 {
 		return fmt.Errorf("loadgen: -writes %v out of range [0,1]", *writes)
 	}
 
 	corpus := authorindex.GenerateCorpus(authorindex.CorpusConfig{Seed: *seed, Works: *works, ZipfS: 1.1})
-	base := *target
-	if base == "" {
-		url, shutdown, err := selfHost(corpus, *dir)
+
+	// runOnce self-hosts (unless targeting) at the given shard count and
+	// replays the workload; every sweep entry comes from this same path.
+	runOnce := func(nShards int, selfHostOnly bool) (*benchReport, error) {
+		base := *target
+		if selfHostOnly {
+			base = ""
+		}
+		var shutdown func()
+		if base == "" {
+			d := *dir
+			if d != "" && selfHostOnly {
+				// One durable index per sweep entry, not one shared WAL.
+				d = fmt.Sprintf("%s/shards-%d", strings.TrimRight(d, "/"), nShards)
+				if err := os.MkdirAll(d, 0o755); err != nil {
+					return nil, err
+				}
+			}
+			url, sd, err := selfHost(corpus, d, nShards)
+			if err != nil {
+				return nil, err
+			}
+			shutdown = sd
+			base = url
+		}
+		if shutdown != nil {
+			defer shutdown()
+		}
+		base = strings.TrimRight(base, "/")
+
+		plan := buildPlan(corpus, *seed, *writes)
+		res := runLoad(base, plan, *rate, *duration, *inflight)
+		res.ServerMetrics = scrapeMetrics(base)
+		res.ServerTraces = scrapeTraces(base)
+		res.Config = loadgenConfig{
+			Target: base, Works: *works, Seed: *seed,
+			DurationSec: duration.Seconds(), Rate: *rate,
+			WriteFrac: *writes, Shards: max(nShards, 1),
+		}
+		fmt.Printf("loadgen[shards=%d]: %d requests in %.1fs (%.0f req/s), %d errors\n",
+			max(nShards, 1), res.Requests, res.ElapsedSec, res.ThroughputRPS, res.Errors)
+		for _, r := range res.Routes {
+			fmt.Printf("   %-22s %7d reqs  p50 %s  p95 %s  p99 %s  p999 %s\n",
+				r.Route, r.Count, fmtNs(r.P50Ns), fmtNs(r.P95Ns), fmtNs(r.P99Ns), fmtNs(r.P999Ns))
+		}
+		if *baseline != "" {
+			if err := printBaselineDelta(*baseline, res); err != nil {
+				fmt.Printf("   (baseline %s unusable: %v)\n", *baseline, err)
+			}
+		}
+		if *check {
+			if res.Requests == 0 {
+				return nil, fmt.Errorf("loadgen check: no requests dispatched")
+			}
+			if res.Errors != 0 {
+				return nil, fmt.Errorf("loadgen check: %d of %d requests failed", res.Errors, res.Requests)
+			}
+			if len(res.Routes) == 0 {
+				return nil, fmt.Errorf("loadgen check: no per-route stats recorded")
+			}
+		}
+		return res, nil
+	}
+
+	var report *benchReport
+	if *sweep == "" {
+		res, err := runOnce(*shards, false)
 		if err != nil {
 			return err
 		}
-		defer shutdown()
-		base = url
+		report = res
+	} else {
+		// Shard sweep: identical corpus, workload and rate per entry, so
+		// the per-entry route tails are directly comparable.
+		report = &benchReport{Experiment: fmt.Sprintf("bench_%d_shard_sweep", benchPR)}
+		for _, part := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("loadgen: bad -sweep entry %q", part)
+			}
+			res, err := runOnce(n, true)
+			if err != nil {
+				return err
+			}
+			// Traces per entry would triple the artifact without adding
+			// cross-shard signal; the per-route tails carry the story.
+			res.ServerTraces = nil
+			report.Sweep = append(report.Sweep, res)
+			report.Requests += res.Requests
+			report.Errors += res.Errors
+		}
 	}
-	base = strings.TrimRight(base, "/")
 
-	plan := buildPlan(corpus, *seed, *writes)
-	res := runLoad(base, plan, *rate, *duration, *inflight)
-	res.ServerMetrics = scrapeMetrics(base)
-	res.ServerTraces = scrapeTraces(base)
-
-	res.Config = loadgenConfig{
-		Target: base, Works: *works, Seed: *seed,
-		DurationSec: duration.Seconds(), Rate: *rate,
-		WriteFrac: *writes,
-	}
-	blob, err := json.MarshalIndent(res, "", "  ")
+	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d requests in %.1fs (%.0f req/s), %d errors -> %s\n",
-		res.Requests, res.ElapsedSec, res.ThroughputRPS, res.Errors, *out)
-	for _, r := range res.Routes {
-		fmt.Printf("   %-22s %7d reqs  p50 %s  p95 %s  p99 %s  p999 %s\n",
-			r.Route, r.Count, fmtNs(r.P50Ns), fmtNs(r.P95Ns), fmtNs(r.P99Ns), fmtNs(r.P999Ns))
-	}
-	if *baseline != "" {
-		if err := printBaselineDelta(*baseline, res); err != nil {
-			fmt.Printf("   (baseline %s unusable: %v)\n", *baseline, err)
-		}
-	}
-	if *check {
-		if res.Requests == 0 {
-			return fmt.Errorf("loadgen check: no requests dispatched")
-		}
-		if res.Errors != 0 {
-			return fmt.Errorf("loadgen check: %d of %d requests failed", res.Errors, res.Requests)
-		}
-		if len(res.Routes) == 0 {
-			return fmt.Errorf("loadgen check: no per-route stats recorded")
-		}
-	}
+	fmt.Printf("loadgen: report -> %s\n", *out)
 	return nil
 }
 
@@ -123,6 +177,7 @@ type loadgenConfig struct {
 	DurationSec float64 `json:"duration_sec"`
 	Rate        int     `json:"rate_rps"`
 	WriteFrac   float64 `json:"write_frac"`
+	Shards      int     `json:"shards,omitempty"`
 }
 
 // printBaselineDelta reads a prior BENCH report and prints, per route
@@ -190,14 +245,17 @@ type benchReport struct {
 	// span trees captured during the run (scraped from /debug/traces),
 	// so the report's tail latencies come with their causal story.
 	ServerTraces []trace.FamilySnapshot `json:"server_traces,omitempty"`
+	// Sweep, when set, holds one full run per shard count (-sweep); the
+	// top-level report then only aggregates request and error totals.
+	Sweep []*benchReport `json:"sweep,omitempty"`
 }
 
 // selfHost bulk-loads the corpus into an in-memory index and serves it
 // on a loopback listener through the same httpapi surface `authdex
 // serve` uses (process-wide registry, so /debug/metrics carries the
 // engine, WAL and runtime series too).
-func selfHost(corpus []*authorindex.Work, dir string) (string, func(), error) {
-	ix, err := authorindex.Open(dir, nil)
+func selfHost(corpus []*authorindex.Work, dir string, shards int) (string, func(), error) {
+	ix, err := authorindex.Open(dir, &authorindex.Options{Shards: shards})
 	if err != nil {
 		return "", nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -11,41 +12,71 @@ import (
 	"repro/internal/model"
 	"repro/internal/query"
 	"repro/internal/render"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
 // Ctx variants of the facade entry points. Each wraps its operation in
 // one facade span annotated with the snapshot epoch that served it.
-// Reads pin an epoch and run lock-free, so their engine spans nest
-// directly under the facade span — there is no lock wait to record.
-// Writes still serialize on ix.mu: their spans keep the lock.wait /
-// lock.hold children (which parent the store/WAL spans) plus the
-// copy-on-write turnover measured by the snapshot-swap histogram. The
-// non-ctx methods delegate through context.Background(), which is the
-// zero-allocation disabled path.
+// Reads pin each shard's epoch and run lock-free, so their engine spans
+// nest directly under the facade span — there is no lock wait to
+// record; with more than one shard the fan-out records one
+// facade.shard_scan child per shard. Writes serialize only on their
+// home shard's mutex (under the map's shared writer gate): their spans
+// keep the lock.wait / lock.hold children (which parent the store/WAL
+// spans) plus the copy-on-write turnover measured by the per-shard
+// snapshot-swap histograms. The non-ctx methods delegate through
+// context.Background(), which is the zero-allocation disabled path.
 
-// lockTraced acquires the write lock, recording the wait as one child
-// span and opening the hold span. The returned context parents the
-// store/engine work under the hold span; the caller must End it right
-// after Unlock.
-func (ix *Index) lockTraced(ctx context.Context) (context.Context, *trace.Span) {
+// lockShardTraced acquires one shard's writer mutex, recording the wait
+// as one child span and opening the hold span annotated with the shard
+// ID. The returned context parents the store/engine work under the hold
+// span; the caller must End it right after Unlock. Callers already hold
+// the map's writer gate.
+func (ix *Index) lockShardTraced(ctx context.Context, s *shard.Shard) (context.Context, *trace.Span) {
 	sp := trace.FromContext(ctx)
 	wait := sp.StartChild("lock.wait")
-	ix.mu.Lock()
+	s.Lock()
 	wait.End()
 	hold := sp.StartChild("lock.hold")
+	hold.SetInt("shard", int64(s.ID()))
 	return trace.ContextWith(ctx, hold), hold
 }
 
-// pinTraced pins the current snapshot and stamps its epoch on the span.
-func (ix *Index) pinTraced(sp *trace.Span) *epoch {
-	ep := ix.pin()
-	sp.SetInt("epoch", int64(ep.seq))
-	return ep
+// lockShardsTraced locks the given shards — ascending IDs, the global
+// lock order — under one lock.wait/lock.hold span pair.
+func (ix *Index) lockShardsTraced(ctx context.Context, ids []int) (context.Context, *trace.Span) {
+	sp := trace.FromContext(ctx)
+	wait := sp.StartChild("lock.wait")
+	for _, si := range ids {
+		ix.shards.Shard(si).Lock()
+	}
+	wait.End()
+	hold := sp.StartChild("lock.hold")
+	hold.SetInt("shards", int64(len(ids)))
+	return trace.ContextWith(ctx, hold), hold
+}
+
+// unlockShards releases locks taken by lockShardsTraced.
+func (ix *Index) unlockShards(ids []int) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		ix.shards.Shard(ids[i]).Unlock()
+	}
+}
+
+// pinAllTraced pins every shard's epoch and stamps the first epoch's
+// sequence (and the shard count, when sharded) on the span.
+func (ix *Index) pinAllTraced(sp *trace.Span) shard.View {
+	v := ix.shards.PinAll()
+	sp.SetInt("epoch", int64(v.Epochs[0].Seq))
+	if len(v.Epochs) > 1 {
+		sp.SetInt("shards", int64(len(v.Epochs)))
+	}
+	return v
 }
 
 // cloneTraced deep-copies a view under a facade.clone span. It runs
-// after the snapshot pin is released — views hold immutable works.
+// after the snapshot pins are released — views hold immutable works.
 func cloneTraced(ctx context.Context, eng *query.Engine, view []*model.Work) []*Work {
 	_, sp := trace.StartSpan(ctx, "facade.clone")
 	out := eng.CloneWorks(view)
@@ -54,15 +85,37 @@ func cloneTraced(ctx context.Context, eng *query.Engine, view []*model.Work) []*
 	return out
 }
 
+// scatterWorks fans one ordered read out across every pinned shard and
+// k-way merges the per-shard views — each already citation-ordered and
+// truncated by its engine — into one view capped at limit. A single
+// shard runs the query inline with no extra span, so the unsharded
+// configuration traces exactly as before.
+func scatterWorks(ctx context.Context, v shard.View, limit int, fn func(ctx context.Context, eng *query.Engine) []*model.Work) []*model.Work {
+	if len(v.Epochs) == 1 {
+		return fn(ctx, v.Epochs[0].Eng)
+	}
+	parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []*model.Work {
+		sctx, ssp := trace.StartSpan(ctx, "facade.shard_scan")
+		ssp.SetInt("shard", int64(ep.Shard))
+		ssp.SetInt("epoch", int64(ep.Seq))
+		defer ssp.End()
+		return fn(sctx, ep.Eng)
+	})
+	return shard.MergeWorks(parts, limit)
+}
+
 // SearchCtx is Search carrying a trace context.
 func (ix *Index) SearchCtx(ctx context.Context, q string, limit int) []*Work {
 	defer ix.timeOp(opSearch)()
 	ctx, sp := trace.StartSpan(ctx, "facade.search")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	view := ep.eng.TitleSearchViewCtx(ctx, q, limit)
-	ix.release(ep)
-	return cloneTraced(ctx, ep.eng, view)
+	v := ix.pinAllTraced(sp)
+	view := scatterWorks(ctx, v, limit, func(ctx context.Context, eng *query.Engine) []*model.Work {
+		return eng.TitleSearchViewCtx(ctx, q, limit)
+	})
+	eng := v.Epochs[0].Eng
+	v.Release()
+	return cloneTraced(ctx, eng, view)
 }
 
 // YearRangeCtx is YearRange carrying a trace context.
@@ -70,20 +123,26 @@ func (ix *Index) YearRangeCtx(ctx context.Context, from, to, limit int) []*Work 
 	defer ix.timeOp(opYearRange)()
 	ctx, sp := trace.StartSpan(ctx, "facade.year_range")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	view := ep.eng.YearRangeViewCtx(ctx, from, to, limit)
-	ix.release(ep)
-	return cloneTraced(ctx, ep.eng, view)
+	v := ix.pinAllTraced(sp)
+	view := scatterWorks(ctx, v, limit, func(ctx context.Context, eng *query.Engine) []*model.Work {
+		return eng.YearRangeViewCtx(ctx, from, to, limit)
+	})
+	eng := v.Epochs[0].Eng
+	v.Release()
+	return cloneTraced(ctx, eng, view)
 }
 
 // VolumeWorksCtx is VolumeWorks carrying a trace context.
-func (ix *Index) VolumeWorksCtx(ctx context.Context, v, limit int) []*Work {
+func (ix *Index) VolumeWorksCtx(ctx context.Context, vol, limit int) []*Work {
 	ctx, sp := trace.StartSpan(ctx, "facade.volume")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	view := ep.eng.VolumeViewCtx(ctx, v, limit)
-	ix.release(ep)
-	return cloneTraced(ctx, ep.eng, view)
+	v := ix.pinAllTraced(sp)
+	view := scatterWorks(ctx, v, limit, func(ctx context.Context, eng *query.Engine) []*model.Work {
+		return eng.VolumeViewCtx(ctx, vol, limit)
+	})
+	eng := v.Epochs[0].Eng
+	v.Release()
+	return cloneTraced(ctx, eng, view)
 }
 
 // BySubjectCtx is BySubject carrying a trace context.
@@ -91,33 +150,51 @@ func (ix *Index) BySubjectCtx(ctx context.Context, subject string, limit int) []
 	defer ix.timeOp(opBySubject)()
 	ctx, sp := trace.StartSpan(ctx, "facade.by_subject")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	view := ep.eng.BySubjectViewCtx(ctx, subject, limit)
-	ix.release(ep)
-	return cloneTraced(ctx, ep.eng, view)
+	v := ix.pinAllTraced(sp)
+	view := scatterWorks(ctx, v, limit, func(ctx context.Context, eng *query.Engine) []*model.Work {
+		return eng.BySubjectViewCtx(ctx, subject, limit)
+	})
+	eng := v.Epochs[0].Eng
+	v.Release()
+	return cloneTraced(ctx, eng, view)
 }
 
-// GetCtx is Get carrying a trace context.
+// GetCtx is Get carrying a trace context. A point lookup routes to the
+// work's home shard — no fan-out.
 func (ix *Index) GetCtx(ctx context.Context, id WorkID) (*Work, bool) {
 	defer ix.timeOp(opGet)()
 	_, sp := trace.StartSpan(ctx, "facade.get")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	w, ok := ep.eng.WorkView(id)
-	ix.release(ep)
+	s := ix.shards.Shard(ix.shards.ForWork(id))
+	ep := s.Pin()
+	sp.SetInt("epoch", int64(ep.Seq))
+	if ix.shards.N() > 1 {
+		sp.SetInt("shard", int64(ep.Shard))
+	}
+	w, ok := ep.Eng.WorkView(id)
+	ep.Release()
 	if !ok {
 		return nil, false
 	}
-	return ep.eng.CloneWork(w), true
+	return ep.Eng.CloneWork(w), true
 }
 
 // AuthorsCtx is Authors carrying a trace context.
 func (ix *Index) AuthorsCtx(ctx context.Context, prefix string, limit int) []*Entry {
 	_, sp := trace.StartSpan(ctx, "facade.authors")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	out := ep.eng.AuthorPrefix(prefix, limit)
-	ix.release(ep)
+	v := ix.pinAllTraced(sp)
+	var out []*Entry
+	if len(v.Epochs) == 1 {
+		out = v.Epochs[0].Eng.AuthorPrefix(prefix, limit)
+		v.Release()
+	} else {
+		parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []*Entry {
+			return ep.Eng.AuthorPrefix(prefix, limit)
+		})
+		v.Release()
+		out = shard.MergeEntries(parts, ix.coll, limit)
+	}
 	sp.SetInt("entries", int64(len(out)))
 	return out
 }
@@ -126,31 +203,51 @@ func (ix *Index) AuthorsCtx(ctx context.Context, prefix string, limit int) []*En
 func (ix *Index) AuthorsPageCtx(ctx context.Context, after string, limit int) []*Entry {
 	_, sp := trace.StartSpan(ctx, "facade.authors_page")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	out := ep.eng.AuthorPage(after, limit)
-	ix.release(ep)
+	v := ix.pinAllTraced(sp)
+	var out []*Entry
+	if len(v.Epochs) == 1 {
+		out = v.Epochs[0].Eng.AuthorPage(after, limit)
+		v.Release()
+	} else {
+		if limit <= 0 {
+			limit = 100 // AuthorPage's own default, applied pre-merge
+		}
+		parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []*Entry {
+			return ep.Eng.AuthorPage(after, limit)
+		})
+		v.Release()
+		// A heading split across shards collapses into one merged entry,
+		// so a page can come up slightly short of limit; the cursor
+		// contract (resume from the last returned heading) still holds.
+		out = shard.MergeEntries(parts, ix.coll, limit)
+	}
 	sp.SetInt("entries", int64(len(out)))
 	return out
 }
 
-// TopAuthorsCtx is TopAuthors carrying a trace context.
+// TopAuthorsCtx is TopAuthors carrying a trace context. Rankings come
+// from the corpus-global metrics tracker, so one shard answers.
 func (ix *Index) TopAuthorsCtx(ctx context.Context, by RankKey, limit int) []AuthorMetrics {
 	_, sp := trace.StartSpan(ctx, "facade.rank")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	out := ep.eng.TopAuthors(by, limit)
-	ix.release(ep)
+	ep := ix.trackerPin()
+	sp.SetInt("epoch", int64(ep.Seq))
+	out := ep.Eng.TopAuthors(by, limit)
+	ep.Release()
 	sp.SetInt("authors", int64(len(out)))
 	return out
 }
 
-// TopCentralCtx is TopCentral carrying a trace context.
+// TopCentralCtx is TopCentral carrying a trace context. Centrality
+// comes from the corpus-global coauthorship graph, so one shard
+// answers.
 func (ix *Index) TopCentralCtx(ctx context.Context, limit int) []CentralAuthor {
 	_, sp := trace.StartSpan(ctx, "facade.central")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	out := ep.eng.TopCentral(ClampLimit(limit, 10))
-	ix.release(ep)
+	ep := ix.trackerPin()
+	sp.SetInt("epoch", int64(ep.Seq))
+	out := ep.Eng.TopCentral(ClampLimit(limit, 10))
+	ep.Release()
 	sp.SetInt("authors", int64(len(out)))
 	return out
 }
@@ -161,45 +258,72 @@ func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
 	defer ix.timeOp(opAdd)()
 	ctx, sp := trace.StartSpan(ctx, "facade.add")
 	defer sp.End()
-	hctx, hold := ix.lockTraced(ctx)
-	defer hold.End()
-	defer ix.mu.Unlock()
-	// Capture the version an explicit ID would overwrite; the engine's
-	// copy is identical to the store's, and rollback must restore it.
-	var old *model.Work
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
 	if w.ID != 0 {
-		if prev, ok := ix.eng.WorkView(w.ID); ok {
+		// Explicit ID: the home shard is known up front, so the shard
+		// lock brackets the store commit exactly as the unsharded path
+		// did. Capture the version the ID overwrites; rollback must
+		// restore it.
+		s := ix.shards.Shard(ix.shards.ForWork(w.ID))
+		hctx, hold := ix.lockShardTraced(ctx, s)
+		defer hold.End()
+		defer s.Unlock()
+		var old *model.Work
+		if prev, ok := s.Head().WorkView(w.ID); ok {
 			old = prev
 		}
+		id, err := ix.store.PutCtx(hctx, &w)
+		if err != nil {
+			return 0, err
+		}
+		w.ID = id
+		return ix.commitAdd(s, &w, old)
 	}
-	id, err := ix.store.PutCtx(hctx, &w)
+	// Zero ID: the store assigns it (store-internal locking serializes
+	// allocation), and only then is the home shard known — the store
+	// commit precedes the shard lock. The writer gate is already held,
+	// so a global operation (Verify, Close) cannot observe the window
+	// between the two.
+	id, err := ix.store.PutCtx(ctx, &w)
 	if err != nil {
 		return 0, err
 	}
 	w.ID = id
-	// Index into a clone, then publish. An engine failure discards the
-	// partly mutated clone — readers never glimpse it — and rolls the
-	// committed store mutation back.
+	s := ix.shards.Shard(ix.shards.ForWork(id))
+	_, hold := ix.lockShardTraced(ctx, s)
+	defer hold.End()
+	defer s.Unlock()
+	return ix.commitAdd(s, &w, nil)
+}
+
+// commitAdd indexes one stored work into a clone of its home shard's
+// head and publishes it. An engine failure discards the partly mutated
+// clone — readers never glimpse it — and rolls the committed store
+// mutation back (old version restored, fresh ID deleted). The caller
+// holds the shard lock.
+func (ix *Index) commitAdd(s *shard.Shard, w *Work, old *model.Work) (WorkID, error) {
 	start := time.Now()
-	eng := ix.eng.Clone()
-	if err := ix.engAdd(eng, &w); err != nil {
+	eng := s.Head().Clone()
+	if err := ix.engAdd(eng, w); err != nil {
 		var derr error
 		if old != nil {
 			_, derr = ix.store.Put(old)
 		} else {
-			derr = ix.store.Delete(id)
+			derr = ix.store.Delete(w.ID)
 		}
 		if derr != nil {
 			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
 		}
 		return 0, err
 	}
-	ix.publish(start, eng)
-	return id, nil
+	ix.publish(start, s, eng)
+	return w.ID, nil
 }
 
 // AddBatchCtx is AddBatch carrying a trace context; the group commit
-// (one WAL append, one fsync) nests under the lock.hold span.
+// (one WAL append, one fsync) nests under the facade span, and the
+// two-phase index pass over the touched shards under lock.hold.
 func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error) {
 	if len(works) == 0 {
 		return nil, nil
@@ -208,17 +332,17 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 	ctx, sp := trace.StartSpan(ctx, "facade.add_batch")
 	sp.SetInt("works", int64(len(works)))
 	defer sp.End()
-	hctx, hold := ix.lockTraced(ctx)
-	defer hold.End()
-	defer ix.mu.Unlock()
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
 	batch := make([]*model.Work, len(works))
 	for i := range works {
 		cp := works[i]
 		batch[i] = &cp
 	}
 	// Capture the versions that explicit IDs would overwrite; the
-	// engine's copies are identical to the store's, and a rollback must
-	// restore them rather than tombstone committed records.
+	// store's copies are identical to the engines' (both share the same
+	// read-only records), and a rollback must restore them rather than
+	// tombstone committed records.
 	prev := make(map[WorkID]*model.Work)
 	for _, w := range batch {
 		if w.ID == 0 {
@@ -227,26 +351,58 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 		if _, seen := prev[w.ID]; seen {
 			continue
 		}
-		if old, ok := ix.eng.WorkView(w.ID); ok {
+		if old, ok := ix.store.Get(w.ID); ok {
 			prev[w.ID] = old
 		}
 	}
-	ids, err := ix.store.PutBatchCtx(hctx, batch)
+	ids, err := ix.store.PutBatchCtx(ctx, batch)
 	if err != nil {
 		return nil, err
 	}
 	for i := range batch {
 		batch[i].ID = ids[i]
 	}
-	start := time.Now()
-	eng := ix.eng.Clone()
-	if err := ix.engAddBatch(eng, batch); err != nil {
-		if derr := ix.rollbackStored(ids, prev); derr != nil {
-			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
-		}
-		return nil, err
+	// Two-phase across exactly the touched shards: group by home shard,
+	// lock ascending, index every group into a clone, and publish all
+	// clones only once every group has succeeded — a failure anywhere
+	// discards every clone and rolls the store back, so no shard ever
+	// exposes a partial batch.
+	groups := make(map[int][]*model.Work)
+	for _, w := range batch {
+		si := ix.shards.ForWork(w.ID)
+		groups[si] = append(groups[si], w)
 	}
-	ix.publish(start, eng)
+	touched := make([]int, 0, len(groups))
+	for si := range groups {
+		touched = append(touched, si)
+	}
+	sort.Ints(touched)
+	_, hold := ix.lockShardsTraced(ctx, touched)
+	defer hold.End()
+	defer ix.unlockShards(touched)
+	start := time.Now()
+	clones := make(map[int]*query.Engine, len(touched))
+	for i, si := range touched {
+		eng := ix.shards.Shard(si).Head().Clone()
+		if err := ix.engAddBatch(eng, groups[si]); err != nil {
+			// Each per-shard AddBatch is internally atomic, but the
+			// metrics and graph trackers are shared across all shard
+			// engines: groups already indexed into (about-to-be-
+			// discarded) clones have mutated them, and those effects
+			// must be reversed work by work.
+			for _, sj := range touched[:i] {
+				ix.undoTrackerAdds(clones[sj], groups[sj], prev)
+			}
+			if derr := ix.rollbackStored(ids, prev); derr != nil {
+				return nil, fmt.Errorf("%w (rollback also failed: %v)", err, derr)
+			}
+			return nil, err
+		}
+		clones[si] = eng
+	}
+	for _, si := range touched {
+		ix.publish(start, ix.shards.Shard(si), clones[si])
+	}
 	return ids, nil
 }
 
@@ -255,16 +411,20 @@ func (ix *Index) DeleteCtx(ctx context.Context, id WorkID) error {
 	defer ix.timeOp(opDelete)()
 	ctx, sp := trace.StartSpan(ctx, "facade.delete")
 	defer sp.End()
-	_, hold := ix.lockTraced(ctx)
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
+	s := ix.shards.Shard(ix.shards.ForWork(id))
+	_, hold := ix.lockShardTraced(ctx, s)
 	defer hold.End()
-	defer ix.mu.Unlock()
+	defer s.Unlock()
 	if err := ix.store.Delete(id); err != nil {
 		return err
 	}
 	start := time.Now()
-	eng := ix.eng.Clone()
+	eng := s.Head().Clone()
 	eng.Remove(id)
-	ix.publish(start, eng)
+	maybeCompactArena(eng)
+	ix.publish(start, s, eng)
 	return nil
 }
 
@@ -276,47 +436,101 @@ func (ix *Index) DeleteBatchCtx(ctx context.Context, ids []WorkID) error {
 	ctx, sp := trace.StartSpan(ctx, "facade.delete_batch")
 	sp.SetInt("works", int64(len(ids)))
 	defer sp.End()
-	_, hold := ix.lockTraced(ctx)
+	ix.shards.BeginWrite()
+	defer ix.shards.EndWrite()
+	groups := make(map[int][]WorkID)
+	for _, id := range ids {
+		si := ix.shards.ForWork(id)
+		groups[si] = append(groups[si], id)
+	}
+	touched := make([]int, 0, len(groups))
+	for si := range groups {
+		touched = append(touched, si)
+	}
+	sort.Ints(touched)
+	_, hold := ix.lockShardsTraced(ctx, touched)
 	defer hold.End()
-	defer ix.mu.Unlock()
+	defer ix.unlockShards(touched)
 	if err := ix.store.DeleteBatch(ids); err != nil {
 		return err
 	}
 	start := time.Now()
-	eng := ix.eng.Clone()
-	for _, id := range ids {
-		eng.Remove(id)
+	for _, si := range touched {
+		s := ix.shards.Shard(si)
+		eng := s.Head().Clone()
+		for _, id := range groups[si] {
+			eng.Remove(id)
+		}
+		maybeCompactArena(eng)
+		ix.publish(start, s, eng)
 	}
-	ix.publish(start, eng)
 	return nil
+}
+
+// maybeCompactArena compacts the writer clone's bulk-load arena when
+// the dead-slot ratio crosses the threshold, so delete-heavy workloads
+// stop pinning removed works once the pre-compaction snapshots drain.
+// It runs on the not-yet-published clone, where rebuilding the slab is
+// invisible to readers.
+func maybeCompactArena(eng *query.Engine) {
+	if total, dead := eng.ArenaStats(); total > 0 && float64(dead) >= query.ArenaCompactRatio*float64(total) {
+		eng.CompactArena()
+	}
+}
+
+// appendixLimit normalizes a render appendix limit through the shared
+// clamp: non-positive values mean the documented default of 10, and
+// explicit values clamp to MaxLimit like every other caller-supplied
+// limit. (An earlier version passed min(limit, MaxLimit) straight
+// through, relying on each builder to re-default non-positives.)
+func appendixLimit(n int) int {
+	if n <= 0 {
+		return 10
+	}
+	return ClampLimit(n, 10)
 }
 
 // RenderCtx is Render carrying a trace context: appendix building and
 // the render itself (sections, per-letter text output) record child
 // spans, and a canceled ctx aborts the render between sections. The
-// whole render runs against one pinned snapshot, so a long render
-// holds its epoch alive — but blocks no writer — for the duration.
+// whole render runs against one pinned view, so a long render holds
+// its epochs alive — but blocks no writer — for the duration. With
+// more than one shard, per-shard sections are gathered and merged in
+// print order under a render.sections span, then encoded exactly as
+// the single-engine path encodes its own sections.
 func (ix *Index) RenderCtx(ctx context.Context, w io.Writer, opts RenderOptions) error {
 	defer ix.timeOp(opRender)()
 	ctx, sp := trace.StartSpan(ctx, "facade.render")
 	defer sp.End()
-	ep := ix.pinTraced(sp)
-	defer ix.release(ep)
+	v := ix.pinAllTraced(sp)
+	defer v.Release()
+	e0 := v.Epochs[0].Eng
 	if opts.Network && opts.NetworkAppendix == nil && render.NetworkSupported(opts.Format) {
 		_, nsp := trace.StartSpan(ctx, "render.network_appendix")
-		ep.eng.ReadTrackers(func(_ metrics.Tracker, gr *graph.Graph) {
-			opts.NetworkAppendix = render.BuildNetwork(gr, min(opts.NetworkLimit, MaxLimit))
+		e0.ReadTrackers(func(_ metrics.Tracker, gr *graph.Graph) {
+			opts.NetworkAppendix = render.BuildNetwork(gr, appendixLimit(opts.NetworkLimit))
 		})
 		nsp.End()
 	}
 	if opts.Statistics && opts.Appendix == nil && render.StatisticsSupported(opts.Format) {
-		// BuildStatistics defaults non-positive limits to 10; the cap
-		// bounds explicit limits like every other query limit.
 		_, ssp := trace.StartSpan(ctx, "render.stats_appendix")
-		ep.eng.ReadTrackers(func(met metrics.Tracker, _ *graph.Graph) {
-			opts.Appendix = render.BuildStatistics(met, min(opts.StatsLimit, MaxLimit))
+		e0.ReadTrackers(func(met metrics.Tracker, _ *graph.Graph) {
+			opts.Appendix = render.BuildStatistics(met, appendixLimit(opts.StatsLimit))
 		})
 		ssp.End()
 	}
-	return render.RenderCtx(ctx, w, ep.eng.Index(), opts)
+	if len(v.Epochs) == 1 {
+		return render.RenderCtx(ctx, w, e0.Index(), opts)
+	}
+	_, secSpan := trace.StartSpan(ctx, "render.sections")
+	parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []Section {
+		return ep.Eng.Index().Sections()
+	})
+	sections := shard.MergeSections(parts, ix.coll)
+	secSpan.SetInt("sections", int64(len(sections)))
+	secSpan.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return render.RenderSectionsCtx(ctx, w, sections, opts)
 }

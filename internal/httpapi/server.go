@@ -391,11 +391,31 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request) {
 	writeJSON(r.Context(), w, toWireWorks(s.ix.SearchCtx(r.Context(), q, limitParam(r))))
 }
 
+// intParam reads one required integer query parameter, normalizing
+// every bad shape to one 400 with a message naming the parameter and
+// what went wrong — a missing parameter reads differently from a
+// malformed one, instead of both collapsing into a generic error.
+func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		httpErr(w, http.StatusBadRequest, "missing %s parameter", name)
+		return 0, false
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%s must be an integer, got %q", name, raw)
+		return 0, false
+	}
+	return n, true
+}
+
 func (s *Server) years(w http.ResponseWriter, r *http.Request) {
-	from, err1 := strconv.Atoi(r.URL.Query().Get("from"))
-	to, err2 := strconv.Atoi(r.URL.Query().Get("to"))
-	if err1 != nil || err2 != nil {
-		httpErr(w, http.StatusBadRequest, "from and to must be years")
+	from, ok := intParam(w, r, "from")
+	if !ok {
+		return
+	}
+	to, ok := intParam(w, r, "to")
+	if !ok {
 		return
 	}
 	if canceled(w, r) {
@@ -405,9 +425,8 @@ func (s *Server) years(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) volume(w http.ResponseWriter, r *http.Request) {
-	v, err := strconv.Atoi(r.URL.Query().Get("v"))
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "v must be a volume number")
+	v, ok := intParam(w, r, "v")
+	if !ok {
 		return
 	}
 	if canceled(w, r) {

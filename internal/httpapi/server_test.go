@@ -166,6 +166,50 @@ func TestServeSearchYearsVolume(t *testing.T) {
 	}
 }
 
+// TestServeIntParamNormalization: every bad shape of a required integer
+// parameter — missing, non-numeric, empty, trailing garbage, overflow —
+// normalizes to one 400 whose message names the offending parameter,
+// on both endpoints that share the helper.
+func TestServeIntParamNormalization(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []struct {
+		name     string
+		path     string
+		wantCode int
+		wantMsg  string
+	}{
+		{"years missing from", "/years?to=1995", 400, "missing from parameter"},
+		{"years missing to", "/years?from=1990", 400, "missing to parameter"},
+		{"years missing both", "/years", 400, "missing from parameter"},
+		{"years malformed from", "/years?from=abc&to=1995", 400, `from must be an integer, got "abc"`},
+		{"years malformed to", "/years?from=1990&to=19x5", 400, `to must be an integer, got "19x5"`},
+		{"years float from", "/years?from=1990.5&to=1995", 400, `from must be an integer`},
+		{"years overflow", "/years?from=99999999999999999999&to=1995", 400, "from must be an integer"},
+		{"volume missing v", "/volume", 400, "missing v parameter"},
+		{"volume malformed v", "/volume?v=vii", 400, `v must be an integer, got "vii"`},
+		{"volume empty v", "/volume?v=", 400, "missing v parameter"},
+		{"years ok negative", "/years?from=-1&to=1995", 200, ""},
+		{"volume ok", "/volume?v=75", 200, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := make([]byte, 4096)
+			n, _ := resp.Body.Read(body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("GET %s: status %d, want %d (body %q)", tc.path, resp.StatusCode, tc.wantCode, body[:n])
+			}
+			if tc.wantMsg != "" && !strings.Contains(string(body[:n]), tc.wantMsg) {
+				t.Errorf("GET %s: body %q lacks %q", tc.path, body[:n], tc.wantMsg)
+			}
+		})
+	}
+}
+
 func TestServeIndexAndTitles(t *testing.T) {
 	ts, _ := testServer(t)
 	resp, err := http.Get(ts.URL + "/index?format=text")

@@ -120,6 +120,14 @@ type Engine struct {
 	// qs is shared across clones so read-path counters accumulate
 	// globally no matter which snapshot served the query.
 	qs *queryCounters
+	// arena tracks the bulk-load slab the engine's entries live in:
+	// a removed work stays reachable through the shared slab until
+	// CompactArena copies the survivors out. Shared by pointer across
+	// clones (the slab is shared too), so the dead-slot count keeps
+	// accumulating as the head engine is cloned per commit;
+	// CompactArena installs a fresh one on the clone it runs against.
+	// Nil when the engine was built by incremental Adds only.
+	arena *arenaInfo
 }
 
 // Clone returns an O(1) copy-on-write snapshot of the engine: every
@@ -151,7 +159,26 @@ type workEntry struct {
 	// subjKeys caches collate.KeyString for each of w.Subjects, so
 	// Remove does not pay for collation keys Add already built.
 	subjKeys [][]byte
+	// inArena marks entries allocated in a bulk-load slab; Remove
+	// counts them against the engine's arenaInfo so delete-heavy
+	// workloads know when compaction pays.
+	inArena bool
 }
+
+// arenaInfo is the occupancy ledger of one bulk-load slab: total slots
+// and slots whose works have been removed but stay reachable while any
+// slab sibling survives. dead is atomic because clones sharing the
+// ledger publish concurrently with gauge reads; it may overcount by
+// removals on clones that were later discarded (failed commits), which
+// can only make compaction run early, never late.
+type arenaInfo struct {
+	total int
+	dead  atomic.Int64
+}
+
+// ArenaCompactRatio is the dead-slot ratio at which the facade's
+// delete paths trigger CompactArena on the writer clone.
+const ArenaCompactRatio = 0.5
 
 type subjectPosting struct {
 	display string
@@ -370,6 +397,20 @@ func (e *Engine) LoadAll(works []*model.Work) error {
 // their own goroutines; wg.Wait orders every child End before the
 // parent's, keeping the tree well-formed.
 func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
+	return e.loadAll(ctx, works, true)
+}
+
+// LoadCorpus is LoadAll minus the tracker rebuild: it loads one
+// shard's partition of the corpus into a peer engine whose metrics
+// tracker and coauthorship graph are shared with every other shard.
+// Rebuilding those per partition would clobber the other shards'
+// contributions, so the shard coordinator loads every partition first
+// and then calls RebuildTrackers once with the full corpus.
+func (e *Engine) LoadCorpus(ctx context.Context, works []*model.Work) error {
+	return e.loadAll(ctx, works, false)
+}
+
+func (e *Engine) loadAll(ctx context.Context, works []*model.Work, withTrackers bool) error {
 	if e.byID.Len() > 0 || e.idx.Len() > 0 {
 		// idx.Len counts headings, so see-also-only entries (a
 		// cross-reference recorded before any work) block the load too
@@ -420,7 +461,7 @@ func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 	entries := make([]*workEntry, len(works))
 	if err := parallel.Ranges(len(works), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			arena[i] = workEntry{w: works[i], key: citationKey(works[i])}
+			arena[i] = workEntry{w: works[i], key: citationKey(works[i]), inArena: true}
 			entries[i] = &arena[i]
 		}
 		return nil
@@ -452,7 +493,7 @@ func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 		bySubject  *btree.Tree[*subjectPosting]
 		errs       [5]error
 	)
-	wg.Add(7)
+	wg.Add(5)
 	go func() {
 		defer wg.Done()
 		defer loadPhase("id_index").Since(time.Now())
@@ -487,30 +528,36 @@ func (e *Engine) LoadAllCtx(ctx context.Context, works []*model.Work) error {
 		defer load.StartChild("load.subjects").End()
 		bySubject, errs[3] = e.loadSubjects(entries, sorted)
 	}()
-	go func() {
-		defer wg.Done()
-		defer loadPhase("metrics").Since(time.Now())
-		defer load.StartChild("load.metrics").End()
-		e.met.Rebuild(works)
-	}()
-	go func() {
-		defer wg.Done()
-		defer loadPhase("graph").Since(time.Now())
-		defer load.StartChild("load.graph").End()
-		e.gr.Rebuild(works)
-	}()
+	if withTrackers {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer loadPhase("metrics").Since(time.Now())
+			defer load.StartChild("load.metrics").End()
+			e.met.Rebuild(works)
+		}()
+		go func() {
+			defer wg.Done()
+			defer loadPhase("graph").Since(time.Now())
+			defer load.StartChild("load.graph").End()
+			e.gr.Rebuild(works)
+		}()
+	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			// Reset the trackers the parallel rebuilds touched so the
-			// engine is left exactly as empty as it started.
-			e.met.Rebuild(nil)
-			e.gr.Rebuild(nil)
+			if withTrackers {
+				// Reset the trackers the parallel rebuilds touched so the
+				// engine is left exactly as empty as it started.
+				e.met.Rebuild(nil)
+				e.gr.Rebuild(nil)
+			}
 			return err
 		}
 	}
 	e.idx, e.inv, e.byID = idx, inv, byID
 	e.byYear, e.byCitation, e.bySubject = byYear, byCitation, bySubject
+	e.arena = &arenaInfo{total: len(works)}
 	return nil
 }
 
@@ -704,6 +751,9 @@ func (e *Engine) Remove(id model.WorkID) (*model.Work, bool) {
 	e.gr.Remove(w)
 	e.trkMu.Unlock()
 	e.byID.Delete(idKey(id))
+	if we.inArena && e.arena != nil {
+		e.arena.dead.Add(1)
+	}
 	return w.Clone(), true
 }
 

@@ -1,0 +1,162 @@
+// Engine-level tests for the sharding primitives: XOR fingerprints
+// that combine across partitions, peer engines sharing one tracker
+// view, and arena compaction on delete-heavy engines.
+package query
+
+import (
+	"testing"
+
+	"repro/internal/collate"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// TestMergeXorFingerprintPartitionInvariant: the XOR of per-partition
+// fingerprints must equal the whole-corpus fingerprint no matter how
+// the corpus is split — the property Verify's per-shard fold rests on.
+func TestMergeXorFingerprintPartitionInvariant(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 11, Works: 400, ZipfS: 1.1})
+	whole := New(collate.Default())
+	for _, w := range works {
+		if err := whole.Add(w.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := whole.XorFingerprint()
+	if want == 0 {
+		t.Fatal("whole-corpus fingerprint is zero; test corpus too trivial")
+	}
+
+	for _, nParts := range []int{2, 3, 7} {
+		engines := make([]*Engine, nParts)
+		engines[0] = New(collate.Default())
+		for i := 1; i < nParts; i++ {
+			engines[i] = engines[0].NewPeer()
+		}
+		for i, w := range works {
+			if err := engines[i%nParts].Add(w.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var x uint64
+		for _, e := range engines {
+			x ^= e.XorFingerprint()
+		}
+		if x != want {
+			t.Errorf("%d-way partition fingerprints fold to %016x, want %016x", nParts, x, want)
+		}
+	}
+
+	// The fold also matches a per-work XOR straight off the models —
+	// what Verify computes from the store side.
+	var storeSide uint64
+	for _, w := range works {
+		storeSide ^= WorkFingerprint(w)
+	}
+	if storeSide != want {
+		t.Errorf("store-side fold %016x, want %016x", storeSide, want)
+	}
+}
+
+// TestShardPeerSharesTrackers: a peer engine must observe the metrics
+// and graph mutations of its sibling — they are whole-corpus
+// structures shared across shards.
+func TestShardPeerSharesTrackers(t *testing.T) {
+	a := New(collate.Default())
+	b := a.NewPeer()
+	w := &model.Work{
+		ID:       1,
+		Title:    "Shared Tracker Proof",
+		Citation: model.Citation{Volume: 70, Page: 1, Year: 1968},
+		Authors:  []model.Author{{Family: "Peer", Given: "P."}},
+	}
+	if err := a.Add(w); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.TopAuthors(metrics.ByWorks, 10)); got != 1 {
+		t.Fatalf("peer sees %d tracked authors, want 1", got)
+	}
+	if b.Len() != 0 {
+		t.Fatal("peer corpus must stay disjoint")
+	}
+}
+
+// TestCompactArenaDropsDeadSlots: compaction on a delete-heavy engine
+// resets the slab to exactly the survivors while every surviving work
+// and the fingerprint stay intact.
+func TestCompactArenaDropsDeadSlots(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 5, Works: 100, ZipfS: 1.1})
+	e := New(collate.Default())
+	clones := make([]*model.Work, len(works))
+	for i, w := range works {
+		clones[i] = w.Clone()
+	}
+	if err := e.LoadAll(clones); err != nil {
+		t.Fatal(err)
+	}
+	if total, dead := e.ArenaStats(); total != 100 || dead != 0 {
+		t.Fatalf("arena after LoadAll = (%d, %d), want (100, 0)", total, dead)
+	}
+	for _, w := range works[:60] {
+		if _, ok := e.Remove(w.ID); !ok {
+			t.Fatalf("Remove(%d) missed", w.ID)
+		}
+	}
+	if total, dead := e.ArenaStats(); total != 100 || dead != 60 {
+		t.Fatalf("arena after removals = (%d, %d), want (100, 60)", total, dead)
+	}
+	before := e.XorFingerprint()
+
+	e.CompactArena()
+	if total, dead := e.ArenaStats(); total != 40 || dead != 0 {
+		t.Fatalf("arena after compaction = (%d, %d), want (40, 0)", total, dead)
+	}
+	if got := e.XorFingerprint(); got != before {
+		t.Fatalf("compaction changed the fingerprint: %016x -> %016x", before, got)
+	}
+	if e.Len() != 40 {
+		t.Fatalf("Len after compaction = %d, want 40", e.Len())
+	}
+	for _, w := range works[60:] {
+		got, ok := e.WorkView(w.ID)
+		if !ok {
+			t.Fatalf("survivor %d missing after compaction", w.ID)
+		}
+		if got.Title != w.Title {
+			t.Fatalf("survivor %d corrupted: %q", w.ID, got.Title)
+		}
+	}
+	// The compacted engine keeps working: mutations and re-compaction.
+	if _, ok := e.Remove(works[60].ID); !ok {
+		t.Fatal("Remove after compaction failed")
+	}
+	if total, dead := e.ArenaStats(); total != 40 || dead != 1 {
+		t.Fatalf("arena after post-compaction removal = (%d, %d), want (40, 1)", total, dead)
+	}
+	e.CompactArena()
+	if total, dead := e.ArenaStats(); total != 39 || dead != 0 {
+		t.Fatalf("arena after second compaction = (%d, %d), want (39, 0)", total, dead)
+	}
+}
+
+// TestCompactArenaEmptyEngine: compacting an engine whose corpus was
+// fully deleted clears the slab entirely.
+func TestCompactArenaEmptyEngine(t *testing.T) {
+	works := gen.Generate(gen.Config{Seed: 6, Works: 10, ZipfS: 1.1})
+	e := New(collate.Default())
+	clones := make([]*model.Work, len(works))
+	for i, w := range works {
+		clones[i] = w.Clone()
+	}
+	if err := e.LoadAll(clones); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range works {
+		e.Remove(w.ID)
+	}
+	e.CompactArena()
+	if total, dead := e.ArenaStats(); total != 0 || dead != 0 {
+		t.Fatalf("arena after compacting empty engine = (%d, %d), want (0, 0)", total, dead)
+	}
+}

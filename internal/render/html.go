@@ -70,8 +70,15 @@ type htmlWork struct {
 
 // HTML renders the author index as a standalone HTML page.
 func HTML(w io.Writer, ix *core.Index, opts Options) error {
+	return htmlSections(w, ix.Sections(), opts)
+}
+
+// htmlSections renders pre-collected sections as the HTML page — the
+// shared body of HTML and the scatter-gather render path, which merges
+// per-shard sections before encoding.
+func htmlSections(w io.Writer, sections []core.Section, opts Options) error {
 	doc := htmlDoc{Head: opts.runningHead(), Volume: opts.Volume.String()}
-	for _, sec := range ix.Sections() {
+	for _, sec := range sections {
 		hs := htmlSection{Letter: string(sec.Letter)}
 		for _, e := range sec.Entries {
 			he := htmlEntry{Heading: e.Author.Display()}

@@ -139,6 +139,27 @@ func RenderCtx(ctx context.Context, w io.Writer, ix *core.Index, opts Options) e
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	return encodeSections(ctx, w, sections, opts)
+}
+
+// RenderSectionsCtx renders pre-collected sections in the selected
+// format — the scatter-gather path: the sharded facade merges per-shard
+// sections in print order and hands the result here. The span shape and
+// output are identical to RenderCtx fed an index holding the same
+// entries.
+func RenderSectionsCtx(ctx context.Context, w io.Writer, sections []core.Section, opts Options) error {
+	ctx, sp := trace.StartSpan(ctx, "render")
+	sp.SetAttr("format", opts.Format.String())
+	defer sp.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return encodeSections(ctx, w, sections, opts)
+}
+
+// encodeSections dispatches collected sections to the per-format
+// encoders, timing non-text encodes under one render.encode span.
+func encodeSections(ctx context.Context, w io.Writer, sections []core.Section, opts Options) error {
 	if opts.Format == Text {
 		return renderText(ctx, w, sections, opts)
 	}
@@ -154,7 +175,7 @@ func RenderCtx(ctx context.Context, w io.Writer, ix *core.Index, opts Options) e
 	case JSON:
 		return renderJSON(w, sections, opts)
 	case HTMLPage:
-		return HTML(w, ix, opts)
+		return htmlSections(w, sections, opts)
 	}
 	return fmt.Errorf("render: unknown format %d", int(opts.Format))
 }

@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/collate"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// The k-way merges below all share one shape: per-shard inputs arrive
+// already ordered (the engines stream results pre-sorted), so merging
+// is a min-pick over one cursor per shard. Ties break toward the lower
+// shard index, which makes every merge deterministic. With one
+// non-empty input — always the case at shards=1 — the input is
+// returned as-is, so the unsharded configuration pays nothing.
+
+// MergeWorks merges per-shard citation-ordered work lists into one
+// citation-ordered list, capped at limit (<=0: no cap). Inputs are
+// consumed as-is; callers must not reuse them.
+func MergeWorks(parts [][]*model.Work, limit int) []*model.Work {
+	if single, only := singleWorks(parts); single {
+		if limit > 0 && len(only) > limit {
+			only = only[:limit]
+		}
+		return only
+	}
+	idx := make([]int, len(parts))
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if limit > 0 && limit < total {
+		total = limit
+	}
+	out := make([]*model.Work, 0, total)
+	for {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best < 0 || query.CompareWorks(p[idx[i]], parts[best][idx[best]]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+func singleWorks(parts [][]*model.Work) (bool, []*model.Work) {
+	nonEmpty, last := 0, -1
+	for i, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return true, nil
+	}
+	if nonEmpty == 1 {
+		return true, parts[last]
+	}
+	return false, nil
+}
+
+// MergeEntries merges per-shard print-ordered author entries into one
+// print-ordered list, capped at limit (<=0: no cap). An author whose
+// works span shards appears once per shard in the inputs; the merged
+// entry carries the works of every occurrence in citation order and the
+// union of their cross-references, with the display form taken from the
+// lowest shard. Inputs are consumed as-is; callers must not reuse them.
+func MergeEntries(parts [][]*core.Entry, coll collate.Options, limit int) []*core.Entry {
+	nonEmpty, last := 0, -1
+	for i, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		out := parts[last]
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return out
+	}
+	idx := make([]int, len(parts))
+	keys := make([][]byte, len(parts))
+	load := func(i int) {
+		if idx[i] < len(parts[i]) {
+			keys[i] = collate.KeyAuthor(parts[i][idx[i]].Author, coll)
+		} else {
+			keys[i] = nil
+		}
+	}
+	for i := range parts {
+		load(i)
+	}
+	var out []*core.Entry
+	for {
+		best := -1
+		for i := range parts {
+			if keys[i] == nil {
+				continue
+			}
+			if best < 0 || bytes.Compare(keys[i], keys[best]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged := parts[best][idx[best]]
+		bk := keys[best]
+		idx[best]++
+		load(best)
+		for i := best + 1; i < len(parts); i++ {
+			if keys[i] != nil && bytes.Equal(keys[i], bk) {
+				merged = mergeEntry(merged, parts[i][idx[i]], coll)
+				idx[i]++
+				load(i)
+			}
+		}
+		out = append(out, merged)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// mergeEntry combines two same-heading entries from different shards:
+// works merge in (citation, title) order with a's kept first on equal
+// keys, cross-references union in collation order.
+func mergeEntry(a, b *core.Entry, coll collate.Options) *core.Entry {
+	out := &core.Entry{Author: a.Author}
+	out.Works = make([]model.Work, 0, len(a.Works)+len(b.Works))
+	i, j := 0, 0
+	for i < len(a.Works) && j < len(b.Works) {
+		if compareEntryWorks(&a.Works[i], &b.Works[j]) <= 0 {
+			out.Works = append(out.Works, a.Works[i])
+			i++
+		} else {
+			out.Works = append(out.Works, b.Works[j])
+			j++
+		}
+	}
+	out.Works = append(out.Works, a.Works[i:]...)
+	out.Works = append(out.Works, b.Works[j:]...)
+	out.SeeAlso = mergeSeeAlso(a.SeeAlso, b.SeeAlso, coll)
+	return out
+}
+
+// compareEntryWorks orders entry postings exactly as core.insertWork
+// files them: citation, then title.
+func compareEntryWorks(a, b *model.Work) int {
+	if c := a.Citation.Compare(b.Citation); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Title, b.Title)
+}
+
+// mergeSeeAlso unions two collation-ordered cross-reference lists,
+// dropping exact duplicates.
+func mergeSeeAlso(a, b []model.Author, coll collate.Options) []model.Author {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]model.Author, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		c := bytes.Compare(collate.KeyAuthor(a[i], coll), collate.KeyAuthor(b[j], coll))
+		switch {
+		case c < 0:
+			out = append(out, a[i])
+			i++
+		case c > 0:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			if a[i] == b[j] {
+				j++
+			}
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// MergeSubjects merges per-shard collation-ordered subject counts,
+// summing the work counts of headings present on several shards. The
+// display form comes from the lowest shard. Inputs carry the collation
+// keys their engines filed them under (KeyedSubjects), so the merge
+// never computes a key.
+func MergeSubjects(parts [][]query.KeyedSubject) []query.SubjectCount {
+	nonEmpty, last := 0, -1
+	for i, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		out := make([]query.SubjectCount, len(parts[last]))
+		for i, ks := range parts[last] {
+			out[i] = ks.SubjectCount
+		}
+		return out
+	}
+	idx := make([]int, len(parts))
+	var out []query.SubjectCount
+	for {
+		best := -1
+		for i, p := range parts {
+			if idx[i] >= len(p) {
+				continue
+			}
+			if best < 0 || bytes.Compare(p[idx[i]].Key, parts[best][idx[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sc := parts[best][idx[best]].SubjectCount
+		bk := parts[best][idx[best]].Key
+		idx[best]++
+		for i := best + 1; i < len(parts); i++ {
+			if idx[i] < len(parts[i]) && bytes.Equal(parts[i][idx[i]].Key, bk) {
+				sc.Works += parts[i][idx[i]].Works
+				idx[i]++
+			}
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// MergeSections merges per-shard letter-grouped sections: entries are
+// flattened, merged in print order, and regrouped by first letter —
+// the same grouping core.Index.Sections applies.
+func MergeSections(parts [][]core.Section, coll collate.Options) []core.Section {
+	nonEmpty, last := 0, -1
+	for i, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return parts[last]
+	}
+	entryParts := make([][]*core.Entry, len(parts))
+	for i, secs := range parts {
+		for _, s := range secs {
+			entryParts[i] = append(entryParts[i], s.Entries...)
+		}
+	}
+	merged := MergeEntries(entryParts, coll, 0)
+	var out []core.Section
+	for _, e := range merged {
+		letter := collate.FirstLetter(e.Author, coll)
+		if n := len(out); n == 0 || out[n-1].Letter != letter {
+			out = append(out, core.Section{Letter: letter})
+		}
+		s := &out[len(out)-1]
+		s.Entries = append(s.Entries, e)
+	}
+	return out
+}

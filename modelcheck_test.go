@@ -17,9 +17,27 @@ import (
 // batch that diverges from N sequential ops dies immediately, not at
 // the epoch boundary. After every epoch the index must agree with the
 // model on membership, author filing, title search and year ranges.
-func TestFacadeModelCheck(t *testing.T) {
+func TestFacadeModelCheck(t *testing.T) { runModelCheck(t, 0) }
+
+// TestFacadeModelCheckSharded runs the identical randomized stream
+// against a 3-shard index: every mutation routes through home-shard
+// locking and cross-shard two-phase batches, every read through the
+// scatter-gather merges, and every Verify through the XOR-combined
+// per-shard fingerprints — all while the observable behavior must stay
+// indistinguishable from the unsharded run.
+func TestFacadeModelCheckSharded(t *testing.T) { runModelCheck(t, 3) }
+
+func runModelCheck(t *testing.T, shards int) {
 	dir := t.TempDir()
-	ix := openT(t, dir)
+	open := func() *Index {
+		t.Helper()
+		ix, err := Open(dir, &Options{NoSync: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		return ix
+	}
+	ix := open()
 	r := rand.New(rand.NewSource(1993))
 	model := map[WorkID]Work{} // reference state
 
@@ -235,7 +253,7 @@ func TestFacadeModelCheck(t *testing.T) {
 		if err := ix.Close(); err != nil {
 			t.Fatal(err)
 		}
-		ix = openT(t, dir)
+		ix = open()
 		checkEpoch(epoch)
 	}
 	ix.Close()

@@ -1,0 +1,387 @@
+// Facade-level sharding tests: cross-shard batch atomicity, writer
+// independence across shards (runs under -race in CI), sharded reads
+// matching the unsharded engine byte for byte, and arena compaction
+// actually releasing deleted works once the old epochs drain.
+package authorindex
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func openShards(t *testing.T, dir string, n int) *Index {
+	t.Helper()
+	ix, err := Open(dir, &Options{NoSync: true, Shards: n})
+	if err != nil {
+		t.Fatalf("Open(shards=%d): %v", n, err)
+	}
+	return ix
+}
+
+// TestShardOptionValidation: the shard count is bounded and 0 means 1.
+func TestShardOptionValidation(t *testing.T) {
+	for _, bad := range []int{-1, MaxShards + 1} {
+		if _, err := Open("", &Options{Shards: bad}); err == nil {
+			t.Errorf("Open accepted Shards=%d", bad)
+		}
+	}
+	ix, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if got := ix.Stats().Shards; got != 1 {
+		t.Errorf("default Stats.Shards = %d, want 1", got)
+	}
+}
+
+// TestShardBatchAtomicityCrossShard: a batch whose works span several
+// shards and whose engine pass fails on a later shard must leave every
+// shard — including the ones that had already indexed their group into
+// clones — and the store byte-identical to the pre-batch state.
+func TestShardBatchAtomicityCrossShard(t *testing.T) {
+	dir := t.TempDir()
+	ix := openShards(t, dir, 4)
+	if _, err := ix.AddBatch(batchOf(12, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit fresh IDs chosen to span several shards, with the poison
+	// pill routed to the highest shard ID: the two-phase pass locks
+	// shards ascending, so every earlier shard has already built its
+	// clone when the failure hits — exactly the rollback worth testing.
+	batch := batchOf(8, 2)
+	shardsHit := map[int]bool{}
+	maxShard, poison := -1, -1
+	for i := range batch {
+		id := WorkID(1000 + i)
+		batch[i].ID = id
+		si := ix.shards.ForWork(id)
+		shardsHit[si] = true
+		if si > maxShard {
+			maxShard, poison = si, i
+		}
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("test batch landed on %d shard(s), need >= 2", len(shardsHit))
+	}
+	batch[poison].Title = "poison " + batch[poison].Title
+
+	before := facadeFingerprint(t, ix)
+	engineAddFault = func(w *Work) error {
+		if strings.HasPrefix(w.Title, "poison ") {
+			return fmt.Errorf("injected engine failure")
+		}
+		return nil
+	}
+	defer func() { engineAddFault = nil }()
+	if _, err := ix.AddBatch(batch); err == nil {
+		t.Fatal("poisoned cross-shard batch accepted")
+	}
+	engineAddFault = nil
+
+	if after := facadeFingerprint(t, ix); after != before {
+		t.Fatal("failed cross-shard batch left some shard or the store changed")
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify after failed cross-shard batch: %v", err)
+	}
+	// A reopen (rebuilding every shard from the store) must agree.
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix = openShards(t, dir, 4)
+	defer ix.Close()
+	if got := ix.Len(); got != 12 {
+		t.Errorf("recovered Len = %d, want 12", got)
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardWritersIndependent: a writer stalled inside its home shard's
+// critical section must not delay a writer on a different shard. Runs
+// under -race in CI with real concurrency.
+func TestShardWritersIndependent(t *testing.T) {
+	ix := openShards(t, t.TempDir(), 4)
+	defer ix.Close()
+
+	// Two explicit IDs with different home shards.
+	idA := WorkID(1)
+	idB := WorkID(0)
+	for id := WorkID(2); id < 200; id++ {
+		if ix.shards.ForWork(id) != ix.shards.ForWork(idA) {
+			idB = id
+			break
+		}
+	}
+	if idB == 0 {
+		t.Fatal("no second shard reachable")
+	}
+
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	var once sync.Once
+	engineAddFault = func(w *Work) error {
+		if strings.HasPrefix(w.Title, "Slow") {
+			once.Do(func() { close(parked) })
+			<-release
+		}
+		return nil
+	}
+	defer func() { engineAddFault = nil }()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		w := sampleWork("Slow Shard Work", "90:1 (1988)", "Stall, Writer A.")
+		w.ID = idA
+		_, err := ix.Add(w)
+		slowDone <- err
+	}()
+	<-parked
+
+	// Shard A's writer is parked holding its shard lock; a writer on
+	// shard B must commit without waiting for it.
+	fastDone := make(chan error, 1)
+	go func() {
+		w := sampleWork("Fast Shard Work", "90:2 (1988)", "Free, Writer B.")
+		w.ID = idB
+		_, err := ix.Add(w)
+		fastDone <- err
+	}()
+	select {
+	case err := <-fastDone:
+		if err != nil {
+			t.Fatalf("fast Add: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer on shard B blocked behind a stalled writer on shard A")
+	}
+
+	// Reads must also proceed while the writer is parked.
+	if got := ix.Len(); got != 1 {
+		t.Errorf("Len during stalled write = %d, want 1", got)
+	}
+
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow Add: %v", err)
+	}
+	engineAddFault = nil
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestShardedReadsMatchUnsharded: the same corpus opened at shards=1
+// and shards=4 must be observably identical — renders byte for byte,
+// plus author, search, subject, pagination and stats agreement. This
+// pins down every k-way merge at once.
+func TestShardedReadsMatchUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	ix1 := openT(t, dir)
+	if _, err := ix1.AddBatch(batchOf(40, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix1.AddSeeAlso("Batch, Author 0.", "Batch, Author 1."); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(ix *Index, f Format) string {
+		var buf bytes.Buffer
+		if err := ix.Render(&buf, RenderOptions{Format: f}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	titleIdx := func(ix *Index) string {
+		var buf bytes.Buffer
+		if err := ix.RenderTitleIndex(&buf, RenderOptions{Format: Text}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	// Authors returns pointers; format element-wise so the comparison
+	// sees values, not addresses.
+	fmtEntries := func(entries []*Entry) string {
+		var sb strings.Builder
+		for _, e := range entries {
+			fmt.Fprintf(&sb, "%+v\n", *e)
+		}
+		return sb.String()
+	}
+
+	wantText, wantTSV, wantJSON := render(ix1, Text), render(ix1, TSV), render(ix1, JSON)
+	wantTitles := titleIdx(ix1)
+	wantAuthors := fmtEntries(ix1.Authors("", 0))
+	wantPage := fmtEntries(ix1.AuthorsPage("", 7))
+	wantSearch := fmt.Sprintf("%+v", ix1.Search("batch", 0))
+	wantYears := fmt.Sprintf("%+v", ix1.YearRange(1960, 1999, 0))
+	wantSubjects := fmt.Sprintf("%+v", ix1.Subjects())
+	st1 := ix1.Stats()
+	if err := ix1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix4 := openShards(t, dir, 4)
+	defer ix4.Close()
+	if err := ix4.Verify(); err != nil {
+		t.Fatalf("Verify at shards=4: %v", err)
+	}
+	if got := render(ix4, Text); got != wantText {
+		t.Error("text render differs between shards=1 and shards=4")
+	}
+	if got := render(ix4, TSV); got != wantTSV {
+		t.Error("tsv render differs between shards=1 and shards=4")
+	}
+	if got := render(ix4, JSON); got != wantJSON {
+		t.Error("json render differs between shards=1 and shards=4")
+	}
+	if got := titleIdx(ix4); got != wantTitles {
+		t.Error("title index differs between shards=1 and shards=4")
+	}
+	if got := fmtEntries(ix4.Authors("", 0)); got != wantAuthors {
+		t.Error("Authors differ between shards=1 and shards=4")
+	}
+	if got := fmtEntries(ix4.AuthorsPage("", 7)); got != wantPage {
+		t.Error("AuthorsPage differs between shards=1 and shards=4")
+	}
+	if got := fmt.Sprintf("%+v", ix4.Search("batch", 0)); got != wantSearch {
+		t.Error("Search differs between shards=1 and shards=4")
+	}
+	if got := fmt.Sprintf("%+v", ix4.YearRange(1960, 1999, 0)); got != wantYears {
+		t.Error("YearRange differs between shards=1 and shards=4")
+	}
+	if got := fmt.Sprintf("%+v", ix4.Subjects()); got != wantSubjects {
+		t.Error("Subjects differ between shards=1 and shards=4")
+	}
+	st4 := ix4.Stats()
+	if st4.Works != st1.Works || st4.Authors != st1.Authors ||
+		st4.Postings != st1.Postings || st4.CrossRefs != st1.CrossRefs {
+		t.Errorf("core stats differ: shards=1 %+v, shards=4 %+v", st1, st4)
+	}
+	if st4.Shards != 4 {
+		t.Errorf("Stats.Shards = %d, want 4", st4.Shards)
+	}
+	if got := ix4.EpochsAlive(); got != 4 {
+		t.Errorf("EpochsAlive at shards=4 quiescence = %d, want 4", got)
+	}
+}
+
+// TestArenaCompactionReclaimsMemory: after a bulk delete crosses the
+// dead-slot threshold, the writer compacts the bulk-load arena; once
+// the pre-compaction epochs drain, the deleted works become garbage —
+// observed directly with a finalizer.
+func TestArenaCompactionReclaimsMemory(t *testing.T) {
+	dir := t.TempDir()
+	ix := openT(t, dir)
+	ids, err := ix.AddBatch(batchOf(40, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the cold start bulk-loads the corpus into the arena slab,
+	// which is what pins deleted works until compaction.
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix = openT(t, dir)
+	defer ix.Close()
+
+	ep := ix.shards.Shard(0).Pin()
+	if total, dead := ep.Eng.ArenaStats(); total != 40 || dead != 0 {
+		t.Fatalf("arena after reopen = (%d, %d), want (40, 0)", total, dead)
+	}
+	victim, ok := ep.Eng.WorkView(ids[0])
+	if !ok {
+		t.Fatal("work 0 missing after reopen")
+	}
+	freed := make(chan struct{})
+	runtime.SetFinalizer(victim, func(*model.Work) { close(freed) })
+	victim = nil
+	ep.Release()
+
+	// Delete 30 of 40: the dead ratio crosses the 0.5 threshold inside
+	// the batch, so the published engine carries a compacted arena.
+	if err := ix.DeleteBatch(ids[:30]); err != nil {
+		t.Fatal(err)
+	}
+	ep = ix.shards.Shard(0).Pin()
+	if total, dead := ep.Eng.ArenaStats(); total != 10 || dead != 0 {
+		t.Errorf("arena after compacting delete = (%d, %d), want (10, 0)", total, dead)
+	}
+	ep.Release()
+
+	// Wait for the pre-compaction epochs to drain, then force GC until
+	// the finalizer proves the deleted work was actually released.
+	deadline := time.Now().Add(5 * time.Second)
+	for ix.EpochsAlive() > 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for {
+		runtime.GC()
+		select {
+		case <-freed:
+			if err := ix.Verify(); err != nil {
+				t.Fatalf("Verify after compaction: %v", err)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deleted arena work never became collectible after compaction + epoch drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Satellite regression: render appendix limits route through the shared
+// clamp — zero and negative limits mean the documented default of 10,
+// and absurd explicit limits clamp to MaxLimit instead of passing
+// through raw.
+func TestRenderAppendixLimitClamped(t *testing.T) {
+	for _, n := range []int{-5, 0} {
+		if got := appendixLimit(n); got != 10 {
+			t.Errorf("appendixLimit(%d) = %d, want 10", n, got)
+		}
+	}
+	if got := appendixLimit(7); got != 7 {
+		t.Errorf("appendixLimit(7) = %d, want 7", got)
+	}
+	if got := appendixLimit(MaxLimit + 1); got != MaxLimit {
+		t.Errorf("appendixLimit(MaxLimit+1) = %d, want %d", got, MaxLimit)
+	}
+
+	// End to end: a render asked for a negative appendix limit behaves
+	// exactly like the default top-10 render.
+	ix := openT(t, t.TempDir())
+	defer ix.Close()
+	if _, err := ix.AddBatch(batchOf(15, 4)); err != nil {
+		t.Fatal(err)
+	}
+	render := func(statsLimit, netLimit int) string {
+		var buf bytes.Buffer
+		err := ix.Render(&buf, RenderOptions{
+			Format: JSON, Statistics: true, Network: true,
+			StatsLimit: statsLimit, NetworkLimit: netLimit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(10, 10)
+	for _, n := range []int{-3, 0} {
+		if got := render(n, n); got != want {
+			t.Errorf("render with appendix limit %d differs from explicit 10", n)
+		}
+	}
+}

@@ -1,85 +1,45 @@
 package authorindex
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
-// Epoch-based copy-on-write snapshot reads.
+// Epoch-based copy-on-write snapshot reads, per shard.
 //
-// Every committed write publishes a fresh immutable engine snapshot:
-// the writer (still serialized by ix.mu) clones the current engine in
-// O(1), mutates the clone — path-copying only the index nodes it
-// touches — and swaps it in with one atomic pointer store. Readers
-// never take ix.mu at all: they pin the current epoch, run against its
-// frozen engine, and release. A pinned snapshot is internally
-// consistent for the pin's whole lifetime no matter how many commits
-// land meanwhile.
+// Every committed write publishes a fresh immutable engine snapshot of
+// its home shard: the writer (serialized per shard by the shard's
+// mutex, and holding the map's writer gate) clones the shard's current
+// engine in O(1), mutates the clone — path-copying only the index
+// nodes it touches — and swaps it in with one atomic pointer store.
+// Readers never take a write lock: they pin the current epoch of every
+// shard they need, run against the frozen engines, and release. Each
+// shard's pinned snapshot is internally consistent for the pin's whole
+// lifetime; cross-shard atomicity is intentionally relaxed (a batch
+// spanning shards may surface on some shards before others, though a
+// failed batch surfaces on none).
 //
-// Reclamation is reference-counted. Each epoch starts with one
-// "current" reference, dropped when the next epoch replaces it; readers
-// add one per pin. When the count hits zero the epoch is retired (the
-// engine itself is garbage-collected once unreachable) and the
-// epochs-alive gauge steps down — in quiescence it always reads 1.
+// The pin/release/publish machinery itself lives in internal/shard;
+// this file keeps the facade-side glue: publication with the per-shard
+// swap-latency histogram, and the epochs-alive surface the gauge and
+// the reclamation tests read.
 
-// epoch is one published engine snapshot plus its reader bookkeeping.
-type epoch struct {
-	eng *query.Engine
-	// seq increments per publication; traces record it so a slow read
-	// can be correlated with the snapshot that served it.
-	seq uint64
-	// pins counts outstanding references: one for being the current
-	// epoch, plus one per active reader.
-	pins atomic.Int64
-	// drained latches the single transition to zero pins, so a late
-	// pin/release pair racing the swap cannot step the gauge down twice.
-	drained atomic.Bool
-}
-
-// pin acquires the current epoch for a lock-free read. The recheck
-// handles the race with a concurrent publish: a pin that landed on an
-// epoch after it was replaced (its current-reference possibly already
-// dropped) is backed out and retried against the new pointer.
-func (ix *Index) pin() *epoch {
-	for {
-		ep := ix.snap.Load()
-		ep.pins.Add(1)
-		if ix.snap.Load() == ep {
-			return ep
-		}
-		ix.release(ep)
-	}
-}
-
-// release drops one reference; the last one out retires the epoch.
-func (ix *Index) release(ep *epoch) {
-	if ep.pins.Add(-1) == 0 && ep.drained.CompareAndSwap(false, true) {
-		ix.epochsAlive.Add(-1)
-	}
-}
-
-// publish makes eng the engine every subsequent read and write sees.
-// Callers hold ix.mu (writers are serialized); start marks when the
+// publish makes eng shard s's current engine. Callers hold s's writer
+// mutex (or the map's exclusive writer gate); start marks when the
 // writer began the copy-on-write turnover (clone + index mutation), so
 // the recorded swap latency is the full snapshot overhead a write pays
 // on top of its store commit.
-func (ix *Index) publish(start time.Time, eng *query.Engine) {
-	ix.eng = eng
-	ep := &epoch{eng: eng, seq: ix.epochSeq.Add(1)}
-	ep.pins.Store(1)
-	ix.epochsAlive.Add(1)
-	if old := ix.snap.Swap(ep); old != nil {
-		ix.release(old) // drop the replaced epoch's current-reference
-	}
-	if h := ix.swapHist.Load(); h != nil {
-		h.Since(start)
+func (ix *Index) publish(start time.Time, s *shard.Shard, eng *query.Engine) {
+	s.Publish(eng)
+	if hs := ix.swapHists.Load(); hs != nil {
+		(*hs)[s.ID()].Since(start)
 	}
 }
 
-// EpochsAlive reports how many snapshot epochs have not yet been
-// reclaimed. Quiescent value is 1 (the current epoch); anything above
-// that is epochs kept alive by in-flight readers or a not-yet-swapped
-// writer.
-func (ix *Index) EpochsAlive() int64 { return ix.epochsAlive.Load() }
+// EpochsAlive reports how many snapshot epochs across all shards have
+// not yet been reclaimed. Quiescent value is the shard count (one
+// current epoch per shard); anything above that is epochs kept alive
+// by in-flight readers or not-yet-swapped writers.
+func (ix *Index) EpochsAlive() int64 { return ix.shards.EpochsAlive() }

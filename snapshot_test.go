@@ -81,18 +81,18 @@ func TestSnapshotPinnedFingerprintStable(t *testing.T) {
 					return
 				default:
 				}
-				ep := ix.pin()
-				want := ep.eng.CorpusFingerprint()
+				ep := ix.shards.Shard(0).Pin()
+				want := ep.Eng.CorpusFingerprint()
 				// Hold the pin across real reads while writers commit.
-				ep.eng.TitleSearchView("storm", 8)
-				ep.eng.AuthorPrefix("s", 8)
+				ep.Eng.TitleSearchView("storm", 8)
+				ep.Eng.AuthorPrefix("s", 8)
 				time.Sleep(100 * time.Microsecond)
-				if got := ep.eng.CorpusFingerprint(); got != want {
+				if got := ep.Eng.CorpusFingerprint(); got != want {
 					t.Errorf("pinned snapshot fingerprint moved: %x -> %x", want, got)
-					ix.release(ep)
+					ep.Release()
 					return
 				}
-				ix.release(ep)
+				ep.Release()
 			}
 		}()
 	}
@@ -154,7 +154,7 @@ func TestEpochReclamation(t *testing.T) {
 	}
 
 	// A held pin keeps exactly its own epoch alive across commits...
-	ep := ix.pin()
+	ep := ix.shards.Shard(0).Pin()
 	if _, err := ix.Add(sampleWork("After Pin", "92:1 (1990)", "Late, Writer C.")); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestEpochReclamation(t *testing.T) {
 		t.Errorf("EpochsAlive with one pinned retired epoch = %d, want 2", got)
 	}
 	// ...and releasing the last reference retires it.
-	ix.release(ep)
+	ep.Release()
 	if got := ix.EpochsAlive(); got != 1 {
 		t.Errorf("EpochsAlive after release = %d, want 1", got)
 	}

@@ -99,8 +99,10 @@ func TestTracedSearchSpanTree(t *testing.T) {
 }
 
 // TestTracedWriteSpanTree: a traced AddBatch carries the commit down
-// to the WAL — store.put_batch under lock.hold, wal.encode and
-// wal.fsync under that.
+// to the WAL — store.put_batch under the facade span (the group commit
+// runs before the home shards are known, since the store assigns the
+// IDs that route works to shards), wal.encode and wal.fsync under
+// that, and a lock.hold span covering the shard indexing phase.
 func TestTracedWriteSpanTree(t *testing.T) {
 	// A syncing index, unlike openT's NoSync one: the fsync span only
 	// exists when the WAL actually reaches the disk.
@@ -123,18 +125,21 @@ func TestTracedWriteSpanTree(t *testing.T) {
 		t.Fatalf("malformed trace: %v", err)
 	}
 	root := tr.Data().Root
-	hold := findSpan(&root, "lock.hold")
-	if hold == nil {
-		t.Fatal("no lock.hold span")
+	fac := findSpan(&root, "facade.add_batch")
+	if fac == nil {
+		t.Fatal("no facade.add_batch span")
 	}
-	put := findSpan(hold, "store.put_batch")
+	put := findSpan(fac, "store.put_batch")
 	if put == nil {
-		t.Fatal("store.put_batch not nested under lock.hold")
+		t.Fatal("store.put_batch not nested under facade.add_batch")
 	}
 	for _, name := range []string{"wal.encode", "wal.fsync"} {
 		if findSpan(put, name) == nil {
 			t.Errorf("store.put_batch lacks %q descendant", name)
 		}
+	}
+	if findSpan(fac, "lock.hold") == nil {
+		t.Fatal("no lock.hold span under facade.add_batch")
 	}
 }
 
