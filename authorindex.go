@@ -286,7 +286,11 @@ type Stats struct {
 // reads pin each shard's current snapshot and run entirely lock-free
 // (see snapshot.go and internal/shard), so a slow reader never stalls
 // a writer, a write burst never convoys readers, and writes on
-// different shards never contend with each other.
+// different shards never contend with each other. Cross-shard
+// atomicity is relaxed for reads only: a multi-shard batch commits or
+// rolls back as a unit, but its per-shard snapshots publish
+// sequentially, so a concurrent reader may briefly see the batch on
+// some shards and not yet on others (see AddBatch).
 type Index struct {
 	store       *storage.Store
 	coll        CollationOptions
@@ -561,11 +565,17 @@ func (ix *Index) engAdd(eng *query.Engine, w *Work) error {
 // amortized indexing pass. IDs are assigned exactly as N sequential
 // Adds would assign them and returned in input order.
 //
-// The batch is all-or-nothing: an invalid work anywhere in it, a WAL
-// error, or an engine failure leaves storage, indexes, metrics and the
-// coauthorship graph byte-identical to their pre-batch state — works
-// whose explicit IDs overwrote existing records are restored to the
-// previous version on rollback.
+// Durability and rollback are all-or-nothing: an invalid work anywhere
+// in the batch, a WAL error, or an engine failure leaves storage,
+// indexes, metrics and the coauthorship graph byte-identical to their
+// pre-batch state — works whose explicit IDs overwrote existing
+// records are restored to the previous version on rollback. Cross-shard
+// read visibility is weaker: with Options.Shards > 1 a committed batch
+// publishes its per-shard snapshots one shard at a time, so a reader
+// pinning between publishes can briefly observe some shards' portions
+// of the batch without the others'. Each shard's portion appears
+// atomically, and every read started after AddBatch returns sees the
+// whole batch.
 func (ix *Index) AddBatch(works []Work) ([]WorkID, error) {
 	return ix.AddBatchCtx(context.Background(), works)
 }

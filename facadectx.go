@@ -210,7 +210,7 @@ func (ix *Index) AuthorsPageCtx(ctx context.Context, after string, limit int) []
 		v.Release()
 	} else {
 		if limit <= 0 {
-			limit = 100 // AuthorPage's own default, applied pre-merge
+			limit = query.DefaultAuthorPageLimit // applied pre-merge
 		}
 		parts := shard.Gather(v.Epochs, func(_ int, ep *shard.Epoch) []*Entry {
 			return ep.Eng.AuthorPage(after, limit)
@@ -322,8 +322,8 @@ func (ix *Index) commitAdd(s *shard.Shard, w *Work, old *model.Work) (WorkID, er
 }
 
 // AddBatchCtx is AddBatch carrying a trace context; the group commit
-// (one WAL append, one fsync) nests under the facade span, and the
-// two-phase index pass over the touched shards under lock.hold.
+// (one WAL append, one fsync) and the two-phase index pass over the
+// touched shards both nest under lock.hold.
 func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error) {
 	if len(works) == 0 {
 		return nil, nil
@@ -339,23 +339,15 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 		cp := works[i]
 		batch[i] = &cp
 	}
-	// Capture the versions that explicit IDs would overwrite; the
-	// store's copies are identical to the engines' (both share the same
-	// read-only records), and a rollback must restore them rather than
-	// tombstone committed records.
-	prev := make(map[WorkID]*model.Work)
-	for _, w := range batch {
-		if w.ID == 0 {
-			continue
-		}
-		if _, seen := prev[w.ID]; seen {
-			continue
-		}
-		if old, ok := ix.store.Get(w.ID); ok {
-			prev[w.ID] = old
-		}
-	}
-	ids, err := ix.store.PutBatchCtx(ctx, batch)
+	// Reserve the batch's IDs before committing anything: fresh IDs
+	// cannot be contended (the counter only moves forward) and explicit
+	// IDs keep theirs, so every home shard is known — and can be locked —
+	// before the store commit. The shard locks must bracket both the
+	// prev capture and the commit: with only the writer gate's shared
+	// side held, two writers on the same explicit ID could otherwise
+	// commit to the store in one order and publish to the shard engines
+	// in the other, leaving store and index permanently divergent.
+	ids, err := ix.store.ReserveBatchIDs(batch)
 	if err != nil {
 		return nil, err
 	}
@@ -363,10 +355,10 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 		batch[i].ID = ids[i]
 	}
 	// Two-phase across exactly the touched shards: group by home shard,
-	// lock ascending, index every group into a clone, and publish all
-	// clones only once every group has succeeded — a failure anywhere
-	// discards every clone and rolls the store back, so no shard ever
-	// exposes a partial batch.
+	// lock ascending, commit the store, index every group into a clone,
+	// and publish all clones only once every group has succeeded — a
+	// failure anywhere discards every clone and rolls the store back, so
+	// no shard ever exposes a partial batch.
 	groups := make(map[int][]*model.Work)
 	for _, w := range batch {
 		si := ix.shards.ForWork(w.ID)
@@ -377,9 +369,27 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 		touched = append(touched, si)
 	}
 	sort.Ints(touched)
-	_, hold := ix.lockShardsTraced(ctx, touched)
+	hctx, hold := ix.lockShardsTraced(ctx, touched)
 	defer hold.End()
 	defer ix.unlockShards(touched)
+	// Capture the versions the batch overwrites — under the shard locks,
+	// so no concurrent writer can slide a new version in between capture
+	// and commit. The store's copies are identical to the engines' (both
+	// share the same read-only records), and a rollback must restore
+	// them rather than tombstone committed records; freshly reserved IDs
+	// have no stored version and roll back to deletion.
+	prev := make(map[WorkID]*model.Work)
+	for _, w := range batch {
+		if _, seen := prev[w.ID]; seen {
+			continue
+		}
+		if old, ok := ix.store.Get(w.ID); ok {
+			prev[w.ID] = old
+		}
+	}
+	if _, err := ix.store.PutBatchCtx(hctx, batch); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	clones := make(map[int]*query.Engine, len(touched))
 	for i, si := range touched {

@@ -912,6 +912,11 @@ func (e *Engine) AuthorPrefix(prefix string, limit int) []*core.Entry {
 	return out
 }
 
+// DefaultAuthorPageLimit is the page size AuthorPage applies when the
+// caller passes a non-positive limit. Exported so sharded fan-out can
+// apply the same default to each shard before merging.
+const DefaultAuthorPageLimit = 100
+
 // AuthorPage returns up to limit entries strictly after the heading
 // `after` (empty: from the start), in print order — a stable cursor for
 // paging through the whole index. The next page's cursor is the last
@@ -926,7 +931,7 @@ func (e *Engine) AuthorPage(after string, limit int) []*core.Entry {
 		start = a
 	}
 	if limit <= 0 {
-		limit = 100
+		limit = DefaultAuthorPageLimit
 	}
 	var out []*core.Entry
 	e.idx.AscendAfter(start, func(entry *core.Entry) bool {

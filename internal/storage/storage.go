@@ -277,6 +277,47 @@ func (s *Store) PutBatchCtx(ctx context.Context, works []*model.Work) ([]model.W
 	return ids, s.maybeCompactLocked()
 }
 
+// ReserveBatchIDs validates a batch and assigns its IDs — exactly as
+// PutBatch would: zero IDs take successive free IDs, explicit IDs keep
+// theirs and advance the counter past them — committing the next-ID
+// counter but writing nothing. The works are not mutated; the assigned
+// IDs are returned in input order. The caller commits the batch under
+// the reserved IDs via an explicit-ID PutBatch; a caller that never
+// does simply leaves a gap in the ID sequence, which recovery tolerates
+// (the counter rebuilds from the highest committed ID). An invalid work
+// fails the reservation before the counter moves.
+//
+// Reserving first lets a coordinator learn every ID — and therefore
+// every partition the batch touches — before the durable commit, so it
+// can take its partition locks around the commit.
+func (s *Store) ReserveBatchIDs(works []*model.Work) ([]model.WorkID, error) {
+	if len(works) == 0 {
+		return nil, nil
+	}
+	for _, w := range works {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ids := make([]model.WorkID, len(works))
+	for i, w := range works {
+		id := w.ID
+		if id == 0 {
+			id = s.nextID
+		}
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
 // DeleteBatch removes N works under one group commit. Every ID must be
 // present (duplicates in the slice are tolerated); a missing ID or a
 // WAL error leaves the store unchanged.

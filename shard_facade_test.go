@@ -107,6 +107,76 @@ func TestShardBatchAtomicityCrossShard(t *testing.T) {
 	}
 }
 
+// TestShardSameIDWritersConverge: concurrent writers colliding on the
+// SAME explicit IDs — a batch against single Adds — must leave store
+// and index identical. Regression: AddBatch once captured prior
+// versions and committed the store before taking the touched shards'
+// locks, so two writers on one ID could commit to the store in one
+// order and publish to the shard engines in the other, leaving them
+// permanently divergent (Verify failed). Each round contends on fresh
+// IDs written exactly twice, so one bad interleaving anywhere sticks
+// to the end instead of being papered over by a later rewrite. Runs
+// under -race in CI.
+func TestShardSameIDWritersConverge(t *testing.T) {
+	ix := openShards(t, t.TempDir(), 4)
+	defer ix.Close()
+
+	const pairs, rounds, perRound = 2, 120, 4
+	mkBatch := func(pair, round, writer int) []Work {
+		base := WorkID(1 + (pair*rounds+round)*perRound)
+		batch := make([]Work, perRound)
+		for i := range batch {
+			w := sampleWork(
+				fmt.Sprintf("Contended Work %d Pair %d Writer %d", base+WorkID(i), pair, writer),
+				fmt.Sprintf("%d:%d (1999)", pair+1, round+1),
+				fmt.Sprintf("Writer%d, W.", writer),
+			)
+			w.ID = base + WorkID(i)
+			batch[i] = w
+		}
+		return batch
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*pairs)
+	for p := 0; p < pairs; p++ {
+		// Writer 0 commits each round's IDs as one batch; writer 1
+		// rewrites the same IDs one Add at a time, concurrently.
+		for writer := 0; writer < 2; writer++ {
+			wg.Add(1)
+			go func(p, writer int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if writer == 0 {
+						if _, err := ix.AddBatch(mkBatch(p, r, writer)); err != nil {
+							errs <- err
+							return
+						}
+						continue
+					}
+					for _, w := range mkBatch(p, r, writer) {
+						if _, err := ix.Add(w); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(p, writer)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, want := ix.Len(), pairs*rounds*perRound; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	if err := ix.Verify(); err != nil {
+		t.Fatalf("Verify after contended same-ID writes: %v", err)
+	}
+}
+
 // TestShardWritersIndependent: a writer stalled inside its home shard's
 // critical section must not delay a writer on a different shard. Runs
 // under -race in CI with real concurrency.
