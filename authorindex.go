@@ -38,6 +38,7 @@ import (
 	"repro/internal/collate"
 	"repro/internal/core"
 	"repro/internal/dedupe"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ingest"
@@ -177,6 +178,11 @@ var (
 	ErrNotFound = storage.ErrNotFound
 	// ErrClosed reports use after Close.
 	ErrClosed = storage.ErrClosed
+	// ErrDegraded reports a write rejected because a write-path I/O
+	// failure has latched the index read-only. Reads keep serving the
+	// last published snapshots; reopening the index recovers from disk
+	// and clears the latch. See Degraded for the cause.
+	ErrDegraded = storage.ErrDegraded
 )
 
 // DefaultCollation is the conventional index setup: word-by-word
@@ -237,6 +243,11 @@ type Options struct {
 	// shard-agnostic, so the same directory may be reopened with any
 	// shard count.
 	Shards int
+	// FS is the filesystem seam the durable write path (WAL appends,
+	// snapshot compaction) goes through. Nil means the real filesystem.
+	// Tests inject a fault.Injector here to exercise the degraded-mode
+	// policy; production leaves it nil.
+	FS fault.FS
 }
 
 // MaxShards bounds Options.Shards.
@@ -271,6 +282,16 @@ type Stats struct {
 	// zero in-memory; under NoSync appends stop syncing but segment
 	// rotation, explicit Sync and Close still count.
 	WALSyncs int64
+
+	// Degraded reports the sticky read-only latch: a write-path I/O
+	// failure occurred and every write since fails with ErrDegraded.
+	Degraded bool
+	// DegradedReason is the I/O error that latched the index, empty
+	// while healthy.
+	DegradedReason string
+	// DegradedWrites counts commits failed or rejected by the latch,
+	// the triggering commit included.
+	DegradedWrites int64
 
 	WALBytes      int64  // current write-ahead-log size
 	SnapshotBytes int64  // last snapshot size
@@ -380,6 +401,15 @@ func (ix *Index) RegisterMetrics(r *obs.Registry) {
 		func(s Stats) float64 { return float64(s.WALSyncs) })
 	counter("authdex_fsyncs_saved_total", "WAL commits avoided by group commit.",
 		func(s Stats) float64 { return float64(s.FsyncsSaved) })
+	counter("authdex_degraded_commits_total", "Commits failed or rejected by the degraded latch.",
+		func(s Stats) float64 { return float64(s.DegradedWrites) })
+	gauge("authdex_degraded", "1 while the index is latched read-only after a write-path I/O failure.",
+		func(s Stats) float64 {
+			if s.Degraded {
+				return 1
+			}
+			return 0
+		})
 	gauge("authdex_works", "Distinct works stored.",
 		func(s Stats) float64 { return float64(s.Works) })
 	gauge("authdex_authors", "Distinct author headings.",
@@ -465,6 +495,7 @@ func Open(dir string, opts *Options) (*Index, error) {
 	st, err := storage.Open(dir, storage.Options{
 		WAL:          wal.Options{NoSync: o.NoSync},
 		CompactEvery: o.CompactEvery,
+		FS:           o.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -1305,6 +1336,9 @@ func (ix *Index) Stats() Stats {
 		BatchesCommitted: ss.BatchesCommitted,
 		FsyncsSaved:      ss.FsyncsSaved,
 		WALSyncs:         ss.WALSyncs,
+		Degraded:         ss.Degraded,
+		DegradedReason:   ss.DegradedReason,
+		DegradedWrites:   ss.DegradedWrites,
 
 		WALBytes:      ss.WALBytes,
 		SnapshotBytes: ss.SnapshotBytes,
@@ -1312,6 +1346,15 @@ func (ix *Index) Stats() Stats {
 		Collation:     ix.coll.Scheme.String(),
 		Shards:        ix.shards.N(),
 	}
+}
+
+// Degraded reports whether a write-path I/O failure has latched the
+// index read-only, and the error that did. Reads keep serving the last
+// published snapshot epoch of every shard; writes fail fast with
+// ErrDegraded. The latch clears only by reopening the index, which
+// recovers from the snapshot and WAL on disk.
+func (ix *Index) Degraded() (bool, error) {
+	return ix.store.Degraded()
 }
 
 // Close flushes and closes the index. Further mutations fail with

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,7 +26,7 @@ import (
 // benchPR numbers the BENCH artifact this harness emits; bump it per
 // PR so each run's report lands beside its predecessors instead of
 // overwriting them.
-const benchPR = 9
+const benchPR = 10
 
 // cmdLoadgen is the HTTP load harness: it replays a mixed query/ingest
 // workload against an authdex server at a fixed dispatch rate (open
@@ -277,10 +278,24 @@ func selfHost(corpus []*authorindex.Work, dir string, shards int) (string, func(
 		ix.Close()
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: api.Handler()}
+	srv := &http.Server{
+		Handler: api.Handler(),
+		// The generator is the only client, but a wedged run must not
+		// leave connections (or the CI job) hanging forever.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	shutdown := func() {
-		srv.Close()
+		// Drain instead of slamming the door: the final scrape of
+		// /debug/metrics and /debug/traces may still be in flight.
+		api.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
 		ix.Close()
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil

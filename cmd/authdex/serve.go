@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	authorindex "repro"
@@ -18,10 +22,11 @@ import (
 // an explicitly set flag wins over the variable, the variable wins
 // over the default.
 const (
-	envAddr        = "AUTHDEX_ADDR"
-	envLogLevel    = "AUTHDEX_LOG_LEVEL"
-	envReadTimeout = "AUTHDEX_READ_TIMEOUT"
-	envSlowlog     = "AUTHDEX_SLOWLOG"
+	envAddr         = "AUTHDEX_ADDR"
+	envLogLevel     = "AUTHDEX_LOG_LEVEL"
+	envReadTimeout  = "AUTHDEX_READ_TIMEOUT"
+	envWriteTimeout = "AUTHDEX_WRITE_TIMEOUT"
+	envSlowlog      = "AUTHDEX_SLOWLOG"
 )
 
 // serveConfig is everything cmdServe needs beyond the index itself;
@@ -33,7 +38,9 @@ type serveConfig struct {
 	logFormat    string
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	drainTimeout time.Duration
 	slowlog      time.Duration
+	maxInFlight  int
 	debug        bool
 	verifyBoot   bool
 }
@@ -44,8 +51,10 @@ func serveFlags(fs *flag.FlagSet) *serveConfig {
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "access-log level: debug, info, warn or error (env "+envLogLevel+")")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "access-log encoding: text or json")
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 10*time.Second, "HTTP read timeout (env "+envReadTimeout+")")
-	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout; renders of large corpora need headroom")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 60*time.Second, "HTTP write timeout; renders of large corpora need headroom (env "+envWriteTimeout+")")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "how long a SIGTERM/SIGINT shutdown waits for in-flight requests before aborting them")
 	fs.DurationVar(&cfg.slowlog, "slowlog", 250*time.Millisecond, "emit the full span tree of requests at least this slow; 0 disables (env "+envSlowlog+")")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", 0, "shed requests with 503 beyond this many in flight; 0 disables the gate")
 	fs.BoolVar(&cfg.debug, "debug", false, "mount net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&cfg.verifyBoot, "verify-boot", false, "run a full Verify pass before /readyz reports ready")
 	return cfg
@@ -68,6 +77,13 @@ func applyEnv(fs *flag.FlagSet, cfg *serveConfig, getenv func(string) string) er
 			return fmt.Errorf("%s: %w", envReadTimeout, err)
 		}
 		cfg.readTimeout = d
+	}
+	if v := getenv(envWriteTimeout); v != "" && !set["write-timeout"] {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", envWriteTimeout, err)
+		}
+		cfg.writeTimeout = d
 	}
 	if v := getenv(envSlowlog); v != "" && !set["slowlog"] {
 		d, err := time.ParseDuration(v)
@@ -107,7 +123,8 @@ func (cfg *serveConfig) logger() (*slog.Logger, error) {
 
 // cmdServe exposes the index over HTTP. The full route table lives in
 // internal/httpapi; this command only adds process concerns — flags,
-// environment fallbacks, logging, timeouts and the listener.
+// environment fallbacks, logging, timeouts, the listener and the
+// graceful-shutdown sequence.
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	open := openFlags(fs)
@@ -131,21 +148,70 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer ix.Close()
 
 	api := httpapi.New(ix, httpapi.Config{
 		Logger:       logger,
 		Debug:        cfg.debug,
 		VerifyOnBoot: cfg.verifyBoot,
 		Slowlog:      cfg.slowlog,
+		MaxInFlight:  cfg.maxInFlight,
 	})
+	return serve(ctx, api, ix, cfg, logger, nil)
+}
+
+// serve listens and serves until ctx is canceled — which SIGINT and
+// SIGTERM do — or the listener dies, then runs the shutdown sequence
+// in order: flip /readyz to 503 so load balancers route away, drain
+// in-flight requests up to cfg.drainTimeout (aborting stragglers),
+// and only then close the index so every served request saw an open
+// one. It owns ix and closes it on every path. A non-nil addrCh
+// receives the bound address once the listener is up (tests bind
+// ":0").
+func serve(ctx context.Context, api *httpapi.Server, ix *authorindex.Index, cfg *serveConfig, logger *slog.Logger, addrCh chan<- string) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := &http.Server{
-		Addr:         cfg.addr,
 		Handler:      api.Handler(),
 		ReadTimeout:  cfg.readTimeout,
 		WriteTimeout: cfg.writeTimeout,
 		IdleTimeout:  2 * time.Minute,
 	}
-	logger.Info("authdex serving", "addr", cfg.addr, "debug", cfg.debug, "verify_boot", cfg.verifyBoot, "slowlog", cfg.slowlog)
-	return srv.ListenAndServe()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		ix.Close()
+		return err
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr().String()
+	}
+	logger.Info("authdex serving", "addr", ln.Addr().String(), "debug", cfg.debug,
+		"verify_boot", cfg.verifyBoot, "slowlog", cfg.slowlog, "max_inflight", cfg.maxInFlight)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		ix.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutdown: draining in-flight requests", "timeout", cfg.drainTimeout)
+	api.BeginShutdown()
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Warn("drain window expired; aborting remaining requests", "error", err)
+		srv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Warn("listener error during shutdown", "error", err)
+	}
+	if err := ix.Close(); err != nil {
+		return fmt.Errorf("closing index: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
 }

@@ -1,9 +1,20 @@
 package main
 
 import (
+	"context"
 	"flag"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
 	"testing"
 	"time"
+
+	authorindex "repro"
+	"repro/internal/httpapi"
+	"repro/internal/obs"
 )
 
 // fakeEnv is a getenv for precedence tests.
@@ -79,6 +90,139 @@ func TestServeConfigPrecedence(t *testing.T) {
 	cfg = parseServe(t, []string{"-slowlog", "0"}, env)
 	if cfg.slowlog != 0 {
 		t.Errorf("slowlog 0 = %v", cfg.slowlog)
+	}
+}
+
+// TestServeConfigWriteTimeoutEnv pins the AUTHDEX_WRITE_TIMEOUT
+// fallback for -write-timeout under the same precedence rules as the
+// other settings.
+func TestServeConfigWriteTimeoutEnv(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		env     map[string]string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"default", nil, nil, 60 * time.Second, false},
+		{"env fills unset flag", nil, map[string]string{envWriteTimeout: "5s"}, 5 * time.Second, false},
+		{"flag beats env", []string{"-write-timeout", "2s"}, map[string]string{envWriteTimeout: "5s"}, 2 * time.Second, false},
+		{"explicit default beats env", []string{"-write-timeout", "60s"}, map[string]string{envWriteTimeout: "5s"}, 60 * time.Second, false},
+		{"bad env rejected", nil, map[string]string{envWriteTimeout: "soon"}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+			cfg := serveFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := applyEnv(fs, cfg, fakeEnv(tc.env))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("bad AUTHDEX_WRITE_TIMEOUT accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.writeTimeout != tc.want {
+				t.Errorf("writeTimeout = %v, want %v", cfg.writeTimeout, tc.want)
+			}
+		})
+	}
+}
+
+// startServe runs serve() on a loopback port and returns the bound
+// address and the channel its exit error lands on.
+func startServe(t *testing.T, ctx context.Context, drain time.Duration) (string, chan error) {
+	t.Helper()
+	ix, err := authorindex.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	cfg := &serveConfig{
+		addr:         "127.0.0.1:0",
+		readTimeout:  5 * time.Second,
+		writeTimeout: 5 * time.Second,
+		drainTimeout: drain,
+	}
+	api := httpapi.New(ix, httpapi.Config{Logger: logger, Registry: obs.NewRegistry()})
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, api, ix, cfg, logger, addrCh) }()
+	select {
+	case addr := <-addrCh:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+		return "", nil
+	}
+}
+
+// TestServeShutdownOnSignal: a real SIGTERM drains the server and
+// serve returns nil with the listener closed and the index closed —
+// the `kill -TERM` acceptance path.
+func TestServeShutdownOnSignal(t *testing.T) {
+	addr, done := startServe(t, context.Background(), 5*time.Second)
+
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit within the drain window after SIGTERM")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeShutdownAbortsStragglers: a connection stuck mid-request
+// cannot hold shutdown past the drain timeout; serve force-closes it
+// and still exits cleanly.
+func TestServeShutdownAbortsStragglers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startServe(t, ctx, 300*time.Millisecond)
+
+	// A half-sent request parks the connection in the active state.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /stats HTTP/1.1\r\nHost: x\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	cancel() // same path a signal takes: the serve ctx ends
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve = %v, want nil after forced drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggling connection held shutdown past the drain timeout")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Errorf("shutdown finished in %v, before the drain window could have expired", elapsed)
 	}
 }
 

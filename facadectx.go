@@ -2,6 +2,7 @@ package authorindex
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -27,6 +28,15 @@ import (
 // spans) plus the copy-on-write turnover measured by the per-shard
 // snapshot-swap histograms. The non-ctx methods delegate through
 // context.Background(), which is the zero-allocation disabled path.
+
+// degradedAttr marks a write span whose commit was refused by the
+// degraded latch, so captured traces show the failure class at a
+// glance.
+func degradedAttr(sp *trace.Span, err error) {
+	if errors.Is(err, ErrDegraded) {
+		sp.SetAttr("degraded", "true")
+	}
+}
 
 // lockShardTraced acquires one shard's writer mutex, recording the wait
 // as one child span and opening the hold span annotated with the shard
@@ -275,6 +285,7 @@ func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
 		}
 		id, err := ix.store.PutCtx(hctx, &w)
 		if err != nil {
+			degradedAttr(sp, err)
 			return 0, err
 		}
 		w.ID = id
@@ -287,6 +298,7 @@ func (ix *Index) AddCtx(ctx context.Context, w Work) (WorkID, error) {
 	// between the two.
 	id, err := ix.store.PutCtx(ctx, &w)
 	if err != nil {
+		degradedAttr(sp, err)
 		return 0, err
 	}
 	w.ID = id
@@ -349,6 +361,7 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 	// in the other, leaving store and index permanently divergent.
 	ids, err := ix.store.ReserveBatchIDs(batch)
 	if err != nil {
+		degradedAttr(sp, err)
 		return nil, err
 	}
 	for i := range batch {
@@ -388,6 +401,7 @@ func (ix *Index) AddBatchCtx(ctx context.Context, works []Work) ([]WorkID, error
 		}
 	}
 	if _, err := ix.store.PutBatchCtx(hctx, batch); err != nil {
+		degradedAttr(sp, err)
 		return nil, err
 	}
 	start := time.Now()
@@ -428,6 +442,7 @@ func (ix *Index) DeleteCtx(ctx context.Context, id WorkID) error {
 	defer hold.End()
 	defer s.Unlock()
 	if err := ix.store.Delete(id); err != nil {
+		degradedAttr(sp, err)
 		return err
 	}
 	start := time.Now()
@@ -462,6 +477,7 @@ func (ix *Index) DeleteBatchCtx(ctx context.Context, ids []WorkID) error {
 	defer hold.End()
 	defer ix.unlockShards(touched)
 	if err := ix.store.DeleteBatch(ids); err != nil {
+		degradedAttr(sp, err)
 		return err
 	}
 	start := time.Now()

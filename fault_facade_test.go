@@ -1,0 +1,207 @@
+package authorindex
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// The chaos suite: for every write operation the facade exposes, first
+// count how many injectable I/O calls one successful run makes, then
+// re-run the operation in a fresh index failing each call site in
+// turn. Whatever call fails, the same invariants must hold:
+//
+//   - the operation reports an error,
+//   - the commit is atomically absent (no partial state),
+//   - the index is degraded and the next write fails fast with
+//     ErrDegraded,
+//   - reads still serve the last committed state and Verify stays
+//     green,
+//   - Close succeeds (a failed fd is never fsynced again), and
+//   - a clean reopen recovers every pre-fault commit and is writable.
+
+// chaosOp is one write operation under test.
+type chaosOp struct {
+	name   string
+	shards int
+	run    func(ix *Index) error
+}
+
+func chaosOps() []chaosOp {
+	add := func(ix *Index) error {
+		_, err := ix.Add(sampleWork("Doomed Work", "99:1 (1999)", "Nobody, At All"))
+		return err
+	}
+	addBatch := func(ix *Index) error {
+		_, err := ix.AddBatch([]Work{
+			sampleWork("Doomed A", "99:1 (1999)", "Nobody, At All"),
+			sampleWork("Doomed B", "99:50 (1999)", "Nobody, At All", "Lewin, Jeff L."),
+			sampleWork("Doomed C", "99:90 (1999)", "Peng, Syd S."),
+		})
+		return err
+	}
+	return []chaosOp{
+		{"add", 1, add},
+		{"add_batch", 1, addBatch},
+		{"add_batch_sharded", 3, addBatch},
+		{"delete", 1, func(ix *Index) error {
+			return ix.Delete(1)
+		}},
+		{"delete_batch", 1, func(ix *Index) error {
+			return ix.DeleteBatch([]WorkID{1, 2})
+		}},
+		{"see_also", 1, func(ix *Index) error {
+			return ix.AddSeeAlso("Lewin, J.", "Lewin, Jeff L.")
+		}},
+		{"compact", 1, func(ix *Index) error {
+			return ix.Compact()
+		}},
+	}
+}
+
+// seedChaos opens a durable index on the injector's FS and commits the
+// two-work baseline with the injector disarmed.
+func seedChaos(t *testing.T, dir string, in *fault.Injector, shards int) *Index {
+	t.Helper()
+	ix, err := Open(dir, &Options{FS: in, Shards: shards})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := ix.Add(sampleWork("Unlocking the Fire", "94:563 (1992)", "Lewin, Jeff L.", "Peng, Syd S.")); err != nil {
+		t.Fatalf("seed add 1: %v", err)
+	}
+	if _, err := ix.Add(sampleWork("The Silent Revolution", "92:235 (1989)", "Lewin, Jeff L.")); err != nil {
+		t.Fatalf("seed add 2: %v", err)
+	}
+	return ix
+}
+
+// checkBaseline asserts the two seeded commits — and nothing else —
+// are visible.
+func checkBaseline(t *testing.T, ix *Index, when string) {
+	t.Helper()
+	st := ix.Stats()
+	if st.Works != 2 {
+		t.Fatalf("%s: Works = %d, want the 2 seeded commits", when, st.Works)
+	}
+	if st.CrossRefs != 0 {
+		t.Fatalf("%s: CrossRefs = %d, want 0", when, st.CrossRefs)
+	}
+	for id, title := range map[WorkID]string{1: "Unlocking the Fire", 2: "The Silent Revolution"} {
+		w, ok := ix.Get(id)
+		if !ok || w.Title != title {
+			t.Fatalf("%s: Get(%d) = %v,%v — committed work lost", when, id, w, ok)
+		}
+	}
+	if e, ok := ix.Author("Lewin, Jeff L."); !ok || len(e.Works) != 2 {
+		t.Fatalf("%s: Author lookup degraded to %+v,%v", when, e, ok)
+	}
+}
+
+// TestFaultChaosEveryWriteCallSite is the exhaustive sweep.
+func TestFaultChaosEveryWriteCallSite(t *testing.T) {
+	for _, op := range chaosOps() {
+		t.Run(op.name, func(t *testing.T) {
+			// Probe: count the injectable calls of one successful run.
+			probe := fault.NewInjector(nil)
+			ix := seedChaos(t, t.TempDir(), probe, op.shards)
+			probe.Arm()
+			if err := op.run(ix); err != nil {
+				t.Fatalf("probe run: %v", err)
+			}
+			calls := probe.Calls()
+			probe.Disarm()
+			if err := ix.Close(); err != nil {
+				t.Fatalf("probe close: %v", err)
+			}
+			if calls == 0 {
+				t.Fatalf("%s makes no injectable I/O calls; sweep is vacuous", op.name)
+			}
+
+			for k := int64(1); k <= calls; k++ {
+				t.Run(fmt.Sprintf("call_%d_of_%d", k, calls), func(t *testing.T) {
+					dir := t.TempDir()
+					in := fault.NewInjector(nil)
+					ix := seedChaos(t, dir, in, op.shards)
+					in.Arm()
+					in.Fail(fault.Rule{Nth: k, Err: syscall.EIO})
+					err := op.run(ix)
+					in.Disarm()
+					if in.Hits() == 0 {
+						// The op finished before reaching call k (it can
+						// make fewer calls than the probe when a failure
+						// path short-circuits); nothing to assert.
+						t.Skipf("call %d not reached", k)
+					}
+					if err == nil {
+						t.Fatalf("%s with call %d failing reported success", op.name, k)
+					}
+
+					// Sticky degraded: the next write fails fast.
+					if deg, cause := ix.Degraded(); !deg || cause == nil {
+						t.Fatalf("not degraded after injected failure (deg=%v cause=%v)", deg, cause)
+					}
+					if _, err := ix.Add(sampleWork("After", "99:2 (1999)", "Late, Too")); !errors.Is(err, ErrDegraded) {
+						t.Fatalf("write after fault = %v, want ErrDegraded", err)
+					}
+
+					// The failed commit is atomically absent; reads and
+					// invariants hold on the degraded index.
+					checkBaseline(t, ix, "degraded")
+					if err := ix.Verify(); err != nil {
+						t.Fatalf("Verify on degraded index: %v", err)
+					}
+					if err := ix.Close(); err != nil {
+						t.Fatalf("close degraded index: %v", err)
+					}
+
+					// Clean reopen: everything committed recovers, the
+					// latch is gone, and the index accepts writes again.
+					ix2, err := Open(dir, &Options{Shards: op.shards})
+					if err != nil {
+						t.Fatalf("reopen: %v", err)
+					}
+					defer ix2.Close()
+					checkBaseline(t, ix2, "reopened")
+					if err := ix2.Verify(); err != nil {
+						t.Fatalf("Verify after reopen: %v", err)
+					}
+					if deg, _ := ix2.Degraded(); deg {
+						t.Fatal("reopened index inherited the degraded latch")
+					}
+					if _, err := ix2.Add(sampleWork("Recovered", "99:3 (1999)", "Back, Welcome")); err != nil {
+						t.Fatalf("write after reopen: %v", err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFaultChaosDegradedStatsAndMetrics pins the observability wiring:
+// the facade Stats carry the latch and RegisterMetrics exposes the
+// authdex_degraded gauge and degraded-commit counter.
+func TestFaultChaosDegradedStatsAndMetrics(t *testing.T) {
+	in := fault.NewInjector(nil)
+	ix := seedChaos(t, t.TempDir(), in, 1)
+	defer ix.Close()
+	in.Arm()
+	in.Fail(fault.Rule{Op: fault.OpSync, Nth: 1, Err: syscall.ENOSPC})
+	if _, err := ix.Add(sampleWork("Doomed", "99:1 (1999)", "Nobody, At All")); err == nil {
+		t.Fatal("add with failing fsync succeeded")
+	}
+	in.Disarm()
+	st := ix.Stats()
+	if !st.Degraded || st.DegradedReason == "" || st.DegradedWrites != 1 {
+		t.Fatalf("degraded stats = %+v", st)
+	}
+	if _, err := ix.Add(sampleWork("Again", "99:2 (1999)", "Nobody, At All")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second add = %v, want ErrDegraded", err)
+	}
+	if st = ix.Stats(); st.DegradedWrites != 2 {
+		t.Fatalf("DegradedWrites = %d, want trigger + 1 rejection", st.DegradedWrites)
+	}
+}

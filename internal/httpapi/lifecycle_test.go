@@ -1,0 +1,347 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	authorindex "repro"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// chain composes the real middleware stack around an arbitrary handler,
+// exactly as Handler() does around the mux, so the lifecycle tests can
+// exercise panicking and blocking handlers the route table doesn't have.
+func chain(s *Server, h http.Handler) http.Handler {
+	return s.telemetry(s.recovery(s.admission(h)))
+}
+
+// TestRecoveryMiddleware: a panicking handler becomes a 500 with the
+// panic counted, the stack logged, the trace force-retained, and the
+// server keeps serving afterwards.
+func TestRecoveryMiddleware(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&syncWriter{w: &logBuf, mu: &mu}, nil))
+	reg := obs.NewRegistry()
+	ix := openIndex(t)
+	// Slowlog far above any test duration and sampling effectively off:
+	// the only way this trace is retained in the recent ring is the
+	// forced capture from the recovery middleware.
+	s := New(ix, Config{
+		Logger:           logger,
+		Registry:         reg,
+		Slowlog:          time.Hour,
+		TraceSampleEvery: 1 << 30,
+	})
+	ts := httptest.NewServer(chain(s, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/explode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "internal server error") {
+		t.Fatalf("panic response body = %q", body)
+	}
+
+	// The connection and the server survived.
+	resp2, err := http.Get(ts.URL + "/explode")
+	if err != nil {
+		t.Fatalf("server did not survive a panic: %v", err)
+	}
+	resp2.Body.Close()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "authdex_http_panics_total 2") {
+		t.Errorf("panic counter not at 2:\n%s", sb.String())
+	}
+
+	mu.Lock()
+	logged := logBuf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "panic recovered") || !strings.Contains(logged, "kaboom") {
+		t.Errorf("panic not logged:\n%s", logged)
+	}
+	if !strings.Contains(logged, "lifecycle_test.go") {
+		t.Errorf("panic log lacks a stack trace:\n%s", logged)
+	}
+	// ForceSlowTrace emitted the slowlog line despite the microsecond
+	// duration, and the trace landed in the retained rings.
+	if !strings.Contains(logged, "slow trace") {
+		t.Errorf("forced trace did not hit the slowlog:\n%s", logged)
+	}
+	var found bool
+	for _, fam := range s.Tracer().Snapshot() {
+		if len(fam.Recent) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panicking request's trace not retained in any ring")
+	}
+}
+
+// TestRecoveryAfterHeadersSent: a panic after the handler already
+// started the response must not try to write a second header.
+func TestRecoveryAfterHeadersSent(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(openIndex(t), Config{Registry: reg})
+	ts := httptest.NewServer(chain(s, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, "partial")
+		panic("mid-stream")
+	})))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want the 202 the handler sent", resp.StatusCode)
+	}
+	if strings.Contains(string(body), "internal server error") {
+		t.Fatalf("recovery wrote an error body into a started response: %q", body)
+	}
+}
+
+// TestAdmissionGateShedsOverLimit fills every in-flight slot with
+// blocked requests, then checks that a concurrent burst is entirely
+// shed with 503 + Retry-After while the operational endpoints still
+// answer, and that the gate reopens once the slots drain.
+func TestAdmissionGateShedsOverLimit(t *testing.T) {
+	const limit, burst = 4, 16
+	reg := obs.NewRegistry()
+	s := New(openIndex(t), Config{Registry: reg, MaxInFlight: limit})
+	release := make(chan struct{})
+	started := make(chan struct{}, limit)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/block", func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		io.WriteString(w, "done")
+	})
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	ts := httptest.NewServer(chain(s, mux))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < limit; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/block")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < limit; i++ {
+		<-started
+	}
+
+	// Every slot is held by a blocked request: the whole burst sheds.
+	codes := make(chan int, burst)
+	var retryAfterMissing sync.Map
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/block")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+				retryAfterMissing.Store(i, true)
+			}
+			codes <- resp.StatusCode
+		}(i)
+	}
+	for i := 0; i < burst; i++ {
+		if code := <-codes; code != http.StatusServiceUnavailable {
+			t.Errorf("burst request got %d, want 503", code)
+		}
+	}
+	retryAfterMissing.Range(func(k, v any) bool {
+		t.Errorf("shed response %v lacked Retry-After", k)
+		return true
+	})
+
+	// Operational endpoints bypass the gate even at capacity.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s at capacity = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Slots drained: the gate admits again.
+	resp, err := http.Get(ts.URL + "/block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after drain = %d, want 200", resp.StatusCode)
+	}
+	if n := s.admitted.Load(); n != 0 {
+		t.Fatalf("admitted counter leaked: %d, want 0", n)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "authdex_http_requests_shed_total 16") {
+		t.Errorf("shed counter not at %d:\n%s", burst, sb.String())
+	}
+}
+
+// TestWriteEndpoints503WhenDegraded: once a write-path I/O failure
+// latches the index read-only, the write endpoints answer 503 with
+// Retry-After (including the commit that tripped the latch), /readyz
+// stays 200 but names the cause, reads keep serving, and the degraded
+// gauge flips on /debug/metrics.
+func TestWriteEndpoints503WhenDegraded(t *testing.T) {
+	in := fault.NewInjector(nil)
+	ix, err := authorindex.Open(t.TempDir(), &authorindex.Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(New(ix, Config{Registry: reg}).Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/works", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	work := `{"title":"Strip Mining","citation":"75:319 (1973)","authors":["Cardi, Vincent P."]}`
+	if resp := post(work); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("healthy POST /works = %d, want 201", resp.StatusCode)
+	}
+
+	in.Arm()
+	in.Fail(fault.Rule{Op: fault.OpSync, Nth: 1, Err: syscall.EIO})
+	// The commit whose fsync failed: 503, not a 422 blaming the client.
+	if resp := post(work); resp.StatusCode != http.StatusServiceUnavailable ||
+		resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("latch-tripping POST = %d (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Every later write fails fast the same way.
+	if resp := post(work); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST on degraded index = %d, want 503", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/works:batch", "application/json",
+		strings.NewReader("["+work+"]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("batch POST on degraded index = %d, want 503 with Retry-After", resp.StatusCode)
+	}
+
+	// Still ready — reads serve the committed epoch — but the body says why.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "degraded:") {
+		t.Fatalf("degraded readyz = %d %q, want 200 with degraded cause", resp.StatusCode, body)
+	}
+	var works []Work
+	if code := getJSON(t, ts.URL+"/search?q=mining", &works); code != http.StatusOK || len(works) != 1 {
+		t.Fatalf("degraded search = %d with %d works, want 200 with 1", code, len(works))
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "authdex_degraded 1") {
+		t.Errorf("authdex_degraded gauge not 1 on /debug/metrics:\n%s", sb.String())
+	}
+}
+
+// TestBeginShutdownFlipsReadyz: after BeginShutdown readiness reports
+// 503 "shutting down" while liveness and normal routes keep answering
+// (the drain window).
+func TestBeginShutdownFlipsReadyz(t *testing.T) {
+	reg := obs.NewRegistry()
+	ix := openIndex(t)
+	s := New(ix, Config{Registry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("readyz before shutdown = %d %q", code, body)
+	}
+	s.BeginShutdown()
+	s.BeginShutdown() // idempotent
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "shutting down") {
+		t.Fatalf("readyz after BeginShutdown = %d %q, want 503 shutting down", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after BeginShutdown = %d, want 200 (still live)", code)
+	}
+	if code, _ := get("/stats"); code != http.StatusOK {
+		t.Fatalf("stats during drain = %d, want 200", code)
+	}
+}

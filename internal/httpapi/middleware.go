@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 const (
@@ -134,6 +138,70 @@ func (s *Server) telemetry(next http.Handler) http.Handler {
 			slog.String("remote", r.RemoteAddr),
 		)
 	})
+}
+
+// recovery turns a handler panic into a 500 instead of killing the
+// connection (and, under http.Server, only that goroutine — leaving a
+// half-written epoch of telemetry). It counts the panic, logs the
+// stack, and force-retains the request's trace so /debug/traces holds
+// the span tree of every request that blew up. It sits inside
+// telemetry, so the access log and per-route metrics still record the
+// 500.
+func (s *Server) recovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sentinel for "drop this connection on purpose";
+				// net/http handles it quietly upstream.
+				panic(rec)
+			}
+			s.panics.Inc()
+			trace.FromContext(r.Context()).ForceSlowTrace()
+			s.log.Error("panic recovered",
+				"panic", fmt.Sprint(rec),
+				"method", r.Method,
+				"path", r.URL.Path,
+				"stack", string(debug.Stack()))
+			// Only answer if the handler hadn't started the response;
+			// telemetry's statusWriter knows.
+			if sw, ok := w.(*statusWriter); !ok || sw.code == 0 {
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admission is the max-in-flight gate: a cheap atomic reservation that
+// sheds load with 503 + Retry-After once cfg.MaxInFlight requests are
+// already in the house. Operational endpoints bypass it — health
+// probes and debug scrapes must answer precisely when the server is
+// too busy to do anything else.
+func (s *Server) admission(next http.Handler) http.Handler {
+	limit := int64(s.cfg.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limit > 0 && !operational(r.URL.Path) {
+			if s.admitted.Add(1) > limit {
+				s.admitted.Add(-1)
+				s.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				httpErr(w, http.StatusServiceUnavailable,
+					"server at capacity (%d requests in flight)", limit)
+				return
+			}
+			defer s.admitted.Add(-1)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// operational marks the paths that skip the admission gate.
+func operational(path string) bool {
+	return path == "/healthz" || path == "/readyz" || strings.HasPrefix(path, "/debug/")
 }
 
 // newRequestID returns a process-unique request ID: a random per-server

@@ -74,6 +74,12 @@ type Config struct {
 	// TraceSampleEvery admits 1 in N sub-threshold traces to the
 	// recent ring; <=1 keeps every trace.
 	TraceSampleEvery int
+	// MaxInFlight caps concurrently served requests: excess requests
+	// are shed with 503 + Retry-After before reaching a handler, so an
+	// overloaded server degrades by queue-rejection instead of latency
+	// collapse. /healthz, /readyz and /debug/ bypass the gate (an
+	// overloaded server must still answer its operators). 0 disables.
+	MaxInFlight int
 }
 
 // Server serves one open Index over HTTP. Build with New, mount with
@@ -86,8 +92,12 @@ type Server struct {
 
 	ready    atomic.Bool
 	readyErr atomic.Value // string
+	draining atomic.Bool
+	admitted atomic.Int64
 
 	inflight *obs.Gauge
+	panics   *obs.Counter
+	shed     *obs.Counter
 	tracer   *trace.Tracer
 	reqSeq   atomic.Uint64
 	ridOnce  sync.Once
@@ -110,6 +120,10 @@ func New(ix *authorindex.Index, cfg Config) *Server {
 	obs.RegisterProcess(s.reg)
 	s.inflight = s.reg.Gauge("authdex_http_in_flight_requests",
 		"Requests currently being served.")
+	s.panics = s.reg.Counter("authdex_http_panics_total",
+		"Requests whose handler panicked and was recovered to a 500.")
+	s.shed = s.reg.Counter("authdex_http_requests_shed_total",
+		"Requests rejected with 503 by the max-in-flight admission gate.")
 	s.tracer = trace.NewTracer(trace.Config{
 		Slowlog:     cfg.Slowlog,
 		SampleEvery: cfg.TraceSampleEvery,
@@ -181,7 +195,18 @@ func (s *Server) Handler() http.Handler {
 	}
 	s.routes[unmatchedRoute] = s.reg.Histogram(reqDurationMetric,
 		reqDurationHelp, "route", unmatchedRoute)
-	return s.telemetry(mux)
+	// Telemetry is outermost so shed and panicking requests still get
+	// request IDs, metrics and access-log records; recovery sits above
+	// admission so a panic inside the gate itself cannot leak the slot.
+	return s.telemetry(s.recovery(s.admission(mux)))
+}
+
+// BeginShutdown flips /readyz to 503 "shutting down" so load balancers
+// stop routing new work here while in-flight requests drain. It does
+// not interrupt requests already being served — call http.Server
+// Shutdown after this for the actual drain. Idempotent.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
 }
 
 // handle registers pattern on mux with the route-stamping wrapper and
@@ -211,10 +236,22 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // readyz is readiness: the index finished Open (a constructed Server
-// implies that) and the optional verify-on-boot pass succeeded.
+// implies that), the optional verify-on-boot pass succeeded, and the
+// server is not draining for shutdown. A degraded (read-only) index
+// still reports ready — reads keep serving the last published
+// snapshot and only writes 503 — but the body names the cause so
+// operators and probes that inspect it can tell.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
 	if s.ready.Load() {
+		if deg, cause := s.ix.Degraded(); deg {
+			fmt.Fprintf(w, "degraded: %v\n", cause)
+			return
+		}
 		io.WriteString(w, "ok\n")
 		return
 	}
@@ -260,6 +297,23 @@ func canceled(w http.ResponseWriter, r *http.Request) bool {
 
 func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// writeIndexErr maps an index write failure onto the wire: a degraded
+// (read-only) index answers 503 with Retry-After so well-behaved
+// clients back off and retry against a recovered or failed-over
+// replica, and the request's trace is tagged. The commit whose I/O
+// failure tripped the latch returns the same 503 — the index, not the
+// caller's data, is at fault. Everything else stays a 422.
+func (s *Server) writeIndexErr(w http.ResponseWriter, r *http.Request, err error) {
+	deg, _ := s.ix.Degraded()
+	if deg || errors.Is(err, authorindex.ErrDegraded) {
+		trace.FromContext(r.Context()).SetAttr("degraded", "true")
+		w.Header().Set("Retry-After", "30")
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	httpErr(w, http.StatusUnprocessableEntity, "%v", err)
 }
 
 // limitParam reads the result limit from ?limit= (or the legacy ?n=)
@@ -581,7 +635,7 @@ func (s *Server) addWork(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.ix.AddCtx(r.Context(), work)
 	if err != nil {
-		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		s.writeIndexErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -612,7 +666,7 @@ func (s *Server) addWorksBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.ix.AddBatchCtx(r.Context(), works)
 	if err != nil {
-		httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+		s.writeIndexErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)

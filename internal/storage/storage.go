@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -48,6 +49,10 @@ var (
 	ErrNotFound = errors.New("storage: work not found")
 	ErrClosed   = errors.New("storage: store is closed")
 	ErrCorrupt  = errors.New("storage: corrupt data")
+	// ErrDegraded is returned by every write once a write-path I/O
+	// failure has latched the store read-only. Reads keep serving; the
+	// latch clears only on reopen.
+	ErrDegraded = fault.ErrDegraded
 )
 
 // WAL operation tags.
@@ -90,6 +95,10 @@ type Options struct {
 	// CompactEvery triggers an automatic Compact after this many logged
 	// operations. Zero disables automatic compaction.
 	CompactEvery int
+	// FS is the filesystem seam the write path (snapshot compaction,
+	// and — unless WAL.FS overrides it — the WAL) goes through. Nil
+	// means the real filesystem.
+	FS fault.FS
 }
 
 // Store is a durable map from WorkID to Work. All methods are safe for
@@ -100,8 +109,14 @@ type Store struct {
 
 	dir    string
 	log    *wal.Log // nil in memory-only mode
+	fs     fault.FS
 	opts   Options
 	closed bool
+	// degraded is the sticky read-only latch: set on the first
+	// write-path I/O failure, cleared only by reopening the store.
+	degraded       bool
+	degradedErr    error
+	degradedWrites int64 // commits failed or rejected by the latch
 
 	works    map[model.WorkID]*model.Work
 	xrefs    []CrossRef
@@ -122,9 +137,13 @@ type Store struct {
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:    dir,
+		fs:     opts.FS,
 		opts:   opts,
 		works:  make(map[model.WorkID]*model.Work),
 		nextID: 1,
+	}
+	if s.fs == nil {
+		s.fs = fault.OS
 	}
 	if dir == "" {
 		return s, nil
@@ -141,7 +160,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("storage: replay: %w", err)
 	}
 	s.interner = nil
-	log, err := wal.Open(walDir, opts.WAL)
+	wopts := opts.WAL
+	if wopts.FS == nil {
+		wopts.FS = opts.FS
+	}
+	log, err := wal.Open(walDir, wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +189,8 @@ func (s *Store) PutCtx(ctx context.Context, w *model.Work) (model.WorkID, error)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return 0, err
 	}
 	clone := w.Clone()
 	if clone.ID == 0 {
@@ -198,8 +221,8 @@ func (s *Store) Get(id model.WorkID) (*model.Work, bool) {
 func (s *Store) Delete(id model.WorkID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	if _, ok := s.works[id]; !ok {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
@@ -242,8 +265,8 @@ func (s *Store) PutBatchCtx(ctx context.Context, works []*model.Work) ([]model.W
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return nil, err
 	}
 	clones := make([]*model.Work, len(works))
 	ids := make([]model.WorkID, len(works))
@@ -264,10 +287,9 @@ func (s *Store) PutBatchCtx(ctx context.Context, works []*model.Work) ([]model.W
 		if err != nil {
 			return nil, err
 		}
-		if err := s.log.AppendBatchCtx(ctx, [][]byte{frame}); err != nil {
+		if err := s.logBatchCtx(ctx, frame, len(clones)); err != nil {
 			return nil, err
 		}
-		s.opsSince += len(clones)
 	}
 	for _, c := range clones {
 		s.applyPut(c)
@@ -301,8 +323,8 @@ func (s *Store) ReserveBatchIDs(works []*model.Work) ([]model.WorkID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return nil, err
 	}
 	ids := make([]model.WorkID, len(works))
 	for i, w := range works {
@@ -327,8 +349,8 @@ func (s *Store) DeleteBatch(ids []model.WorkID) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	for _, id := range ids {
 		if _, ok := s.works[id]; !ok {
@@ -344,10 +366,9 @@ func (s *Store) DeleteBatch(ids []model.WorkID) error {
 		if len(payload) > batchFrameBytes {
 			return fmt.Errorf("storage: delete batch encodes to %d bytes, over the %d-byte frame cap; issue several batches", len(payload), batchFrameBytes)
 		}
-		if err := s.log.AppendBatch([][]byte{payload}); err != nil {
+		if err := s.logBatchCtx(context.Background(), payload, len(ids)); err != nil {
 			return err
 		}
-		s.opsSince += len(ids)
 	}
 	for _, id := range ids {
 		delete(s.works, id)
@@ -429,8 +450,8 @@ func (s *Store) AddCrossRef(ref CrossRef) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	if s.findXRef(ref) >= 0 {
 		return nil
@@ -446,8 +467,8 @@ func (s *Store) AddCrossRef(ref CrossRef) error {
 func (s *Store) DeleteCrossRef(ref CrossRef) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	i := s.findXRef(ref)
 	if i < 0 {
@@ -481,8 +502,8 @@ func (s *Store) findXRef(ref CrossRef) int {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+	if err := s.writableLocked(); err != nil {
+		return err
 	}
 	return s.compactLocked()
 }
@@ -506,6 +527,15 @@ type Stats struct {
 	// zero for in-memory stores; under NoSync appends stop syncing but
 	// segment rotation, explicit Sync and Close still count.
 	WALSyncs int64
+	// Degraded reports the sticky read-only latch: a write-path I/O
+	// failure occurred and every write since has been rejected.
+	Degraded bool
+	// DegradedReason is the I/O error that latched the store, empty
+	// while healthy.
+	DegradedReason string
+	// DegradedWrites counts commits failed or rejected by the latch,
+	// the triggering commit included.
+	DegradedWrites int64
 }
 
 // Stats returns current counters.
@@ -515,6 +545,10 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Works: len(s.works), NextID: s.nextID, InMemory: s.dir == "",
 		BatchesCommitted: s.batches, FsyncsSaved: s.fsyncsSaved,
+		Degraded: s.degraded, DegradedWrites: s.degradedWrites,
+	}
+	if s.degradedErr != nil {
+		st.DegradedReason = s.degradedErr.Error()
 	}
 	if s.log != nil {
 		st.WALBytes = s.log.Size()
@@ -526,6 +560,15 @@ func (s *Store) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Degraded reports whether a write-path I/O failure has latched the
+// store read-only, and the error that did. Reads keep working on a
+// degraded store; the latch clears only by reopening.
+func (s *Store) Degraded() (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.degraded, s.degradedErr
 }
 
 // Close flushes and closes the store.
@@ -544,6 +587,33 @@ func (s *Store) Close() error {
 
 // ---- internals (callers hold s.mu) ----
 
+// writableLocked gates every write entry point: closed stores and
+// degraded stores reject up front, before any validation or encoding
+// work. Rejections count toward the degraded-commit counter.
+func (s *Store) writableLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.degraded {
+		s.degradedWrites++
+		return fmt.Errorf("%w (cause: %v)", ErrDegraded, s.degradedErr)
+	}
+	return nil
+}
+
+// degradeLocked latches the store read-only after a write-path I/O
+// failure. The triggering commit counts as a degraded write. The latch
+// is sticky for the life of the handle; reopening the store recovers
+// from disk (snapshot + WAL replay) with a fresh latch.
+func (s *Store) degradeLocked(err error) {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	s.degradedErr = err
+	s.degradedWrites++
+}
+
 func (s *Store) logOp(payload []byte) error {
 	return s.logOpCtx(context.Background(), payload)
 }
@@ -553,18 +623,41 @@ func (s *Store) logOpCtx(ctx context.Context, payload []byte) error {
 		return nil
 	}
 	if err := s.log.AppendCtx(ctx, payload); err != nil {
+		if failed, _ := s.log.Failed(); failed {
+			s.degradeLocked(err)
+		}
 		return err
 	}
 	s.opsSince++
 	return nil
 }
 
+// logBatchCtx appends one batch frame, degrading the store if the WAL
+// latched failed. records is how many operations the frame carries.
+func (s *Store) logBatchCtx(ctx context.Context, frame []byte, records int) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.AppendBatchCtx(ctx, [][]byte{frame}); err != nil {
+		if failed, _ := s.log.Failed(); failed {
+			s.degradeLocked(err)
+		}
+		return err
+	}
+	s.opsSince += records
+	return nil
+}
+
 // maybeCompactLocked runs an automatic compaction once enough operations
 // have been logged. It must be called after the triggering operation is
-// applied, so the snapshot includes it.
+// applied, so the snapshot includes it. It always returns nil: the
+// triggering operation is already durably committed, so a failed
+// automatic compaction must not report it as failed — the failure
+// degrades the store (compactLocked latches that) and surfaces through
+// Degraded and Stats instead.
 func (s *Store) maybeCompactLocked() error {
 	if s.log != nil && s.opts.CompactEvery > 0 && s.opsSince >= s.opts.CompactEvery {
-		return s.compactLocked()
+		s.compactLocked()
 	}
 	return nil
 }
@@ -687,38 +780,51 @@ func (s *Store) applyRecord(p []byte) error {
 }
 
 // compactLocked writes snapshot.tmp, fsyncs, renames over snapshot.dat
-// and resets the WAL.
+// and resets the WAL. Any I/O failure degrades the store (disk that
+// fails maintenance writes cannot be trusted with commits either), the
+// temp file is always cleaned up, and the on-disk state stays
+// recoverable: failures before the rename leave the old snapshot + full
+// WAL; failures after it leave the new snapshot, over which leftover
+// WAL records replay idempotently.
 func (s *Store) compactLocked() error {
 	if s.dir == "" || s.log == nil {
 		return nil // in-memory: nothing to compact
 	}
 	defer compactHist.Since(time.Now())
 	tmp := filepath.Join(s.dir, snapshotTmp)
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
+		s.degradeLocked(err)
 		return fmt.Errorf("storage: compact: %w", err)
 	}
 	if err := s.writeSnapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
+		s.degradeLocked(err)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
+		s.degradeLocked(err)
 		return fmt.Errorf("storage: compact sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
+		s.degradeLocked(err)
 		return fmt.Errorf("storage: compact close: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		s.fs.Remove(tmp) // don't leave the orphaned temp snapshot behind
+		s.degradeLocked(err)
 		return fmt.Errorf("storage: compact rename: %w", err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.syncDirLocked(); err != nil {
+		s.degradeLocked(err)
 		return err
 	}
 	if err := s.log.Reset(); err != nil {
+		s.degradeLocked(err)
 		return err
 	}
 	s.opsSince = 0
@@ -834,14 +940,20 @@ func decodeSnapshotXRef(body *[]byte) (CrossRef, error) {
 	return ref, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (s *Store) syncDirLocked() error {
+	d, err := s.fs.Open(s.dir)
 	if err != nil {
 		return fmt.Errorf("storage: sync dir: %w", err)
 	}
-	defer d.Close()
 	if err := d.Sync(); err != nil {
+		d.Close()
 		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	// Even the close is checked: the degrade-on-any-failure policy has
+	// no carve-outs, and a kernel that fails close(dirfd) is not one to
+	// keep writing through.
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("storage: sync dir close: %w", err)
 	}
 	return nil
 }

@@ -46,6 +46,21 @@ type Span struct {
 	mu       sync.Mutex
 	children []*Span
 	attrs    []Attr
+
+	// forced, on a root span, makes Finish treat the trace as slow
+	// regardless of duration: retained in the rings and emitted on the
+	// slowlog. The panic-recovery middleware sets it so every panicking
+	// request leaves its span tree behind.
+	forced atomic.Bool
+}
+
+// ForceSlowTrace marks the span's trace for unconditional slow-trace
+// capture at Finish. Only meaningful on a root span; safe on nil.
+func (s *Span) ForceSlowTrace() {
+	if s == nil {
+		return
+	}
+	s.forced.Store(true)
 }
 
 // StartChild creates and attaches a child span. Returns nil when the
@@ -224,7 +239,7 @@ func (tr *Trace) Finish(family string) {
 	tr.Family = family
 	t := tr.tracer
 	dur := tr.root.Duration()
-	slow := t.cfg.Slowlog > 0 && dur >= t.cfg.Slowlog
+	slow := tr.root.forced.Load() || (t.cfg.Slowlog > 0 && dur >= t.cfg.Slowlog)
 	f := t.family(family)
 	f.offerSlow(tr)
 	if slow || f.sample(t.cfg.SampleEvery) {

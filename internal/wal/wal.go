@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -77,6 +78,10 @@ type Options struct {
 	// the most recent appends may be lost on power failure; the log is
 	// still never corrupted beyond the torn tail.
 	NoSync bool
+	// FS is the filesystem seam the write path goes through. Nil means
+	// the real filesystem. The recovery path (Replay, torn-tail scan)
+	// always reads through the os package directly.
+	FS fault.FS
 }
 
 func (o *Options) segmentSize() int64 {
@@ -86,17 +91,26 @@ func (o *Options) segmentSize() int64 {
 	return o.SegmentSize
 }
 
+func (o *Options) fs() fault.FS {
+	if o.FS == nil {
+		return fault.OS
+	}
+	return o.FS
+}
+
 // Log is an open write-ahead log. Methods are safe for concurrent use.
 type Log struct {
 	dir  string
 	opts Options
 
 	mu      sync.Mutex
-	f       *os.File
+	f       fault.File
 	seg     uint64 // index of the open segment
 	size    int64  // bytes written to the open segment
 	total   int64  // bytes across all segments
 	closed  bool
+	failed  bool  // sticky: a write-path I/O error latched the log read-only
+	failErr error // the error that latched failed
 	scratch []byte
 	st      Stats
 }
@@ -164,7 +178,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		return l, nil
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := opts.fs().OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -193,6 +207,9 @@ func (l *Log) AppendCtx(ctx context.Context, p []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return fault.ErrDegraded
+	}
 	if l.size >= l.opts.segmentSize() {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -205,18 +222,20 @@ func (l *Log) AppendCtx(ctx context.Context, p []byte) error {
 	encSpan.End()
 	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.syncLockedCtx(ctx); err != nil {
+			l.failLocked(err)
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 	}
 	n := int64(len(l.scratch))
 	l.size += n
 	l.total += n
 	l.st.Appends++
 	l.st.Records++
-	if !l.opts.NoSync {
-		if err := l.syncLockedCtx(ctx); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-	}
 	return nil
 }
 
@@ -253,6 +272,9 @@ func (l *Log) AppendBatchCtx(ctx context.Context, payloads [][]byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return fault.ErrDegraded
+	}
 	if l.size >= l.opts.segmentSize() {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -272,18 +294,20 @@ func (l *Log) AppendBatchCtx(ctx context.Context, payloads [][]byte) error {
 	encSpan.End()
 	encodeHist.Since(encStart)
 	if _, err := l.f.Write(l.scratch); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.syncLockedCtx(ctx); err != nil {
+			l.failLocked(err)
+			return fmt.Errorf("wal: sync: %w", err)
+		}
 	}
 	n := int64(len(l.scratch))
 	l.size += n
 	l.total += n
 	l.st.Appends++
 	l.st.Records += int64(len(payloads))
-	if !l.opts.NoSync {
-		if err := l.syncLockedCtx(ctx); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-	}
 	return nil
 }
 
@@ -309,15 +333,48 @@ func (l *Log) syncLockedCtx(ctx context.Context) error {
 	return err
 }
 
+// failLocked latches the log read-only after a write-path I/O error.
+// The open segment is best-effort truncated back to its last committed
+// size so bytes buffered past the failure point — a torn frame after a
+// failed write, an un-fsynced frame after a failed fsync — cannot
+// resurface on replay. The fd is never fsynced again: after a failed
+// fsync the kernel may have dropped the dirty pages while marking them
+// clean, so a retried fsync can report success for data that was lost
+// (the "fsyncgate" failure mode). Every later append returns
+// fault.ErrDegraded.
+func (l *Log) failLocked(err error) {
+	if l.failed {
+		return
+	}
+	l.failed = true
+	l.failErr = err
+	if l.f != nil {
+		l.f.Truncate(l.size) // best effort; replay tolerates a torn tail anyway
+	}
+}
+
+// Failed reports whether a write-path I/O error has latched the log
+// read-only, and the error that did.
+func (l *Log) Failed() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed, l.failErr
+}
+
 // Sync forces buffered appends to stable storage. Only meaningful with
-// NoSync; otherwise every Append already synced.
+// NoSync; otherwise every Append already synced. A failed log is never
+// fsynced again.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return fault.ErrDegraded
+	}
 	if err := l.syncLocked(); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -331,14 +388,21 @@ func (l *Log) Size() int64 {
 }
 
 // Reset deletes every segment and starts an empty one; the storage layer
-// calls this immediately after writing a snapshot.
+// calls this immediately after writing a snapshot. A partial failure —
+// the old segment close, a segment remove, the fresh-segment create —
+// latches the log read-only; leftover segments only re-deliver records
+// the snapshot already holds, which replay applies idempotently.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	if l.failed {
+		return fault.ErrDegraded
+	}
 	if err := l.f.Close(); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: reset: %w", err)
 	}
 	segs, err := listSegments(l.dir)
@@ -346,15 +410,23 @@ func (l *Log) Reset() error {
 		return err
 	}
 	for _, s := range segs {
-		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+		if err := l.opts.fs().Remove(filepath.Join(l.dir, s.name)); err != nil {
+			l.failLocked(err)
 			return fmt.Errorf("wal: reset: %w", err)
 		}
 	}
 	l.total = 0
-	return l.openSegmentLocked(1)
+	if err := l.openSegmentLocked(1); err != nil {
+		l.failLocked(err)
+		return err
+	}
+	return nil
 }
 
 // Close flushes and closes the log. Further operations return ErrClosed.
+// A failed log is closed without the flush — never re-fsync a failed fd
+// — and without reporting an error: degradation was already surfaced
+// when it latched.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -362,7 +434,12 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
+	if l.failed {
+		l.f.Close() // best effort: release the fd, keep the latched error
+		return nil
+	}
 	if err := l.syncLocked(); err != nil {
+		l.failLocked(err)
 		l.f.Close()
 		return fmt.Errorf("wal: close: %w", err)
 	}
@@ -371,12 +448,18 @@ func (l *Log) Close() error {
 
 func (l *Log) rotateLocked() error {
 	if err := l.syncLocked(); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	if err := l.f.Close(); err != nil {
+		l.failLocked(err)
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	return l.openSegmentLocked(l.seg + 1)
+	if err := l.openSegmentLocked(l.seg + 1); err != nil {
+		l.failLocked(err)
+		return err
+	}
+	return nil
 }
 
 func (l *Log) openSegment(index uint64) error {
@@ -387,7 +470,7 @@ func (l *Log) openSegment(index uint64) error {
 
 func (l *Log) openSegmentLocked(index uint64) error {
 	name := segmentName(index)
-	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.opts.fs().OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
